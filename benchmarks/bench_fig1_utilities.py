@@ -1,0 +1,24 @@
+"""Figure 1 — the three motivating delay-utility families.
+
+Regenerates the ``h(t)`` curves for advertising revenue (step /
+exponential), time-critical information (inverse power), and waiting cost
+(negative power), matching the paper's three panels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure1
+
+
+def test_figure1_delay_utilities(benchmark, emit):
+    result = benchmark.pedantic(figure1, rounds=1, iterations=1)
+    emit("figure1", result.render())
+    # Shape assertions: all curves non-increasing; panel (c) negative.
+    for curves in result.panels.values():
+        for values in curves.values():
+            assert np.all(np.diff(values) <= 1e-9)
+    waiting = result.panels["(c) waiting cost"]
+    for values in waiting.values():
+        assert values[-1] < 0

@@ -1,0 +1,24 @@
+"""Figure 2 — the optimal power-law allocation exponent 1/(2 - alpha).
+
+Solves the relaxed cache-allocation problem across the impatience
+spectrum and fits the log-log slope of the optimal counts against demand;
+the fit must match the closed form: uniform-ish for very patient users
+(alpha -> -inf), square-root at alpha = 0, proportional at alpha = 1, and
+winner-take-all as alpha -> 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure2
+
+
+def test_figure2_allocation_exponent(benchmark, emit):
+    result = benchmark.pedantic(figure2, rounds=1, iterations=1)
+    emit("figure2", result.render())
+    assert np.allclose(result.closed_form, result.fitted, atol=1e-3)
+    # The paper's three marked points.
+    by_alpha = dict(zip(np.round(result.alphas, 2), result.fitted))
+    assert abs(by_alpha[0.0] - 0.5) < 1e-3
+    assert abs(by_alpha[1.0] - 1.0) < 1e-3

@@ -1,0 +1,45 @@
+"""Figure 4 — QCR vs fixed allocations under homogeneous contacts.
+
+Left panel: normalized loss vs OPT across the power-impatience exponent
+``alpha``; right panel: across the step deadline ``tau``.  Reproduction
+targets (Section 6.2):
+
+* the extreme strategies UNI and DOM fail badly somewhere in each sweep
+  (DOM catastrophically for waiting costs, UNI for tight deadlines);
+* SQRT is near-optimal around ``alpha = 0`` (the square-root law);
+* QCR — with *no* control channel — beats PROP in the power sweep and
+  stays within a few percent of OPT for step utilities.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure4
+
+
+def test_figure4_homogeneous_comparison(benchmark, emit, profile):
+    result = benchmark.pedantic(
+        figure4, kwargs={"profile": profile}, rounds=1, iterations=1
+    )
+    emit("figure4", result.render())
+
+    power = result.power_panel.losses
+    step = result.step_panel.losses
+
+    # OPT anchors the comparison.
+    assert all(abs(v) < 1e-9 for v in power["OPT"])
+
+    # DOM collapses under waiting costs at every alpha.
+    assert all(dom < -100.0 for dom in power["DOM"])
+
+    # SQRT near-optimal at alpha = 0.
+    alpha_index = result.power_panel.x_values.index(0.0)
+    assert power["SQRT"][alpha_index] > -10.0
+
+    # QCR beats PROP and UNI at alpha = 0 (adaptive beats passive).
+    assert power["QCR"][alpha_index] > power["PROP"][alpha_index]
+    assert power["QCR"][alpha_index] > power["UNI"][alpha_index]
+
+    # Step: QCR within ~10% of OPT everywhere (paper: ~5%).
+    assert all(v > -12.0 for v in step["QCR"])
+    # DOM loses badly for generous deadlines (tail items never served).
+    assert step["DOM"][-1] < -20.0

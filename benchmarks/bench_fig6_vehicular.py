@@ -1,0 +1,34 @@
+"""Figure 6 — the vehicular (Cabspotting-like) trace, three families.
+
+Loss vs OPT across the power exponent ``alpha`` (left), step deadline
+``tau`` (middle), and exponential impatience ``nu`` (right).
+Reproduction targets (Section 6.3): SQRT tends to degrade relative to its
+homogeneous showing, DOM improves under heterogeneity and burstiness, and
+QCR — the only scheme without a control channel — stays competitive.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure6
+
+
+def test_figure6_vehicular(benchmark, emit, profile):
+    result = benchmark.pedantic(
+        figure6, kwargs={"profile": profile}, rounds=1, iterations=1
+    )
+    emit("figure6", result.render())
+
+    step = result.step_panel.losses
+    exponential = result.exponential_panel.losses
+
+    # OPT anchors both sweeps.
+    assert all(abs(v) < 1e-9 for v in step["OPT"])
+
+    # DOM is a strong contender for stringent deadlines on this trace
+    # (contrast with its homogeneous collapse).
+    assert step["DOM"][0] > -60.0
+
+    # QCR remains mid-pack or better for step/exponential impatience.
+    for losses in (step, exponential):
+        for tau_index in range(len(losses["QCR"])):
+            assert losses["QCR"][tau_index] > -60.0

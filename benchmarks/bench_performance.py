@@ -1,0 +1,81 @@
+"""Performance micro-benchmarks of the core building blocks.
+
+Unlike the figure benchmarks (pedantic single-shot reproductions), these
+use pytest-benchmark's statistical timing so regressions in the hot paths
+— simulator event loop, optimal-allocation solvers, trace generation —
+are visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    HeterogeneousProblem,
+    greedy_heterogeneous,
+    greedy_homogeneous,
+    solve_relaxed,
+)
+from repro.contacts import homogeneous_poisson_trace, pair_rate_matrix
+from repro.demand import DemandModel, generate_requests
+from repro.protocols import QCR
+from repro.sim import SimulationConfig, simulate
+from repro.utility import StepUtility
+
+N, I, RHO, MU = 50, 50, 5, 0.05
+UTILITY = StepUtility(10.0)
+
+
+@pytest.fixture(scope="module")
+def demand():
+    return DemandModel.pareto(I, omega=1.0, total_rate=4.0)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return homogeneous_poisson_trace(N, MU, 300.0, seed=1)
+
+
+@pytest.fixture(scope="module")
+def requests(demand, trace):
+    return generate_requests(demand, N, trace.duration, seed=2)
+
+
+def test_perf_trace_generation(benchmark):
+    benchmark(homogeneous_poisson_trace, N, MU, 300.0, seed=3)
+
+
+def test_perf_simulator_qcr(benchmark, demand, trace, requests):
+    config = SimulationConfig(n_items=I, rho=RHO, utility=UTILITY)
+
+    def run():
+        return simulate(trace, requests, config, QCR(UTILITY, MU), seed=4)
+
+    result = benchmark(run)
+    assert result.n_fulfilled > 0
+
+
+def test_perf_greedy_homogeneous(benchmark, demand):
+    result = benchmark(greedy_homogeneous, demand, UTILITY, MU, N, RHO)
+    assert result.total_copies == RHO * N
+
+
+def test_perf_greedy_heterogeneous(benchmark, demand, trace):
+    rates = pair_rate_matrix(trace)
+    problem = HeterogeneousProblem(
+        demand=demand,
+        utility=UTILITY,
+        rate_matrix=rates,
+        rho=RHO,
+        server_of_client=np.arange(N),
+    )
+    result = benchmark(greedy_heterogeneous, problem)
+    assert result.allocation.sum() > 0
+
+
+def test_perf_relaxed_solver(benchmark, demand):
+    result = benchmark(
+        solve_relaxed, demand, UTILITY, MU, N, float(RHO * N)
+    )
+    assert result.counts.sum() == pytest.approx(RHO * N)

@@ -1,0 +1,36 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper.  The
+rendered series are printed (visible with ``pytest -s``) **and** written
+to ``benchmarks/output/<name>.txt`` so the artifacts survive output
+capturing.  Scale is controlled by the ``REPRO_BENCH_SCALE`` environment
+variable (``quick`` default / ``full`` paper-scale); see
+``repro.experiments.profiles``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import current_profile
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return current_profile()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered artifact and persist it under benchmarks/output."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n===== {name} =====\n{text}\n")
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Podcast dissemination at a conference (the Podnet/Infocom setting).
+
+Attendees' phones exchange podcast episodes over Bluetooth during a
+three-day conference.  Contacts are heterogeneous (some attendees are far
+more social) and strongly diurnal — nothing happens at night.  Episodes
+lose value quickly: a session recording requested during the coffee break
+is stale by the next morning (one-hour step deadline).
+
+This example runs the Section-6.3 conference scenario: it generates the
+synthetic Infocom'06-like trace, inspects its statistics, and compares
+QCR against the fixed allocations, including the trace-aware submodular
+OPT.
+
+Run:  python examples/conference_podcast.py
+"""
+
+from __future__ import annotations
+
+from repro.contacts import summarize
+from repro.experiments import conference_scenario, run_scenario
+from repro.utility import StepUtility
+
+DEADLINE_MINUTES = 60.0
+TRIALS = 3
+
+
+def main() -> None:
+    scenario = conference_scenario(StepUtility(DEADLINE_MINUTES))
+
+    print("== synthetic conference trace (Infocom'06 substitute) ==")
+    print(summarize(scenario.trace_factory(0)))
+    print()
+
+    print(
+        f"running {TRIALS} trials x 6 protocols "
+        f"(step deadline {DEADLINE_MINUTES:g} min)..."
+    )
+    comparison = run_scenario(scenario, n_trials=TRIALS, base_seed=5)
+
+    print("\n== results (normalized loss vs OPT, higher is better) ==")
+    ranked = sorted(
+        comparison.losses().items(), key=lambda kv: kv[1], reverse=True
+    )
+    for name, loss in ranked:
+        stats = comparison.stats[name]
+        lo, hi = stats.interval
+        print(
+            f"{name:6s} loss {loss:+7.2f}%   "
+            f"utility/min {stats.mean_gain_rate:8.4f} "
+            f"[{lo:.4f}, {hi:.4f}]"
+        )
+
+    print(
+        "\nReading: on a bursty, diurnal trace the demand-heavy"
+        " allocations (PROP, DOM) close much of their homogeneous-case"
+        " gap, SQRT loses its shine, and QCR stays competitive using"
+        " only local query counts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Time-critical information sharing in a taxi fleet (Cabspotting setting).
+
+Fifty cabs roam a city and exchange content whenever they pass within
+200 m.  The content is *time-critical* — road hazards, fare hot-spots —
+so the delay-utility is an inverse-power curve whose value is enormous
+for near-instant delivery and still positive hours later.  Because
+``h(0+) = inf``, this runs in the *dedicated-node* configuration implied
+by the paper (Section 3.2): a subset of cabs act as carriers (servers)
+for the rest.
+
+The example builds the vehicular trace from actual simulated mobility
+(random-waypoint cabs with home territories), extracts contacts, and
+compares replication strategies.
+
+Run:  python examples/vehicular_info.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.allocation import HeterogeneousProblem, greedy_heterogeneous
+from repro.contacts import pair_rate_matrix, summarize
+from repro.contacts.synthetic import VehicularTraceConfig, vehicular_trace
+from repro.demand import DemandModel, generate_requests
+from repro.protocols import QCR, StaticAllocation, prop_protocol, uni_protocol
+from repro.sim import SimulationConfig, simulate
+from repro.utility import PowerUtility
+
+N_CABS = 50
+N_SERVERS = 25  # dedicated carrier cabs
+N_ITEMS = 40
+RHO = 4
+ALPHA = 1.5  # time-critical impatience
+
+
+def main() -> None:
+    config = VehicularTraceConfig(n_nodes=N_CABS)
+    trace = vehicular_trace(config, seed=20)
+    print("== synthetic taxi trace (Cabspotting substitute) ==")
+    print(summarize(trace))
+
+    utility = PowerUtility(ALPHA)
+    demand = DemandModel.pareto(N_ITEMS, omega=1.0, total_rate=2.0)
+    servers = tuple(range(N_SERVERS))
+    clients = tuple(range(N_SERVERS, N_CABS))
+    sim_config = SimulationConfig(
+        n_items=N_ITEMS,
+        rho=RHO,
+        utility=utility,
+        servers=servers,
+        clients=clients,
+    )
+    requests = generate_requests(
+        demand, N_CABS, trace.duration, seed=21
+    ).sliced(0.0, trace.duration)
+    # Requests must come from client cabs only: remap by modulo.
+    remapped = requests.nodes % len(clients) + N_SERVERS
+    from repro.demand import RequestSchedule
+
+    requests = RequestSchedule(
+        times=requests.times,
+        items=requests.items,
+        nodes=remapped,
+        duration=requests.duration,
+    )
+
+    # Trace-aware OPT: estimate carrier->client contact rates and run the
+    # submodular greedy (Theorem 1 / Section 6.1).
+    rates = pair_rate_matrix(trace)[np.ix_(list(servers), list(clients))]
+    problem = HeterogeneousProblem(
+        demand=demand,
+        utility=utility,
+        rate_matrix=rates,
+        rho=RHO,
+        rate_floor=1.0 / trace.duration,
+    )
+    opt = StaticAllocation(
+        allocation=greedy_heterogeneous(problem).allocation, name="OPT"
+    )
+
+    mu_estimate = max(trace.mean_pair_rate, 1e-6)
+    contenders = {
+        "OPT": opt,
+        "QCR": QCR(utility, mu_estimate),
+        "PROP": prop_protocol(demand, N_SERVERS, RHO),
+        "UNI": uni_protocol(demand, N_SERVERS, RHO),
+    }
+
+    print("\n== dedicated-carrier simulation (inverse power alpha=1.5) ==")
+    print(f"{'protocol':6s} {'utility/min':>12s} {'hit ratio':>10s} {'p95 delay':>10s}")
+    for name, protocol in contenders.items():
+        result = simulate(trace, requests, sim_config, protocol, seed=22)
+        print(
+            f"{name:6s} {result.gain_rate:12.4f} "
+            f"{result.fulfillment_ratio:10.3f} {result.p95_delay:9.1f}m"
+        )
+
+    print(
+        "\nReading: with h(0+) unbounded, prompt delivery dominates the"
+        " objective; allocations skew hard toward popular items"
+        " (exponent 1/(2-alpha) = 2), and trace-aware OPT exploits the"
+        " cabs' territorial meeting structure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Cache-allocation optimization: welfare, optimal solvers, diagnostics."""
+
+from .closed_form import (
+    dominant_counts,
+    power_allocation_exponent,
+    power_law_counts,
+    proportional_counts,
+    sqrt_counts,
+    uniform_counts,
+    weighted_counts,
+)
+from .dynamics import DynamicsResult, dynamics_equilibrium, replica_dynamics
+from .equilibrium import BalanceReport, balance_report, balance_values
+from .greedy import GreedyResult, greedy_homogeneous
+from .quantize import counts_of_allocation, place_copies, quantize_counts
+from .relaxed import RelaxedResult, solve_relaxed
+from .submodular import (
+    HeterogeneousProblem,
+    HeterogeneousResult,
+    greedy_heterogeneous,
+)
+from .welfare import (
+    heterogeneous_welfare,
+    homogeneous_welfare,
+    homogeneous_welfare_discrete,
+    item_gain_function,
+)
+
+__all__ = [
+    "homogeneous_welfare",
+    "homogeneous_welfare_discrete",
+    "heterogeneous_welfare",
+    "item_gain_function",
+    "GreedyResult",
+    "greedy_homogeneous",
+    "RelaxedResult",
+    "solve_relaxed",
+    "HeterogeneousProblem",
+    "HeterogeneousResult",
+    "greedy_heterogeneous",
+    "power_allocation_exponent",
+    "weighted_counts",
+    "power_law_counts",
+    "uniform_counts",
+    "proportional_counts",
+    "sqrt_counts",
+    "dominant_counts",
+    "quantize_counts",
+    "place_copies",
+    "counts_of_allocation",
+    "BalanceReport",
+    "balance_values",
+    "balance_report",
+    "DynamicsResult",
+    "replica_dynamics",
+    "dynamics_equilibrium",
+]

@@ -1,0 +1,134 @@
+"""Closed-form target allocations (Figure 2 and the Section-6 heuristics).
+
+For the power delay-utility family, Property 1 yields the closed-form
+relaxed optimum ``x_i ∝ d_i**(1/(2-alpha))`` (Figure 2): uniform in the
+``alpha -> -inf`` limit, square-root at ``alpha = 0``, proportional at
+``alpha = 1``, and increasingly winner-take-all as ``alpha -> 2``.
+
+The same machinery builds the paper's fixed competitor allocations
+(Section 6.1): **UNI**, **SQRT**, **PROP** and **DOM**.  All builders
+return *fractional* counts summing to the cache budget with per-item cap
+``n_servers``; :mod:`repro.allocation.quantize` turns them into integer
+counts and concrete server placements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..demand import DemandModel
+from ..errors import AllocationError, ConfigurationError
+from ..types import FloatArray
+
+__all__ = [
+    "power_allocation_exponent",
+    "weighted_counts",
+    "power_law_counts",
+    "uniform_counts",
+    "proportional_counts",
+    "sqrt_counts",
+    "dominant_counts",
+]
+
+
+def power_allocation_exponent(alpha: float) -> float:
+    """The Figure-2 exponent: optimal ``x_i ∝ d_i**(1/(2-alpha))``."""
+    if alpha >= 2:
+        raise ConfigurationError(f"alpha must be < 2, got {alpha}")
+    return 1.0 / (2.0 - alpha)
+
+
+def weighted_counts(
+    weights: FloatArray, budget: float, max_count: float
+) -> FloatArray:
+    """Distribute *budget* proportionally to *weights*, capping per item.
+
+    Items that hit the ``max_count`` cap have their excess redistributed
+    over the remaining items (water-filling), so the result sums to the
+    budget exactly whenever ``budget <= n_items * max_count``.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 1 or len(weights) == 0:
+        raise AllocationError("weights must be a non-empty 1-D array")
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise AllocationError("weights must be finite and >= 0")
+    if budget < 0:
+        raise AllocationError(f"budget must be >= 0, got {budget}")
+    if budget > len(weights) * max_count + 1e-9:
+        raise AllocationError(
+            f"budget {budget} exceeds capacity {len(weights) * max_count}"
+        )
+    counts = np.zeros(len(weights))
+    capped = np.zeros(len(weights), dtype=bool)
+    remaining = float(budget)
+    for _ in range(len(weights)):
+        free = ~capped
+        total_weight = weights[free].sum()
+        if remaining <= 1e-15 or total_weight <= 0:
+            break
+        share = weights * (remaining / total_weight)
+        share[capped] = 0.0
+        proposed = counts + share
+        overflow = proposed > max_count
+        if not np.any(overflow & free):
+            counts = proposed
+            remaining = 0.0
+            break
+        newly = overflow & free
+        remaining -= float((max_count - counts[newly]).sum())
+        counts[newly] = max_count
+        capped |= newly
+    if remaining > 1e-9 and np.any(~capped) and weights[~capped].sum() <= 0:
+        # Zero-weight items absorb leftovers evenly (e.g. DOM with budget
+        # larger than the dominated share).
+        free = ~capped
+        counts[free] += remaining / free.sum()
+        counts = np.minimum(counts, max_count)
+    return counts
+
+
+def power_law_counts(
+    demand: DemandModel, alpha: float, budget: float, max_count: float
+) -> FloatArray:
+    """Counts ``∝ d_i**(1/(2-alpha))`` water-filled to the budget."""
+    exponent = power_allocation_exponent(alpha)
+    return weighted_counts(demand.rates**exponent, budget, max_count)
+
+
+def uniform_counts(
+    n_items: int, budget: float, max_count: float
+) -> FloatArray:
+    """UNI: the budget divided evenly among all items."""
+    if n_items <= 0:
+        raise AllocationError(f"n_items must be > 0, got {n_items}")
+    return weighted_counts(np.ones(n_items), budget, max_count)
+
+
+def proportional_counts(
+    demand: DemandModel, budget: float, max_count: float
+) -> FloatArray:
+    """PROP: counts proportional to demand (``alpha = 1`` power law)."""
+    return weighted_counts(demand.rates, budget, max_count)
+
+
+def sqrt_counts(
+    demand: DemandModel, budget: float, max_count: float
+) -> FloatArray:
+    """SQRT: counts proportional to the square root of demand."""
+    return weighted_counts(np.sqrt(demand.rates), budget, max_count)
+
+
+def dominant_counts(
+    demand: DemandModel, rho: int, n_servers: int
+) -> FloatArray:
+    """DOM: every node caches the ``rho`` most popular items."""
+    if rho <= 0 or n_servers <= 0:
+        raise AllocationError("rho and n_servers must be > 0")
+    if rho > demand.n_items:
+        raise AllocationError(
+            f"rho = {rho} exceeds catalog size {demand.n_items}"
+        )
+    counts = np.zeros(demand.n_items)
+    top = demand.ranked_items()[:rho]
+    counts[top] = float(n_servers)
+    return counts

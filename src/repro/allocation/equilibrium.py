@@ -1,0 +1,98 @@
+"""Property-1 balance-condition diagnostics.
+
+At the relaxed optimum, ``d_i * phi(x_i)`` is the same for every item in
+the interior of the feasible box.  These helpers measure how far an
+allocation — analytic or observed in simulation — is from that balance,
+which is also the steady-state condition of QCR (Property 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..demand import DemandModel
+from ..errors import AllocationError
+from ..types import FloatArray
+from ..utility import DelayUtility
+
+__all__ = ["BalanceReport", "balance_values", "balance_report"]
+
+
+def balance_values(
+    counts: FloatArray,
+    demand: DemandModel,
+    utility: DelayUtility,
+    mu: float,
+) -> FloatArray:
+    """Return the per-item balance values ``d_i * phi(x_i)``.
+
+    Items with ``x_i = 0`` map to ``inf`` when ``phi(0)`` diverges.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.shape != (demand.n_items,):
+        raise AllocationError(
+            f"counts shape {counts.shape} != ({demand.n_items},)"
+        )
+    return np.array(
+        [
+            # 0 * inf (zero-demand item with no replicas) is 0 here: the
+            # item contributes nothing to welfare at any allocation.
+            0.0 if d == 0 else d * utility.phi(float(x), mu)
+            for d, x in zip(demand.rates, counts)
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """How closely an allocation satisfies the Property-1 condition."""
+
+    #: Balance values of items strictly inside ``(0, n_servers)``.
+    interior_values: FloatArray
+    #: Relative spread ``(max - min) / mean`` over interior items.
+    relative_spread: float
+    #: Item ids pinned at the upper bound ``x_i = n_servers``.
+    at_upper: np.ndarray
+    #: Item ids at ``x_i = 0``.
+    at_zero: np.ndarray
+
+    def is_balanced(self, rtol: float = 1e-6) -> bool:
+        """True when interior balance values agree within *rtol*.
+
+        Boundary items are exempt, mirroring Property 1 (their balance
+        values may exceed / fall below the common multiplier).
+        """
+        return self.relative_spread <= rtol
+
+
+def balance_report(
+    counts: FloatArray,
+    demand: DemandModel,
+    utility: DelayUtility,
+    mu: float,
+    n_servers: int,
+    *,
+    boundary_tol: float = 1e-9,
+) -> BalanceReport:
+    """Build a :class:`BalanceReport` for *counts*."""
+    counts = np.asarray(counts, dtype=float)
+    values = balance_values(counts, demand, utility, mu)
+    at_upper = np.where(counts >= n_servers - boundary_tol)[0]
+    at_zero = np.where(counts <= boundary_tol)[0]
+    interior = (counts > boundary_tol) & (counts < n_servers - boundary_tol)
+    interior_values = values[interior]
+    if len(interior_values) == 0:
+        spread = 0.0
+    else:
+        mean = float(np.mean(interior_values))
+        spread = (
+            float(np.ptp(interior_values) / abs(mean)) if mean != 0 else 0.0
+        )
+    return BalanceReport(
+        interior_values=interior_values,
+        relative_spread=spread,
+        at_upper=at_upper,
+        at_zero=at_zero,
+    )

@@ -1,0 +1,101 @@
+"""Integer-optimal homogeneous allocation — the greedy of Theorem 2.
+
+Under homogeneous contacts the welfare is a separable concave function of
+replica counts, so the classic marginal-allocation greedy is exact: keep a
+heap of next-copy marginal gains and repeatedly give a copy to the item
+with the largest one, in ``O(|I| + rho*|S| log |I|)`` as the paper states.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..demand import DemandModel
+from ..errors import ConfigurationError
+from ..types import IntArray
+from ..utility import DelayUtility
+from .welfare import item_gain_function
+
+__all__ = ["GreedyResult", "greedy_homogeneous"]
+
+
+@dataclass(frozen=True)
+class GreedyResult:
+    """Outcome of the homogeneous greedy allocation."""
+
+    #: Integer replica counts per item, summing to at most the budget.
+    counts: IntArray
+    #: Welfare of the returned counts (same convention as
+    #: :func:`~repro.allocation.welfare.homogeneous_welfare`).
+    welfare: float
+
+    @property
+    def total_copies(self) -> int:
+        return int(self.counts.sum())
+
+
+def greedy_homogeneous(
+    demand: DemandModel,
+    utility: DelayUtility,
+    mu: float,
+    n_servers: int,
+    rho: int,
+    *,
+    pure_p2p: bool = False,
+    n_clients: Optional[int] = None,
+    budget: Optional[int] = None,
+) -> GreedyResult:
+    """Maximize homogeneous welfare over integer replica counts.
+
+    Every item's count is capped at ``n_servers`` (at most one copy per
+    server); the total is capped at ``budget`` (default ``rho * n_servers``,
+    the global cache size).  Concavity of the per-item gain (Theorem 2)
+    makes the marginal-allocation greedy exact.
+
+    Copies with zero marginal gain are still placed (cache slots are free),
+    which matches the simulator where caches are always full; the welfare
+    value is unaffected.
+    """
+    if n_servers <= 0 or rho <= 0:
+        raise ConfigurationError("n_servers and rho must be > 0")
+    if budget is None:
+        budget = rho * n_servers
+    if budget < 0:
+        raise ConfigurationError(f"budget must be >= 0, got {budget}")
+    budget = min(budget, demand.n_items * n_servers)
+
+    gain = item_gain_function(
+        utility, mu, pure_p2p=pure_p2p, n_clients=n_clients
+    )
+    rates = demand.rates
+    n_items = demand.n_items
+    counts = np.zeros(n_items, dtype=np.int64)
+    # Cache G(x) per item: gains_now[i] = G(counts[i]).
+    gain_zero = float(gain(0))
+    gains_now = np.full(n_items, gain_zero)
+
+    def marginal(item: int) -> float:
+        nxt = float(gain(int(counts[item]) + 1))
+        current = gains_now[item]
+        if math.isinf(current) and current < 0:
+            return math.inf  # first copy of an unbounded-cost item
+        return rates[item] * (nxt - current)
+
+    heap = [(-marginal(i), i) for i in range(n_items)]
+    heapq.heapify(heap)
+    placed = 0
+    while placed < budget and heap:
+        neg_gain, item = heapq.heappop(heap)
+        counts[item] += 1
+        gains_now[item] = float(gain(int(counts[item])))
+        placed += 1
+        if counts[item] < n_servers:
+            heapq.heappush(heap, (-marginal(item), item))
+
+    welfare = float(np.sum(rates * gain(counts)))
+    return GreedyResult(counts=counts, welfare=welfare)

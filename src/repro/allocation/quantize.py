@@ -1,0 +1,129 @@
+"""From fractional counts to concrete caches.
+
+Two steps separate an analytic allocation from simulator state:
+
+1. :func:`quantize_counts` — round fractional per-item counts to integers
+   that sum to the budget (largest-remainder method with per-item caps);
+2. :func:`place_copies` — assign each item's copies to distinct servers
+   without exceeding any server's ``rho`` slots (longest-processing-time
+   greedy onto least-loaded servers, which is exact for this feasibility
+   problem).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..errors import AllocationError
+from ..types import FloatArray, IntArray, SeedLike, as_rng
+
+__all__ = ["quantize_counts", "place_copies", "counts_of_allocation"]
+
+
+def quantize_counts(
+    fractional: FloatArray, budget: int, max_count: int
+) -> IntArray:
+    """Round fractional counts to integers summing to *budget*.
+
+    Uses the largest-remainder method: floor everything, then hand the
+    remaining copies to the items with the largest fractional parts (ties
+    broken toward more popular = larger fractional count).  Respects the
+    per-item ``max_count`` cap.
+    """
+    fractional = np.asarray(fractional, dtype=float)
+    if np.any(fractional < 0) or not np.all(np.isfinite(fractional)):
+        raise AllocationError("fractional counts must be finite and >= 0")
+    if budget < 0:
+        raise AllocationError(f"budget must be >= 0, got {budget}")
+    if budget > len(fractional) * max_count:
+        raise AllocationError(
+            f"budget {budget} exceeds capacity {len(fractional) * max_count}"
+        )
+    counts = np.minimum(np.floor(fractional), max_count).astype(np.int64)
+    deficit = budget - int(counts.sum())
+    if deficit < 0:
+        # Fractional input oversubscribed the budget; trim the smallest
+        # remainders first.
+        order = np.argsort(fractional - np.floor(fractional), kind="stable")
+        for item in order:
+            if deficit == 0:
+                break
+            if counts[item] > 0:
+                counts[item] -= 1
+                deficit += 1
+        return counts
+    remainders = fractional - np.floor(fractional)
+    # Prefer large remainders; among ties prefer larger fractional counts.
+    order = np.lexsort((-fractional, -remainders))
+    cursor = 0
+    while deficit > 0:
+        progressed = False
+        for item in order[cursor:]:
+            if counts[item] < max_count:
+                counts[item] += 1
+                deficit -= 1
+                progressed = True
+                if deficit == 0:
+                    break
+        cursor = 0
+        if not progressed:
+            raise AllocationError("unable to place all copies under caps")
+    return counts
+
+
+def place_copies(
+    counts: IntArray,
+    n_servers: int,
+    rho: int,
+    seed: SeedLike = None,
+) -> IntArray:
+    """Place integer per-item counts onto servers.
+
+    Returns a binary ``(n_items, n_servers)`` matrix where each item ``i``
+    occupies ``counts[i]`` distinct servers and every server holds at most
+    ``rho`` items.  Items are placed in decreasing count order onto the
+    currently least-loaded servers (random tie-breaking), which always
+    succeeds when ``counts[i] <= n_servers`` and ``sum(counts) <= rho *
+    n_servers``.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if np.any(counts < 0):
+        raise AllocationError("counts must be >= 0")
+    if np.any(counts > n_servers):
+        raise AllocationError("an item cannot exceed one copy per server")
+    if counts.sum() > rho * n_servers:
+        raise AllocationError(
+            f"total copies {counts.sum()} exceed capacity {rho * n_servers}"
+        )
+    rng = as_rng(seed)
+    allocation = np.zeros((len(counts), n_servers), dtype=np.int8)
+    # Heap of (load, random tiebreak, server).
+    tiebreak = rng.permutation(n_servers)
+    heap = [(0, int(tiebreak[m]), m) for m in range(n_servers)]
+    heapq.heapify(heap)
+    for item in np.argsort(-counts, kind="stable"):
+        need = int(counts[item])
+        if need == 0:
+            break
+        taken = []
+        while need > 0:
+            if not heap:
+                raise AllocationError(
+                    "placement failed: all servers full"
+                )  # pragma: no cover - guarded by capacity checks
+            load, tie, server = heapq.heappop(heap)
+            allocation[item, server] = 1
+            taken.append((load + 1, tie, server))
+            need -= 1
+        for load, tie, server in taken:
+            if load < rho:
+                heapq.heappush(heap, (load, tie, server))
+    return allocation
+
+
+def counts_of_allocation(allocation: IntArray) -> IntArray:
+    """Per-item replica counts of a binary allocation matrix."""
+    allocation = np.asarray(allocation)
+    return allocation.sum(axis=1).astype(np.int64)

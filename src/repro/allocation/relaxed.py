@@ -1,0 +1,119 @@
+"""Relaxed (fractional) optimal allocation — Property 1 of the paper.
+
+When replica counts may take real values, the welfare is concave and the
+optimum satisfies the *balance condition*: ``d_i * phi(x_i)`` equals a
+common multiplier ``lambda`` for every item in the interior of the domain
+(items pinned at ``x_i = n_servers`` may have a larger value, items at the
+lower bound a smaller one).
+
+The solver inverts the condition: ``x_i(lambda) = phi^{-1}(lambda / d_i)``
+clipped to ``[0, n_servers]``, and bisects on ``lambda`` until the counts
+meet the cache budget.  Since ``phi`` is strictly decreasing, ``x_i`` is
+monotone in ``lambda`` and the bisection is globally convergent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..demand import DemandModel
+from ..errors import ConfigurationError
+from ..types import FloatArray
+from ..utility import DelayUtility
+
+__all__ = ["RelaxedResult", "solve_relaxed"]
+
+
+@dataclass(frozen=True)
+class RelaxedResult:
+    """Solution of the relaxed welfare maximization."""
+
+    #: Fractional replica counts per item, summing to the budget.
+    counts: FloatArray
+    #: The common balance value ``lambda = d_i * phi(x_i)`` on the interior.
+    multiplier: float
+
+
+def solve_relaxed(
+    demand: DemandModel,
+    utility: DelayUtility,
+    mu: float,
+    n_servers: int,
+    budget: float,
+    *,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+) -> RelaxedResult:
+    """Solve the relaxed cache-allocation problem of Theorem 2.
+
+    Parameters
+    ----------
+    budget:
+        Total (fractional) number of replicas to distribute, typically
+        ``rho * n_servers``.  Must not exceed ``n_items * n_servers``.
+    """
+    if mu <= 0:
+        raise ConfigurationError(f"mu must be > 0, got {mu}")
+    if n_servers <= 0:
+        raise ConfigurationError(f"n_servers must be > 0, got {n_servers}")
+    if not 0 < budget <= demand.n_items * n_servers:
+        raise ConfigurationError(
+            f"budget must be in (0, n_items*n_servers], got {budget}"
+        )
+    rates = demand.rates
+
+    def counts_for(multiplier: float) -> FloatArray:
+        counts = np.empty(demand.n_items)
+        for i, d in enumerate(rates):
+            if d == 0:
+                counts[i] = 0.0
+                continue
+            x = utility.phi_inverse(multiplier / d, mu)
+            counts[i] = min(max(x, 0.0), float(n_servers))
+        return counts
+
+    # Bracket the multiplier: total(lambda) is non-increasing.
+    lam_lo = None  # total >= budget
+    lam_hi = None  # total <= budget
+    lam = 1.0
+    for _ in range(200):
+        total = counts_for(lam).sum()
+        if total >= budget:
+            lam_lo = lam
+            lam *= 4.0
+        else:
+            lam_hi = lam
+            lam /= 4.0
+        if lam_lo is not None and lam_hi is not None:
+            break
+    if lam_lo is None or lam_hi is None:
+        raise ConfigurationError(
+            "could not bracket the balance multiplier; "
+            "check demand rates and budget"
+        )
+    lo, hi = min(lam_lo, lam_hi), max(lam_lo, lam_hi)
+    # counts_for is non-increasing in lambda: large lambda -> few copies.
+    for _ in range(max_iter):
+        mid = math.sqrt(lo * hi) if lo > 0 else (lo + hi) / 2.0
+        total = counts_for(mid).sum()
+        if total >= budget:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tol * max(1.0, lo):
+            break
+    multiplier = math.sqrt(lo * hi)
+    counts = counts_for(multiplier)
+    total = counts.sum()
+    # Distribute any residual rounding mass over interior items so the
+    # budget is met exactly (keeps downstream quantization well-posed).
+    residual = budget - total
+    if abs(residual) > 1e-12 * max(1.0, budget):
+        interior = (counts > 0) & (counts < n_servers)
+        if np.any(interior):
+            counts[interior] += residual / interior.sum()
+            counts = np.clip(counts, 0.0, float(n_servers))
+    return RelaxedResult(counts=counts, multiplier=float(multiplier))

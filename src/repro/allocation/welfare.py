@@ -1,0 +1,237 @@
+"""Social-welfare computation: Eq. (1) of the paper and its special cases.
+
+Welfare is the demand-weighted expected gain over all (item, client)
+pairs.  Three entry points:
+
+* :func:`homogeneous_welfare` — Eqs. (3) and (5): continuous-time contacts
+  at a common rate ``mu``; welfare depends only on replica *counts*.
+* :func:`homogeneous_welfare_discrete` — Eqs. (2) and (4): the slotted
+  contact model; converges to the continuous value as ``delta -> 0``.
+* :func:`heterogeneous_welfare` — Lemma 1 in full generality: a binary
+  allocation matrix, per-pair contact rates, and per-node demand profiles.
+
+The ``rate_floor`` argument regularizes unbounded-cost utilities
+(``gain_never = -inf``) on traces where some pairs never meet: any
+fulfillment rate below the floor is treated as the floor, i.e. delays
+longer than ``1/rate_floor`` are indistinguishable.  ``0`` disables it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..demand import DemandModel, validate_profile
+from ..errors import AllocationError, ConfigurationError
+from ..types import FloatArray, IntArray
+from ..utility import DelayUtility
+
+__all__ = [
+    "homogeneous_welfare",
+    "homogeneous_welfare_discrete",
+    "heterogeneous_welfare",
+    "item_gain_function",
+]
+
+
+def _validate_counts(
+    counts: FloatArray, n_items: int, n_servers: int
+) -> FloatArray:
+    counts = np.asarray(counts, dtype=float)
+    if counts.shape != (n_items,):
+        raise AllocationError(
+            f"counts shape {counts.shape} != ({n_items},)"
+        )
+    if np.any(counts < 0) or np.any(counts > n_servers):
+        raise AllocationError("replica counts must lie in [0, n_servers]")
+    return counts
+
+
+def item_gain_function(
+    utility: DelayUtility,
+    mu: float,
+    *,
+    pure_p2p: bool = False,
+    n_clients: Optional[int] = None,
+):
+    """Return ``G(x)``: per-request expected gain with ``x`` replicas.
+
+    Dedicated-node case (Eq. 3): ``G(x) = E[h(Y)]`` with ``Y ~ Exp(mu*x)``.
+    Pure-P2P case (Eq. 5): the requester already holds the item with
+    probability ``x/N``, gaining ``h(0+)`` immediately:
+    ``G(x) = (x/N) h(0+) + (1 - x/N) E[h(Y)]``.
+
+    The returned callable accepts scalars or numpy arrays of counts.
+    """
+    if mu <= 0:
+        raise ConfigurationError(f"mu must be > 0, got {mu}")
+    if not pure_p2p:
+
+        def gain(x):
+            return utility.expected_gains(np.atleast_1d(np.asarray(x, float)) * mu)
+
+        def gain_scalar_or_array(x):
+            result = gain(x)
+            return float(result[0]) if np.ndim(x) == 0 else result
+
+        return gain_scalar_or_array
+
+    if n_clients is None:
+        raise ConfigurationError("pure_p2p requires n_clients")
+    if not utility.finite_at_zero:
+        raise ConfigurationError(
+            f"{utility.name} has h(0+) = inf; the paper restricts such "
+            "utilities to the dedicated-node case"
+        )
+    h0 = utility.h0
+    n = n_clients
+
+    def gain_pure(x):
+        x_arr = np.atleast_1d(np.asarray(x, float))
+        remote = utility.expected_gains(x_arr * mu)
+        result = (x_arr / n) * h0 + (1.0 - x_arr / n) * remote
+        return float(result[0]) if np.ndim(x) == 0 else result
+
+    return gain_pure
+
+
+def homogeneous_welfare(
+    counts: FloatArray,
+    demand: DemandModel,
+    utility: DelayUtility,
+    mu: float,
+    n_servers: int,
+    *,
+    pure_p2p: bool = False,
+    n_clients: Optional[int] = None,
+    count_floor: float = 0.0,
+) -> float:
+    """Continuous-time homogeneous welfare, Eq. (3) / Eq. (5).
+
+    *counts* may be fractional (the relaxed objective of Theorem 2).
+    *count_floor* bounds counts away from zero before evaluation, keeping
+    the welfare finite for unbounded-cost utilities when some item has no
+    replica at all (e.g. under the DOM allocation).
+    """
+    counts = _validate_counts(counts, demand.n_items, n_servers)
+    if count_floor > 0:
+        counts = np.maximum(counts, count_floor)
+    gain = item_gain_function(
+        utility, mu, pure_p2p=pure_p2p, n_clients=n_clients
+    )
+    return float(np.sum(demand.rates * gain(counts)))
+
+
+def homogeneous_welfare_discrete(
+    counts: IntArray,
+    demand: DemandModel,
+    utility: DelayUtility,
+    mu: float,
+    n_servers: int,
+    delta: float,
+    *,
+    pure_p2p: bool = False,
+    n_clients: Optional[int] = None,
+) -> float:
+    """Discrete-time homogeneous welfare, Eq. (2) / Eq. (4).
+
+    Per-slot failure probability with ``x`` replicas is ``(1 - mu*delta)**x``.
+    """
+    counts = _validate_counts(counts, demand.n_items, n_servers)
+    if not 0 < mu * delta < 1:
+        raise ConfigurationError(
+            f"per-slot contact probability mu*delta = {mu * delta} not in (0, 1)"
+        )
+    if pure_p2p:
+        if n_clients is None:
+            raise ConfigurationError("pure_p2p requires n_clients")
+        if not utility.finite_at_zero:
+            raise ConfigurationError(
+                f"{utility.name} has h(0+) = inf; dedicated-node only"
+            )
+    total = 0.0
+    h_delta = float(utility(delta))
+    for d, x in zip(demand.rates, counts):
+        failure = (1.0 - mu * delta) ** x
+        remote = utility.expected_gain_discrete(failure, delta)
+        if pure_p2p:
+            # Eq. (4): an immediate (own-cache) fulfillment gains h(delta).
+            share = x / n_clients
+            total += d * (share * h_delta + (1.0 - share) * remote)
+        else:
+            total += d * remote
+    return float(total)
+
+
+def heterogeneous_welfare(
+    allocation: IntArray,
+    demand: DemandModel,
+    utility: DelayUtility,
+    rate_matrix: FloatArray,
+    *,
+    pi: Optional[FloatArray] = None,
+    server_of_client: Optional[IntArray] = None,
+    rate_floor: float = 0.0,
+) -> float:
+    """General welfare via Lemma 1 (heterogeneous contacts, any profile).
+
+    Parameters
+    ----------
+    allocation:
+        Binary matrix ``(n_items, n_servers)``; ``allocation[i, m] = 1``
+        iff server ``m`` caches item ``i``.
+    rate_matrix:
+        Contact intensities ``mu_{m,n}``, shape ``(n_servers, n_clients)``.
+        For a pure-P2P population this is the symmetric pair-rate matrix.
+    pi:
+        Demand profile ``(n_items, n_clients)``; uniform when omitted.
+    server_of_client:
+        For each client, the server id of the *same physical node* (or
+        ``-1`` if the client is not a server).  Requests by a node caching
+        the item gain ``h(0+)`` immediately (the ``1 - x_{i,n}`` term of
+        Lemma 1).  ``None`` means clients are never servers (dedicated).
+    rate_floor:
+        Lower bound applied to fulfillment rates (see module docstring).
+    """
+    allocation = np.asarray(allocation)
+    n_items = demand.n_items
+    rate_matrix = np.asarray(rate_matrix, dtype=float)
+    if rate_matrix.ndim != 2:
+        raise ConfigurationError("rate_matrix must be 2-D")
+    n_servers, n_clients = rate_matrix.shape
+    if allocation.shape != (n_items, n_servers):
+        raise AllocationError(
+            f"allocation shape {allocation.shape} != ({n_items}, {n_servers})"
+        )
+    if not np.isin(allocation, (0, 1)).all():
+        raise AllocationError("allocation must be binary")
+    if pi is None:
+        weights = demand.rates[:, None] / n_clients
+    else:
+        pi = validate_profile(pi, n_items, n_clients)
+        weights = demand.rates[:, None] * pi
+
+    fulfill_rates = allocation @ rate_matrix  # (n_items, n_clients)
+    if rate_floor > 0:
+        fulfill_rates = np.maximum(fulfill_rates, rate_floor)
+    gains = utility.expected_gains(fulfill_rates.ravel()).reshape(
+        n_items, n_clients
+    )
+    if server_of_client is not None:
+        server_of_client = np.asarray(server_of_client, dtype=np.int64)
+        if server_of_client.shape != (n_clients,):
+            raise ConfigurationError(
+                "server_of_client must have one entry per client"
+            )
+        mapped = server_of_client >= 0
+        if np.any(mapped):
+            if not utility.finite_at_zero:
+                raise ConfigurationError(
+                    f"{utility.name} has h(0+) = inf; clients may not be "
+                    "servers (dedicated-node case required)"
+                )
+            holds = allocation[:, server_of_client[mapped]] == 1
+            cols = np.where(mapped)[0]
+            gains[:, cols] = np.where(holds, utility.h0, gains[:, cols])
+    return float(np.sum(weights * gains))

@@ -1,0 +1,254 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands:
+
+``repro figure {1..6}``
+    Regenerate a paper figure's data series and print it.
+``repro table1``
+    Print Table 1 with closed-form vs. numeric verification.
+``repro simulate``
+    Run a single simulation with a chosen protocol and print metrics.
+``repro trace``
+    Generate a synthetic trace, print its statistics, optionally save it.
+``repro allocate``
+    Print the optimal allocation for a homogeneous scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .allocation import greedy_homogeneous, solve_relaxed
+from .contacts import save_csv, summarize
+from .contacts.synthetic import (
+    ConferenceTraceConfig,
+    VehicularTraceConfig,
+    conference_trace,
+    vehicular_trace,
+)
+from .contacts import homogeneous_poisson_trace
+from .demand import DemandModel, generate_requests
+from .errors import ReproError
+from .experiments import (
+    current_profile,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    render_table,
+    verify_table1,
+)
+from .experiments.scenarios import (
+    MU,
+    N_ITEMS,
+    N_NODES,
+    RHO,
+    TOTAL_DEMAND,
+    homogeneous_scenario,
+    standard_protocols,
+)
+from .sim import simulate
+from .utility import (
+    DelayUtility,
+    ExponentialUtility,
+    StepUtility,
+    power_family,
+)
+
+__all__ = ["main"]
+
+
+def _build_utility(args: argparse.Namespace) -> DelayUtility:
+    if args.utility == "step":
+        return StepUtility(args.param)
+    if args.utility == "exp":
+        return ExponentialUtility(args.param)
+    if args.utility == "power":
+        return power_family(args.param)
+    raise ReproError(f"unknown utility family {args.utility!r}")
+
+
+def _add_utility_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--utility",
+        choices=("step", "exp", "power"),
+        default="step",
+        help="delay-utility family (default: step)",
+    )
+    parser.add_argument(
+        "--param",
+        type=float,
+        default=10.0,
+        help="family parameter: tau, nu, or alpha (default: 10)",
+    )
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    profile = current_profile()
+    builders = {
+        1: lambda: figure1(),
+        2: lambda: figure2(),
+        3: lambda: figure3(profile),
+        4: lambda: figure4(profile),
+        5: lambda: figure5(profile),
+        6: lambda: figure6(profile),
+    }
+    result = builders[args.number]()
+    print(result.render())
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    verification = verify_table1()
+    print(verification.render())
+    print(f"\nmax relative error: {verification.max_relative_error:.2e}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    utility = _build_utility(args)
+    scenario = homogeneous_scenario(
+        utility,
+        n_nodes=args.nodes,
+        n_items=args.items,
+        rho=args.rho,
+        mu=args.mu,
+        duration=args.duration,
+        total_demand=args.demand,
+    )
+    factories = standard_protocols(scenario, include=(args.protocol,))
+    trace = scenario.trace_factory(args.seed)
+    requests = generate_requests(
+        scenario.demand, trace.n_nodes, trace.duration, seed=args.seed + 1
+    )
+    protocol = factories[args.protocol](trace, requests)
+    result = simulate(
+        trace, requests, scenario.config, protocol, seed=args.seed + 2
+    )
+    rows = [[key, value] for key, value in result.summary().items()]
+    print(render_table(["metric", "value"], rows, title=f"{args.protocol} run"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.kind == "poisson":
+        trace = homogeneous_poisson_trace(
+            args.nodes, args.mu, args.duration, seed=args.seed
+        )
+    elif args.kind == "conference":
+        trace = conference_trace(
+            ConferenceTraceConfig(n_nodes=args.nodes), seed=args.seed
+        )
+    else:
+        trace = vehicular_trace(
+            VehicularTraceConfig(n_nodes=args.nodes), seed=args.seed
+        )
+    print(summarize(trace))
+    if args.output:
+        save_csv(trace, args.output)
+        print(f"saved {len(trace)} contacts to {args.output}")
+    return 0
+
+
+def _cmd_allocate(args: argparse.Namespace) -> int:
+    utility = _build_utility(args)
+    demand = DemandModel.pareto(
+        args.items, omega=args.omega, total_rate=args.demand
+    )
+    greedy = greedy_homogeneous(
+        demand, utility, args.mu, args.nodes, args.rho
+    )
+    relaxed = solve_relaxed(
+        demand, utility, args.mu, args.nodes, budget=args.rho * args.nodes
+    )
+    rows = [
+        [i, f"{demand.rates[i]:.4f}", int(greedy.counts[i]), f"{relaxed.counts[i]:.2f}"]
+        for i in range(min(args.items, args.top))
+    ]
+    print(
+        render_table(
+            ["item", "demand", "greedy x_i", "relaxed x_i"],
+            rows,
+            title=f"optimal allocation ({utility.name}), welfare={greedy.welfare:.4f}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'The Age of Impatience' (CoNEXT 2009): "
+            "optimal replication for opportunistic P2P caching."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("number", type=int, choices=range(1, 7))
+    fig.set_defaults(func=_cmd_figure)
+
+    tbl = sub.add_parser("table1", help="print and verify Table 1")
+    tbl.set_defaults(func=_cmd_table1)
+
+    sim = sub.add_parser("simulate", help="run one simulation")
+    _add_utility_arguments(sim)
+    sim.add_argument(
+        "--protocol",
+        default="QCR",
+        choices=("OPT", "QCR", "QCRWOM", "SQRT", "PROP", "UNI", "DOM", "PASSIVE"),
+    )
+    sim.add_argument("--nodes", type=int, default=N_NODES)
+    sim.add_argument("--items", type=int, default=N_ITEMS)
+    sim.add_argument("--rho", type=int, default=RHO)
+    sim.add_argument("--mu", type=float, default=MU)
+    sim.add_argument("--duration", type=float, default=2000.0)
+    sim.add_argument("--demand", type=float, default=TOTAL_DEMAND)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.set_defaults(func=_cmd_simulate)
+
+    trc = sub.add_parser("trace", help="generate a synthetic trace")
+    trc.add_argument(
+        "kind", choices=("poisson", "conference", "vehicular")
+    )
+    trc.add_argument("--nodes", type=int, default=N_NODES)
+    trc.add_argument("--mu", type=float, default=MU)
+    trc.add_argument("--duration", type=float, default=2000.0)
+    trc.add_argument("--seed", type=int, default=0)
+    trc.add_argument("--output", help="save as CSV to this path")
+    trc.set_defaults(func=_cmd_trace)
+
+    alloc = sub.add_parser("allocate", help="print the optimal allocation")
+    _add_utility_arguments(alloc)
+    alloc.add_argument("--nodes", type=int, default=N_NODES)
+    alloc.add_argument("--items", type=int, default=N_ITEMS)
+    alloc.add_argument("--rho", type=int, default=RHO)
+    alloc.add_argument("--mu", type=float, default=MU)
+    alloc.add_argument("--omega", type=float, default=1.0)
+    alloc.add_argument("--demand", type=float, default=TOTAL_DEMAND)
+    alloc.add_argument("--top", type=int, default=15)
+    alloc.set_defaults(func=_cmd_allocate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

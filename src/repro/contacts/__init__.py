@@ -1,0 +1,38 @@
+"""Contact traces: containers, I/O, statistics, and generators."""
+
+from .discrete import bernoulli_slot_trace
+from .io import (
+    load_csv,
+    load_interval_format,
+    load_jsonl,
+    save_csv,
+    save_jsonl,
+)
+from .poisson import heterogeneous_poisson_trace, homogeneous_poisson_trace
+from .stats import (
+    TraceStats,
+    burstiness,
+    inter_contact_times,
+    pair_rate_matrix,
+    select_best_covered,
+    summarize,
+)
+from .trace import ContactTrace
+
+__all__ = [
+    "ContactTrace",
+    "homogeneous_poisson_trace",
+    "heterogeneous_poisson_trace",
+    "bernoulli_slot_trace",
+    "pair_rate_matrix",
+    "inter_contact_times",
+    "burstiness",
+    "TraceStats",
+    "summarize",
+    "select_best_covered",
+    "save_csv",
+    "load_interval_format",
+    "load_csv",
+    "save_jsonl",
+    "load_jsonl",
+]

@@ -1,0 +1,207 @@
+"""Contact-trace file formats.
+
+Two interchangeable on-disk representations:
+
+* **CSV** — one ``time,node_a,node_b`` row per contact, preceded by
+  ``# key=value`` header comments carrying ``n_nodes`` and ``duration``.
+  This mirrors the flat event lists real data sets (Infocom/CRAWDAD,
+  Cabspotting) are distributed as.
+* **JSONL** — a metadata object on the first line, one ``[t, a, b]``
+  triple per subsequent line.
+
+Both round-trip exactly through :class:`~repro.contacts.trace.ContactTrace`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Union
+
+import numpy as np
+
+from ..errors import TraceFormatError
+from .trace import ContactTrace
+
+__all__ = [
+    "save_csv",
+    "load_csv",
+    "save_jsonl",
+    "load_jsonl",
+    "load_interval_format",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_csv(trace: ContactTrace, path: PathLike) -> None:
+    """Write *trace* to a CSV file with metadata header comments."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# n_nodes={trace.n_nodes}\n")
+        handle.write(f"# duration={trace.duration!r}\n")
+        handle.write("time,node_a,node_b\n")
+        for t, a, b in trace:
+            handle.write(f"{t!r},{a},{b}\n")
+
+
+def load_csv(path: PathLike) -> ContactTrace:
+    """Read a trace written by :func:`save_csv`."""
+    metadata: Dict[str, str] = {}
+    times = []
+    node_a = []
+    node_b = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if "=" in body:
+                    key, _, value = body.partition("=")
+                    metadata[key.strip()] = value.strip()
+                continue
+            if line.startswith("time,"):
+                continue  # column header
+            fields = line.split(",")
+            if len(fields) != 3:
+                raise TraceFormatError(f"malformed CSV row: {line!r}")
+            times.append(float(fields[0]))
+            node_a.append(int(fields[1]))
+            node_b.append(int(fields[2]))
+    if "n_nodes" not in metadata or "duration" not in metadata:
+        raise TraceFormatError(
+            "CSV trace must carry '# n_nodes=' and '# duration=' headers"
+        )
+    return ContactTrace(
+        times=np.asarray(times, dtype=float),
+        node_a=np.asarray(node_a, dtype=np.int64),
+        node_b=np.asarray(node_b, dtype=np.int64),
+        n_nodes=int(metadata["n_nodes"]),
+        duration=float(metadata["duration"]),
+    )
+
+
+def load_interval_format(
+    path: PathLike,
+    *,
+    time_scale: float = 1.0,
+    comment_prefix: str = "#",
+) -> ContactTrace:
+    """Read a CRAWDAD/Haggle-style contact-interval list.
+
+    The common distribution format of real opportunistic data sets
+    (including the Infocom sightings the paper uses) is one whitespace-
+    separated record per encounter::
+
+        <node_a> <node_b> <t_start> <t_end> [extra columns ignored]
+
+    Node ids may be arbitrary integers (1-based, sparse); they are
+    remapped to dense 0-based ids in first-appearance order.  Each
+    interval becomes one instantaneous contact at ``t_start`` (the
+    paper's meeting semantics); times are shifted so the trace starts at
+    0 and multiplied by *time_scale* (e.g. ``1/60`` to convert seconds
+    to minutes).  The observation window ends at the latest interval
+    end.
+    """
+    if time_scale <= 0:
+        raise TraceFormatError(f"time_scale must be > 0, got {time_scale}")
+    raw_a = []
+    raw_b = []
+    starts = []
+    ends = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith(comment_prefix):
+                continue
+            fields = line.split()
+            if len(fields) < 4:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: expected "
+                    f"'a b t_start t_end', got {line!r}"
+                )
+            try:
+                a, b = int(fields[0]), int(fields[1])
+                t_start, t_end = float(fields[2]), float(fields[3])
+            except ValueError as error:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: {error}"
+                ) from None
+            if a == b:
+                continue  # some data sets log self-sightings; drop them
+            if t_end < t_start:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: interval ends before it starts"
+                )
+            raw_a.append(a)
+            raw_b.append(b)
+            starts.append(t_start)
+            ends.append(t_end)
+    if not starts:
+        raise TraceFormatError(f"{path}: no contact records found")
+
+    dense: Dict[int, int] = {}
+    for raw_id in [*raw_a, *raw_b]:
+        if raw_id not in dense:
+            dense[raw_id] = len(dense)
+    origin = min(starts)
+    times = (np.asarray(starts) - origin) * time_scale
+    duration = (max(ends) - origin) * time_scale
+    if duration <= 0:
+        duration = float(times.max()) + time_scale  # degenerate window
+    order = np.argsort(times, kind="stable")
+    return ContactTrace(
+        times=times[order],
+        node_a=np.asarray([dense[a] for a in raw_a], dtype=np.int64)[order],
+        node_b=np.asarray([dense[b] for b in raw_b], dtype=np.int64)[order],
+        n_nodes=len(dense),
+        duration=float(duration),
+    )
+
+
+def save_jsonl(trace: ContactTrace, path: PathLike) -> None:
+    """Write *trace* as JSON lines: a metadata object then event triples."""
+    with open(path, "w", encoding="utf-8") as handle:
+        header = {
+            "format": "repro-contact-trace",
+            "version": 1,
+            "n_nodes": trace.n_nodes,
+            "duration": trace.duration,
+            "n_events": len(trace),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for t, a, b in trace:
+            handle.write(json.dumps([t, a, b]) + "\n")
+
+
+def load_jsonl(path: PathLike) -> ContactTrace:
+    """Read a trace written by :func:`save_jsonl`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.readline()
+        if not first:
+            raise TraceFormatError("empty JSONL trace file")
+        header = json.loads(first)
+        if (
+            not isinstance(header, dict)
+            or header.get("format") != "repro-contact-trace"
+        ):
+            raise TraceFormatError("missing repro-contact-trace header")
+        times = []
+        node_a = []
+        node_b = []
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            t, a, b = json.loads(line)
+            times.append(float(t))
+            node_a.append(int(a))
+            node_b.append(int(b))
+    return ContactTrace(
+        times=np.asarray(times, dtype=float),
+        node_a=np.asarray(node_a, dtype=np.int64),
+        node_b=np.asarray(node_b, dtype=np.int64),
+        n_nodes=int(header["n_nodes"]),
+        duration=float(header["duration"]),
+    )

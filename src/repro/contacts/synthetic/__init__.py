@@ -1,0 +1,14 @@
+"""Synthetic substitutes for the paper's real-world traces (DESIGN.md §2)."""
+
+from .conference import ConferenceTraceConfig, conference_trace
+from .memoryless import homogenized_poisson, rate_matched_poisson
+from .vehicular import VehicularTraceConfig, vehicular_trace
+
+__all__ = [
+    "ConferenceTraceConfig",
+    "conference_trace",
+    "VehicularTraceConfig",
+    "vehicular_trace",
+    "rate_matched_poisson",
+    "homogenized_poisson",
+]

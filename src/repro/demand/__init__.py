@@ -1,0 +1,14 @@
+"""Demand models: item popularity, per-node profiles, request arrivals."""
+
+from .popularity import DemandModel
+from .profiles import clustered_profile, uniform_profile, validate_profile
+from .requests import RequestSchedule, generate_requests
+
+__all__ = [
+    "DemandModel",
+    "uniform_profile",
+    "clustered_profile",
+    "validate_profile",
+    "RequestSchedule",
+    "generate_requests",
+]

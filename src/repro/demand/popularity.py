@@ -1,0 +1,122 @@
+"""Content popularity and demand rates (paper Section 3.3).
+
+Demand for item ``i`` arises system-wide at rate ``d_i``.  The paper uses a
+Pareto (Zipf-like) popularity distribution ``d_i ∝ i**-omega`` with
+``omega = 1`` in simulation, "generally considered as representative of
+content popularity"; arbitrary rate vectors are supported throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import FloatArray
+
+__all__ = ["DemandModel"]
+
+
+@dataclass(frozen=True)
+class DemandModel:
+    """Per-item demand rates ``d_i`` for a catalog of items.
+
+    ``rates[i]`` is the total (system-wide) rate at which new requests for
+    item ``i`` are created, in requests per unit time.  Items are indexed in
+    *decreasing* popularity order by convention of the builders below,
+    though arbitrary vectors are accepted.
+    """
+
+    rates: FloatArray
+
+    def __post_init__(self) -> None:
+        rates = np.asarray(self.rates, dtype=float)
+        if rates.ndim != 1 or len(rates) == 0:
+            raise ConfigurationError("demand rates must be a non-empty 1-D array")
+        if np.any(rates < 0) or not np.all(np.isfinite(rates)):
+            raise ConfigurationError("demand rates must be finite and >= 0")
+        if rates.sum() <= 0:
+            raise ConfigurationError("total demand rate must be positive")
+        object.__setattr__(self, "rates", rates)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def n_items(self) -> int:
+        """Number of items in the catalog."""
+        return len(self.rates)
+
+    @property
+    def total_rate(self) -> float:
+        """Aggregate request rate over all items."""
+        return float(self.rates.sum())
+
+    @property
+    def probabilities(self) -> FloatArray:
+        """Normalized popularity ``p_i = d_i / sum_j d_j``."""
+        return self.rates / self.total_rate
+
+    def ranked_items(self) -> np.ndarray:
+        """Item ids sorted by decreasing demand (ties broken by id)."""
+        return np.lexsort((np.arange(self.n_items), -self.rates))
+
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def pareto(
+        cls, n_items: int, omega: float = 1.0, total_rate: float = 1.0
+    ) -> "DemandModel":
+        """Pareto popularity ``d_i ∝ (i+1)**-omega`` (the paper's default).
+
+        ``omega = 0`` degenerates to uniform popularity; larger ``omega``
+        concentrates demand on the head of the catalog.
+        """
+        if n_items <= 0:
+            raise ConfigurationError(f"n_items must be > 0, got {n_items}")
+        if omega < 0:
+            raise ConfigurationError(f"omega must be >= 0, got {omega}")
+        ranks = np.arange(1, n_items + 1, dtype=float)
+        weights = ranks**-omega
+        return cls.from_weights(weights, total_rate=total_rate)
+
+    @classmethod
+    def uniform(cls, n_items: int, total_rate: float = 1.0) -> "DemandModel":
+        """Equal demand for every item."""
+        return cls.pareto(n_items, omega=0.0, total_rate=total_rate)
+
+    @classmethod
+    def geometric(
+        cls, n_items: int, ratio: float = 0.9, total_rate: float = 1.0
+    ) -> "DemandModel":
+        """Geometric popularity ``d_i ∝ ratio**i`` (a lighter-tailed option)."""
+        if not 0 < ratio <= 1:
+            raise ConfigurationError(f"ratio must be in (0, 1], got {ratio}")
+        weights = ratio ** np.arange(n_items, dtype=float)
+        return cls.from_weights(weights, total_rate=total_rate)
+
+    @classmethod
+    def from_weights(
+        cls, weights: Sequence[float], total_rate: float = 1.0
+    ) -> "DemandModel":
+        """Normalize arbitrary positive weights into demand rates."""
+        if total_rate <= 0:
+            raise ConfigurationError(
+                f"total_rate must be > 0, got {total_rate}"
+            )
+        weights_arr = np.asarray(weights, dtype=float)
+        if np.any(weights_arr < 0):
+            raise ConfigurationError("weights must be >= 0")
+        total = weights_arr.sum()
+        if total <= 0:
+            raise ConfigurationError("at least one weight must be positive")
+        return cls(rates=weights_arr / total * total_rate)
+
+    def scaled(self, factor: float) -> "DemandModel":
+        """Return a copy with all rates multiplied by *factor*."""
+        if factor <= 0:
+            raise ConfigurationError(f"factor must be > 0, got {factor}")
+        return DemandModel(rates=self.rates * factor)

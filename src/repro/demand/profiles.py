@@ -1,0 +1,79 @@
+"""Per-node demand profiles ``pi_{i,n}`` (paper Section 3.3).
+
+``pi[i, n]`` is the probability that a new request for item ``i`` arises at
+client ``n`` (each row sums to 1).  The paper's default — items "popular
+equally among all network nodes" — is the uniform profile
+``pi_{i,n} = 1/|C|``; the clustered profile models distinct communities
+with different tastes (a future-work axis the paper calls out).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import FloatArray, SeedLike, as_rng
+
+__all__ = [
+    "uniform_profile",
+    "clustered_profile",
+    "validate_profile",
+]
+
+
+def validate_profile(pi: FloatArray, n_items: int, n_clients: int) -> FloatArray:
+    """Validate and return a ``(n_items, n_clients)`` profile matrix."""
+    pi = np.asarray(pi, dtype=float)
+    if pi.shape != (n_items, n_clients):
+        raise ConfigurationError(
+            f"profile shape {pi.shape} != ({n_items}, {n_clients})"
+        )
+    if np.any(pi < 0):
+        raise ConfigurationError("profile entries must be >= 0")
+    row_sums = pi.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=1e-9):
+        raise ConfigurationError("each profile row must sum to 1")
+    return pi
+
+
+def uniform_profile(n_items: int, n_clients: int) -> FloatArray:
+    """Every client is equally likely to request every item."""
+    if n_items <= 0 or n_clients <= 0:
+        raise ConfigurationError("n_items and n_clients must be > 0")
+    return np.full((n_items, n_clients), 1.0 / n_clients)
+
+
+def clustered_profile(
+    n_items: int,
+    n_clients: int,
+    n_groups: int,
+    bias: float = 4.0,
+    seed: SeedLike = None,
+) -> FloatArray:
+    """Community-structured profile: each client group favors its own items.
+
+    Clients and items are partitioned round-robin into *n_groups*
+    communities; a client is ``bias`` times more likely than baseline to
+    request items of its own community.
+
+    Parameters
+    ----------
+    bias:
+        Preference multiplier for same-community items (``1.0`` degenerates
+        to the uniform profile).
+    seed:
+        Shuffles the item-community assignment; ``None`` keeps round-robin.
+    """
+    if n_groups <= 0 or n_groups > min(n_items, n_clients):
+        raise ConfigurationError(
+            f"n_groups must be in [1, min(n_items, n_clients)], got {n_groups}"
+        )
+    if bias < 1.0:
+        raise ConfigurationError(f"bias must be >= 1, got {bias}")
+    item_group = np.arange(n_items) % n_groups
+    if seed is not None:
+        as_rng(seed).shuffle(item_group)
+    client_group = np.arange(n_clients) % n_groups
+    same = item_group[:, None] == client_group[None, :]
+    weights = np.where(same, bias, 1.0)
+    return weights / weights.sum(axis=1, keepdims=True)

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class at API boundaries while tests can assert on the
+precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object or parameter combination is invalid."""
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A contact trace file or array does not conform to the expected format."""
+
+
+class AllocationError(ReproError, ValueError):
+    """A cache allocation is infeasible or inconsistent with the scenario."""
+
+
+class UtilityDomainError(ReproError, ValueError):
+    """A delay-utility operation was evaluated outside its domain.
+
+    Typical causes: a power utility with ``alpha >= 2`` (the welfare
+    integral diverges), or requesting ``h(0+)`` where it is infinite in a
+    context that requires a finite value.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulator reached an inconsistent internal state."""

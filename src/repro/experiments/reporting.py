@@ -1,0 +1,79 @@
+"""Plain-text rendering of experiment output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "format_value", "render_loss_sweep"]
+
+
+def format_value(value: float, precision: int = 4) -> str:
+    """Format a float compactly; NaN/inf are rendered literally."""
+    if value != value:
+        return "nan"
+    if value in (float("inf"), float("-inf")):
+        return "inf" if value > 0 else "-inf"
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 10 ** (-precision):
+        return f"{value:.{precision}g}"
+    return f"{value:.{precision}g}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    text_rows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        text_rows.append(
+            [
+                format_value(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(text_rows[r][c]) for r in range(len(text_rows)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        text.ljust(width) for text, width in zip(text_rows[0], widths)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows[1:]:
+        lines.append(
+            "  ".join(text.ljust(width) for text, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_loss_sweep(
+    x_label: str,
+    x_values: Sequence[float],
+    losses: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a parameter sweep of normalized losses, one row per value.
+
+    Matches the layout of the paper's Figure 4/5/6 series: the x-axis
+    parameter in the first column, one column per algorithm, entries in
+    percent relative to OPT.
+    """
+    headers = [x_label] + list(losses.keys())
+    rows = []
+    for index, x in enumerate(x_values):
+        rows.append(
+            [f"{x:g}"]
+            + [f"{losses[name][index]:+.2f}%" for name in losses]
+        )
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,389 @@
+"""Evaluation scenarios (Section 6) and protocol suites.
+
+Three scenario builders mirror the paper's three evaluation settings:
+
+* :func:`homogeneous_scenario` — 50 nodes meeting pairwise at Poisson rate
+  ``mu = 0.05`` (Section 6.2);
+* :func:`conference_scenario` — the Infocom '06-like synthetic trace, with
+  optional memoryless controls (Section 6.3 / Figure 5);
+* :func:`vehicular_scenario` — the Cabspotting-like synthetic trace
+  (Section 6.3 / Figure 6).
+
+Each returns a :class:`Scenario` bundling the trace factory, demand, and
+simulation config; :func:`standard_protocols` attaches the paper's
+algorithm suite (OPT / QCR / QCRWOM / SQRT / PROP / UNI / DOM), with OPT
+switching automatically between the Theorem-2 greedy (homogeneous) and
+the submodular lazy greedy on trace-estimated rates (heterogeneous).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..allocation import HeterogeneousProblem, greedy_heterogeneous
+from ..contacts import ContactTrace, homogeneous_poisson_trace, pair_rate_matrix
+from ..contacts.synthetic import (
+    ConferenceTraceConfig,
+    VehicularTraceConfig,
+    conference_trace,
+    homogenized_poisson,
+    rate_matched_poisson,
+    vehicular_trace,
+)
+from ..demand import DemandModel, RequestSchedule
+from ..errors import ConfigurationError
+from ..protocols import (
+    QCR,
+    QCRConfig,
+    StaticAllocation,
+    dom_protocol,
+    opt_protocol,
+    prop_protocol,
+    sqrt_protocol,
+    uni_protocol,
+)
+from ..sim import SimulationConfig
+from ..utility import DelayUtility
+from .runner import ComparisonResult, ProtocolFactory, run_comparison
+
+__all__ = [
+    "Scenario",
+    "homogeneous_scenario",
+    "conference_scenario",
+    "vehicular_scenario",
+    "default_qcr_config",
+    "standard_protocols",
+    "run_scenario",
+]
+
+#: The paper's simulation defaults (Section 6.1/6.2).
+N_NODES = 50
+N_ITEMS = 50
+RHO = 5
+MU = 0.05
+PARETO_OMEGA = 1.0
+#: System-wide request rate (requests per minute); the paper does not
+#: state its value — this yields ~one request per node per 12 minutes.
+TOTAL_DEMAND = 4.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A ready-to-run evaluation setting."""
+
+    name: str
+    trace_factory: Callable[[int], ContactTrace]
+    demand: DemandModel
+    config: SimulationConfig
+    #: Meeting-rate constant handed to QCR and the homogeneous OPT.
+    mu_estimate: float
+    #: Whether OPT should use the trace-estimated heterogeneous greedy.
+    heterogeneous: bool
+    n_nodes: int = N_NODES
+
+    def with_utility(self, utility: DelayUtility) -> "Scenario":
+        """A copy of the scenario evaluating a different delay-utility."""
+        return replace(self, config=replace(self.config, utility=utility))
+
+
+def _base_config(
+    utility: DelayUtility,
+    *,
+    n_items: int,
+    rho: int,
+    record_interval: Optional[float],
+    window_length: float,
+) -> SimulationConfig:
+    return SimulationConfig(
+        n_items=n_items,
+        rho=rho,
+        utility=utility,
+        record_interval=record_interval,
+        window_length=window_length,
+        track_items=tuple(range(5)),
+    )
+
+
+def homogeneous_scenario(
+    utility: DelayUtility,
+    *,
+    n_nodes: int = N_NODES,
+    n_items: int = N_ITEMS,
+    rho: int = RHO,
+    mu: float = MU,
+    duration: float = 5000.0,
+    total_demand: float = TOTAL_DEMAND,
+    omega: float = PARETO_OMEGA,
+    record_interval: Optional[float] = 250.0,
+    window_length: float = 60.0,
+) -> Scenario:
+    """The Section-6.2 homogeneous pure-P2P setting."""
+    demand = DemandModel.pareto(n_items, omega=omega, total_rate=total_demand)
+    return Scenario(
+        name="homogeneous",
+        trace_factory=lambda seed: homogeneous_poisson_trace(
+            n_nodes, mu, duration, seed=seed
+        ),
+        demand=demand,
+        config=_base_config(
+            utility,
+            n_items=n_items,
+            rho=rho,
+            record_interval=record_interval,
+            window_length=window_length,
+        ),
+        mu_estimate=mu,
+        heterogeneous=False,
+        n_nodes=n_nodes,
+    )
+
+
+def conference_scenario(
+    utility: DelayUtility,
+    *,
+    trace_config: ConferenceTraceConfig = ConferenceTraceConfig(),
+    variant: str = "actual",
+    rho: int = RHO,
+    n_items: int = N_ITEMS,
+    total_demand: float = TOTAL_DEMAND,
+    omega: float = PARETO_OMEGA,
+    record_interval: Optional[float] = 250.0,
+    window_length: float = 60.0,
+) -> Scenario:
+    """The Infocom'06-like conference setting (Section 6.3, Figure 5).
+
+    ``variant`` selects the trace: ``"actual"`` (heterogeneous + bursty +
+    diurnal), ``"synthesized"`` (the paper's Fig. 5(c) control: identical
+    pair rates, memoryless), or ``"rate_matched"`` (heterogeneous rates
+    preserved, memoryless times).
+    """
+    if variant not in ("actual", "synthesized", "rate_matched"):
+        raise ConfigurationError(f"unknown conference variant {variant!r}")
+
+    def factory(seed: int) -> ContactTrace:
+        seq = np.random.SeedSequence(seed)
+        gen_seed, control_seed = (
+            int(s.generate_state(1)[0]) for s in seq.spawn(2)
+        )
+        trace = conference_trace(trace_config, seed=gen_seed)
+        if variant == "synthesized":
+            return homogenized_poisson(trace, seed=control_seed)
+        if variant == "rate_matched":
+            return rate_matched_poisson(trace, seed=control_seed)
+        return trace
+
+    demand = DemandModel.pareto(n_items, omega=omega, total_rate=total_demand)
+    mean_rate = trace_config.mean_pair_rate
+    return Scenario(
+        name=f"conference[{variant}]",
+        trace_factory=factory,
+        demand=demand,
+        config=_base_config(
+            utility,
+            n_items=n_items,
+            rho=rho,
+            record_interval=record_interval,
+            window_length=window_length,
+        ),
+        mu_estimate=mean_rate,
+        heterogeneous=True,
+        n_nodes=trace_config.n_nodes,
+    )
+
+
+def vehicular_scenario(
+    utility: DelayUtility,
+    *,
+    trace_config: VehicularTraceConfig = VehicularTraceConfig(),
+    variant: str = "actual",
+    rho: int = RHO,
+    n_items: int = N_ITEMS,
+    total_demand: float = TOTAL_DEMAND,
+    omega: float = PARETO_OMEGA,
+    record_interval: Optional[float] = 250.0,
+    window_length: float = 60.0,
+) -> Scenario:
+    """The Cabspotting-like vehicular setting (Section 6.3, Figure 6)."""
+    if variant not in ("actual", "synthesized", "rate_matched"):
+        raise ConfigurationError(f"unknown vehicular variant {variant!r}")
+
+    def factory(seed: int) -> ContactTrace:
+        seq = np.random.SeedSequence(seed)
+        gen_seed, control_seed = (
+            int(s.generate_state(1)[0]) for s in seq.spawn(2)
+        )
+        trace = vehicular_trace(trace_config, seed=gen_seed)
+        if variant == "synthesized":
+            return homogenized_poisson(trace, seed=control_seed)
+        if variant == "rate_matched":
+            return rate_matched_poisson(trace, seed=control_seed)
+        return trace
+
+    demand = DemandModel.pareto(n_items, omega=omega, total_rate=total_demand)
+    # A rough mean pair rate for QCR's constant: estimated from geometry
+    # (encounters per pair per minute); refined per-trace by OPT anyway.
+    probe = vehicular_trace(trace_config, seed=0)
+    return Scenario(
+        name=f"vehicular[{variant}]",
+        trace_factory=factory,
+        demand=demand,
+        config=_base_config(
+            utility,
+            n_items=n_items,
+            rho=rho,
+            record_interval=record_interval,
+            window_length=window_length,
+        ),
+        mu_estimate=max(probe.mean_pair_rate, 1e-6),
+        heterogeneous=True,
+        n_nodes=trace_config.n_nodes,
+    )
+
+
+def default_qcr_config(
+    utility: DelayUtility,
+    n_servers: int = N_NODES,
+    mu: float = MU,
+) -> QCRConfig:
+    """Reaction-function tuning used by the experiment harness.
+
+    Property 2 fixes ``psi`` only up to a multiplicative constant.  For
+    the step and exponential families ``psi`` is bounded (by ``1/e`` and
+    ``1/4``), so the Table-1 constant works as-is.  The power family's
+    ``psi ∝ y**(1-alpha)`` is unbounded: large query counts fire large
+    replica bursts, and the resulting allocation variance is costly under
+    a concave welfare.  The harness therefore scales the power-family
+    reaction down and caps per-request bursts (see
+    ``benchmarks/bench_ablation_variants.py`` for the supporting sweep).
+    """
+    # Probe the reaction at a representative query count (~2 rho, the
+    # expected counter when items hold their fair cache share) and damp
+    # the free Property-2 constant so a typical fulfillment creates a
+    # sub-replica burst.  For the bounded step/exponential reactions this
+    # keeps the Table-1 constant; for the unbounded power family it
+    # shrinks as psi grows (supporting sweep:
+    # benchmarks/bench_ablation_variants.py).
+    target_burst = 0.15
+    psi_probe = utility.psi(2.0 * RHO, n_servers, mu)
+    scale = 1.0 if psi_probe <= target_burst else target_burst / psi_probe
+    return QCRConfig(psi_scale=scale, max_mandates_per_request=25)
+
+
+def standard_protocols(
+    scenario: Scenario,
+    *,
+    qcr_config: Optional[QCRConfig] = None,
+    include: Sequence[str] = ("OPT", "QCR", "SQRT", "PROP", "UNI", "DOM"),
+    rate_floor: Optional[float] = None,
+) -> Dict[str, ProtocolFactory]:
+    """Build the paper's algorithm suite for *scenario*.
+
+    ``include`` may also name ``"QCRWOM"`` (no mandate routing) and
+    ``"PASSIVE"``.  *rate_floor* regularizes the heterogeneous OPT greedy
+    for unbounded-cost utilities on sparse traces (default:
+    one-over-trace-duration).
+    """
+    demand = scenario.demand
+    utility = scenario.config.utility
+    rho = scenario.config.rho
+    qcr_cfg = qcr_config or default_qcr_config(
+        utility, scenario.n_nodes, scenario.mu_estimate
+    )
+
+    def make_opt(trace: ContactTrace, _req: RequestSchedule):
+        if not scenario.heterogeneous:
+            return opt_protocol(
+                demand,
+                utility,
+                scenario.mu_estimate,
+                trace.n_nodes,
+                rho,
+                pure_p2p=utility.finite_at_zero,
+                n_clients=trace.n_nodes,
+            )
+        rates = pair_rate_matrix(trace)
+        floor = rate_floor
+        if floor is None:
+            # A floor is needed whenever a zero fulfillment rate has
+            # infinite disutility (unbounded waiting costs) — on sparse
+            # traces some (item, client) rates are genuinely zero.
+            unbounded = not math.isfinite(
+                utility.gain_never
+            ) or not utility.finite_at_zero
+            floor = 1.0 / trace.duration if unbounded else 0.0
+        problem = HeterogeneousProblem(
+            demand=demand,
+            utility=utility,
+            rate_matrix=rates,
+            rho=rho,
+            server_of_client=(
+                np.arange(trace.n_nodes) if utility.finite_at_zero else None
+            ),
+            rate_floor=floor,
+        )
+        result = greedy_heterogeneous(problem)
+        return StaticAllocation(allocation=result.allocation, name="OPT")
+
+    factories: Dict[str, ProtocolFactory] = {}
+    for name in include:
+        if name == "OPT":
+            factories[name] = make_opt
+        elif name == "QCR":
+            factories[name] = lambda tr, _rq: QCR(
+                utility, scenario.mu_estimate, qcr_cfg
+            )
+        elif name == "QCRWOM":
+            factories[name] = lambda tr, _rq: QCR(
+                utility,
+                scenario.mu_estimate,
+                replace(qcr_cfg, mandate_routing=False),
+            )
+        elif name == "PASSIVE":
+            from ..protocols import PassiveReplication
+
+            factories[name] = lambda tr, _rq: PassiveReplication()
+        elif name == "UNI":
+            factories[name] = lambda tr, _rq: uni_protocol(
+                demand, tr.n_nodes, rho
+            )
+        elif name == "SQRT":
+            factories[name] = lambda tr, _rq: sqrt_protocol(
+                demand, tr.n_nodes, rho
+            )
+        elif name == "PROP":
+            factories[name] = lambda tr, _rq: prop_protocol(
+                demand, tr.n_nodes, rho
+            )
+        elif name == "DOM":
+            factories[name] = lambda tr, _rq: dom_protocol(
+                demand, tr.n_nodes, rho
+            )
+        else:
+            raise ConfigurationError(f"unknown protocol {name!r}")
+    return factories
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    n_trials: int = 5,
+    base_seed: int = 0,
+    include: Sequence[str] = ("OPT", "QCR", "SQRT", "PROP", "UNI", "DOM"),
+    qcr_config: Optional[QCRConfig] = None,
+) -> ComparisonResult:
+    """Run the standard comparison on *scenario*."""
+    return run_comparison(
+        trace_factory=scenario.trace_factory,
+        demand=scenario.demand,
+        config=scenario.config,
+        protocols=standard_protocols(
+            scenario, qcr_config=qcr_config, include=include
+        ),
+        n_trials=n_trials,
+        base_seed=base_seed,
+        baseline="OPT" if "OPT" in include else include[0],
+    )

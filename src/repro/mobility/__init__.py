@@ -1,0 +1,6 @@
+"""Mobility models and contact extraction (vehicular-trace substrate)."""
+
+from .extraction import extract_contacts
+from .waypoint import RandomWaypointModel
+
+__all__ = ["RandomWaypointModel", "extract_contacts"]

@@ -1,0 +1,26 @@
+"""Replication protocols: QCR, fixed allocations, passive replication."""
+
+from .base import ReplicationProtocol
+from .passive import PassiveReplication
+from .qcr import QCR, QCRConfig
+from .static import (
+    StaticAllocation,
+    dom_protocol,
+    opt_protocol,
+    prop_protocol,
+    sqrt_protocol,
+    uni_protocol,
+)
+
+__all__ = [
+    "ReplicationProtocol",
+    "QCR",
+    "QCRConfig",
+    "PassiveReplication",
+    "StaticAllocation",
+    "uni_protocol",
+    "sqrt_protocol",
+    "prop_protocol",
+    "dom_protocol",
+    "opt_protocol",
+]

@@ -1,0 +1,52 @@
+"""Passive replication: one replica per fulfilled request.
+
+The baseline the paper's related-work discussion attributes to podcast
+dissemination systems [14]: whenever a request is fulfilled, the requester
+simply caches the received item (one replica), with random replacement.
+At equilibrium this drives the allocation toward proportional-to-demand —
+optimal only at the negative-logarithm impatience level (``alpha = 1``),
+and the reason PROP "gives too much weight to popular items" elsewhere.
+
+Equivalent to QCR with a constant reaction function ``psi = 1``, but
+implemented standalone since it needs no counters or mandates at all.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim.seeding import seed_allocation
+from .base import ReplicationProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulation
+    from ..sim.node import NodeState
+
+__all__ = ["PassiveReplication"]
+
+
+class PassiveReplication(ReplicationProtocol):
+    """Cache-on-fulfill replication with random replacement."""
+
+    name = "PASSIVE"
+
+    def initialize(self, sim: "Simulation") -> None:
+        allocation, sticky = seed_allocation(
+            sim.config.n_items,
+            sim.server_ids,
+            sim.config.rho,
+            seed=sim.rng,
+        )
+        sim.set_initial_allocation(allocation, sticky_owner=sticky)
+
+    def on_fulfill(
+        self,
+        sim: "Simulation",
+        t: float,
+        requester: "NodeState",
+        provider: "NodeState",
+        item: int,
+        counter: int,
+    ) -> None:
+        if requester.is_server:
+            sim.insert_copy(requester, item)

@@ -1,0 +1,158 @@
+"""Fixed-allocation competitors (paper Section 6.1).
+
+These protocols model an idealized system with a perfect control channel:
+the global cache is set to the desired allocation at time zero "precisely
+and without restriction" and never changes.  The engine then only serves
+requests from it.  Builders for the paper's five competitors:
+
+* :func:`uni_protocol` — memory evenly allocated among all items;
+* :func:`sqrt_protocol` — proportional to the square root of demand;
+* :func:`prop_protocol` — proportional to demand;
+* :func:`dom_protocol` — all nodes cache the ``rho`` most popular items;
+* :func:`opt_protocol` — the Theorem-2 greedy optimum (homogeneous), or
+  any precomputed allocation matrix (e.g. the submodular greedy on a
+  trace's rate matrix) via :class:`StaticAllocation` directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..allocation import (
+    dominant_counts,
+    greedy_homogeneous,
+    place_copies,
+    proportional_counts,
+    quantize_counts,
+    sqrt_counts,
+    uniform_counts,
+)
+from ..demand import DemandModel
+from ..errors import ConfigurationError
+from ..types import IntArray
+from ..utility import DelayUtility
+from .base import ReplicationProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulation
+
+__all__ = [
+    "StaticAllocation",
+    "uni_protocol",
+    "sqrt_protocol",
+    "prop_protocol",
+    "dom_protocol",
+    "opt_protocol",
+]
+
+
+class StaticAllocation(ReplicationProtocol):
+    """A protocol that pins the global cache to a fixed allocation.
+
+    Construct with either integer per-item *counts* (placed onto servers
+    by the engine's RNG at initialization) or a full binary *allocation*
+    matrix in server-position order.
+    """
+
+    def __init__(
+        self,
+        *,
+        counts: Optional[IntArray] = None,
+        allocation: Optional[IntArray] = None,
+        name: str = "static",
+    ) -> None:
+        if (counts is None) == (allocation is None):
+            raise ConfigurationError(
+                "provide exactly one of counts/allocation"
+            )
+        self._counts = (
+            np.asarray(counts, dtype=np.int64) if counts is not None else None
+        )
+        self._allocation = (
+            np.asarray(allocation) if allocation is not None else None
+        )
+        self.name = name
+
+    def initialize(self, sim: "Simulation") -> None:
+        if self._allocation is not None:
+            sim.set_initial_allocation(self._allocation)
+            return
+        allocation = place_copies(
+            self._counts, sim.n_servers, sim.config.rho, seed=sim.rng
+        )
+        sim.set_initial_allocation(allocation)
+
+
+def _quantized(fractional, budget: int, n_servers: int) -> IntArray:
+    return quantize_counts(fractional, budget, n_servers)
+
+
+def uni_protocol(
+    demand: DemandModel, n_servers: int, rho: int
+) -> StaticAllocation:
+    """UNI: the cache budget divided evenly among all items."""
+    budget = rho * n_servers
+    counts = _quantized(
+        uniform_counts(demand.n_items, budget, n_servers), budget, n_servers
+    )
+    return StaticAllocation(counts=counts, name="UNI")
+
+
+def sqrt_protocol(
+    demand: DemandModel, n_servers: int, rho: int
+) -> StaticAllocation:
+    """SQRT: allocation proportional to the square root of demand."""
+    budget = rho * n_servers
+    counts = _quantized(
+        sqrt_counts(demand, budget, n_servers), budget, n_servers
+    )
+    return StaticAllocation(counts=counts, name="SQRT")
+
+
+def prop_protocol(
+    demand: DemandModel, n_servers: int, rho: int
+) -> StaticAllocation:
+    """PROP: allocation proportional to demand."""
+    budget = rho * n_servers
+    counts = _quantized(
+        proportional_counts(demand, budget, n_servers), budget, n_servers
+    )
+    return StaticAllocation(counts=counts, name="PROP")
+
+
+def dom_protocol(
+    demand: DemandModel, n_servers: int, rho: int
+) -> StaticAllocation:
+    """DOM: every node caches the ``rho`` most popular items."""
+    counts = dominant_counts(demand, rho, n_servers).astype(np.int64)
+    return StaticAllocation(counts=counts, name="DOM")
+
+
+def opt_protocol(
+    demand: DemandModel,
+    utility: DelayUtility,
+    mu: float,
+    n_servers: int,
+    rho: int,
+    *,
+    pure_p2p: bool = False,
+    n_clients: Optional[int] = None,
+) -> StaticAllocation:
+    """OPT: the Theorem-2 greedy optimum under homogeneous contacts.
+
+    For heterogeneous (trace) scenarios, run
+    :func:`repro.allocation.greedy_heterogeneous` and wrap its allocation
+    matrix in :class:`StaticAllocation` instead.
+    """
+    result = greedy_homogeneous(
+        demand,
+        utility,
+        mu,
+        n_servers,
+        rho,
+        pure_p2p=pure_p2p,
+        n_clients=n_clients,
+    )
+    return StaticAllocation(counts=result.counts, name="OPT")

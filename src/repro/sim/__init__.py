@@ -1,0 +1,21 @@
+"""Discrete-event simulator for opportunistic P2P caching."""
+
+from .cache import Cache
+from .config import SimulationConfig
+from .engine import Simulation, simulate
+from .metrics import MetricsCollector, SimulationResult
+from .node import NodeState, Request
+from .seeding import assign_sticky, seed_allocation
+
+__all__ = [
+    "Cache",
+    "SimulationConfig",
+    "Simulation",
+    "simulate",
+    "MetricsCollector",
+    "SimulationResult",
+    "NodeState",
+    "Request",
+    "assign_sticky",
+    "seed_allocation",
+]

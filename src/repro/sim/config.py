@@ -1,0 +1,117 @@
+"""Simulation configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utility import DelayUtility
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Static parameters of a simulation run.
+
+    Attributes
+    ----------
+    n_items:
+        Catalog size ``|I|``.
+    rho:
+        Cache slots per server node.
+    utility:
+        The delay-utility ``h`` used both to credit fulfillment gains and
+        (for QCR) to derive the reaction function.
+    servers:
+        Node ids acting as servers; ``None`` means every node (pure P2P).
+    clients:
+        Node ids acting as clients; ``None`` means every node.
+    self_request_policy:
+        What happens when a client requests an item its own cache already
+        holds: ``"immediate"`` fulfills instantly with gain ``h(0+)``
+        (Lemma 1's ``1 - x_{i,n}`` term; requires finite ``h(0+)``),
+        ``"skip"`` suppresses the request (the user already has the
+        content).  Dedicated-node set-ups never hit this path.
+    unfulfilled_policy:
+        Gain credited to requests still outstanding when the simulation
+        ends: ``"truncate"`` credits ``h(T - t_request)`` — the cost
+        accrued so far, which matters for negative (waiting-cost)
+        utilities — while ``"ignore"`` credits nothing.
+    request_timeout:
+        Age after which an outstanding request is abandoned (the user
+        stops waiting).  Abandoned requests are credited the utility's
+        ``gain_never`` when finite (0 for step/exponential) and removed;
+        ``None`` keeps requests outstanding forever.  Only meaningful for
+        utilities bounded below — under unbounded waiting costs a user
+        never stops losing by waiting.
+    record_interval:
+        Cadence of allocation snapshots (and mandate snapshots for QCR);
+        ``None`` disables snapshots.
+    window_length:
+        Length of the observed-utility aggregation windows.
+    track_items:
+        Item ids whose replica counts are recorded at every snapshot
+        (e.g. the five most requested items of Figure 3).
+    """
+
+    n_items: int
+    rho: int
+    utility: DelayUtility
+    servers: Optional[Tuple[int, ...]] = None
+    clients: Optional[Tuple[int, ...]] = None
+    self_request_policy: str = "immediate"
+    unfulfilled_policy: str = "truncate"
+    request_timeout: Optional[float] = None
+    record_interval: Optional[float] = None
+    window_length: float = 60.0
+    track_items: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.n_items <= 0:
+            raise ConfigurationError(f"n_items must be > 0, got {self.n_items}")
+        if self.rho <= 0:
+            raise ConfigurationError(f"rho must be > 0, got {self.rho}")
+        if self.self_request_policy not in ("immediate", "skip"):
+            raise ConfigurationError(
+                f"unknown self_request_policy {self.self_request_policy!r}"
+            )
+        if self.unfulfilled_policy not in ("truncate", "ignore"):
+            raise ConfigurationError(
+                f"unknown unfulfilled_policy {self.unfulfilled_policy!r}"
+            )
+        if self.record_interval is not None and self.record_interval <= 0:
+            raise ConfigurationError("record_interval must be > 0 when set")
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ConfigurationError("request_timeout must be > 0 when set")
+        if self.window_length <= 0:
+            raise ConfigurationError("window_length must be > 0")
+        for collection_name in ("servers", "clients"):
+            value = getattr(self, collection_name)
+            if value is not None:
+                object.__setattr__(
+                    self, collection_name, tuple(int(v) for v in value)
+                )
+        if any(i < 0 or i >= self.n_items for i in self.track_items):
+            raise ConfigurationError("track_items out of range")
+
+    def server_ids(self, n_nodes: int) -> np.ndarray:
+        """Resolve the server id list for a network of *n_nodes* nodes."""
+        if self.servers is None:
+            return np.arange(n_nodes, dtype=np.int64)
+        ids = np.asarray(sorted(set(self.servers)), dtype=np.int64)
+        if len(ids) == 0 or ids[0] < 0 or ids[-1] >= n_nodes:
+            raise ConfigurationError("server ids out of range")
+        return ids
+
+    def client_ids(self, n_nodes: int) -> np.ndarray:
+        """Resolve the client id list for a network of *n_nodes* nodes."""
+        if self.clients is None:
+            return np.arange(n_nodes, dtype=np.int64)
+        ids = np.asarray(sorted(set(self.clients)), dtype=np.int64)
+        if len(ids) == 0 or ids[0] < 0 or ids[-1] >= n_nodes:
+            raise ConfigurationError("client ids out of range")
+        return ids

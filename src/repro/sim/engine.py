@@ -1,0 +1,371 @@
+"""The discrete-event simulator.
+
+Replays a contact trace against a request schedule and a replication
+protocol, implementing the semantics of the paper's Section 6.1:
+
+* on every contact the two nodes exchange metadata; every outstanding
+  request of either node that the other's cache can satisfy is fulfilled,
+  crediting the delay-utility ``h(age)``;
+* every outstanding request's query counter increments once per meeting
+  with a server (the fulfilling meeting included);
+* protocol hooks run after fulfillment (mandate creation for QCR) and at
+  the end of the contact (mandate execution and routing);
+* requests for items a node itself caches are fulfilled immediately with
+  gain ``h(0+)`` (configurable, see
+  :class:`~repro.sim.config.SimulationConfig`).
+
+The engine never decides replication itself — static allocations simply do
+nothing in the hooks — so every algorithm of Section 6 runs on identical
+machinery and identical randomness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from ..contacts import ContactTrace
+from ..demand import RequestSchedule
+from ..errors import ConfigurationError, SimulationError
+from ..protocols.base import ReplicationProtocol
+from ..types import IntArray, SeedLike, as_rng
+from .config import SimulationConfig
+from .metrics import MetricsCollector, SimulationResult
+from .node import NodeState, Request
+
+__all__ = ["Simulation", "simulate"]
+
+
+class Simulation:
+    """One simulation run binding trace, demand, config, and protocol."""
+
+    def __init__(
+        self,
+        trace: ContactTrace,
+        requests: RequestSchedule,
+        config: SimulationConfig,
+        protocol: ReplicationProtocol,
+        seed: SeedLike = None,
+    ) -> None:
+        if requests.duration > trace.duration + 1e-9:
+            raise ConfigurationError(
+                "request schedule extends past the contact trace"
+            )
+        self.trace = trace
+        self.requests = requests
+        self.config = config
+        self.protocol = protocol
+        self.rng = as_rng(seed)
+
+        n_nodes = trace.n_nodes
+        self.server_ids = config.server_ids(n_nodes)
+        self.client_ids = config.client_ids(n_nodes)
+        server_set = set(int(m) for m in self.server_ids)
+        client_set = set(int(n) for n in self.client_ids)
+        if len(requests.nodes) and not set(
+            int(n) for n in np.unique(requests.nodes)
+        ) <= client_set:
+            raise ConfigurationError(
+                "request schedule contains non-client node ids"
+            )
+
+        self.nodes: List[NodeState] = [
+            NodeState(
+                node_id,
+                is_server=node_id in server_set,
+                is_client=node_id in client_set,
+                capacity=config.rho,
+            )
+            for node_id in range(n_nodes)
+        ]
+        #: Server node id -> column position in allocation matrices.
+        self.server_position = {
+            int(node): pos for pos, node in enumerate(self.server_ids)
+        }
+        self.counts = np.zeros(config.n_items, dtype=np.int64)
+        self.sticky_owner: Optional[IntArray] = None
+        self._initialized = False
+        self.metrics = MetricsCollector(
+            duration=trace.duration,
+            n_items=config.n_items,
+            window_length=config.window_length,
+            record_interval=config.record_interval,
+            track_items=config.track_items,
+        )
+        protocol.initialize(self)
+        if not self._initialized:
+            raise SimulationError(
+                f"protocol {protocol.name!r} did not set an initial allocation"
+            )
+
+    # ------------------------------------------------------------------
+    # state manipulation (protocol-facing API)
+    # ------------------------------------------------------------------
+    @property
+    def n_servers(self) -> int:
+        return len(self.server_ids)
+
+    def set_initial_allocation(
+        self,
+        allocation: IntArray,
+        sticky_owner: Optional[IntArray] = None,
+    ) -> None:
+        """Load the initial caches from a binary allocation matrix.
+
+        *allocation* has shape ``(n_items, n_servers)`` with columns in
+        ``self.server_ids`` order; *sticky_owner*, when given, maps each
+        item to the server node id holding its never-evicted replica (that
+        server must hold the item in *allocation*).
+        """
+        if self._initialized:
+            raise SimulationError("initial allocation already set")
+        allocation = np.asarray(allocation)
+        expected = (self.config.n_items, self.n_servers)
+        if allocation.shape != expected:
+            raise ConfigurationError(
+                f"allocation shape {allocation.shape} != {expected}"
+            )
+        if not np.isin(allocation, (0, 1)).all():
+            raise ConfigurationError("allocation must be binary")
+        if np.any(allocation.sum(axis=0) > self.config.rho):
+            raise ConfigurationError("allocation overfills a server cache")
+        if sticky_owner is not None:
+            sticky_owner = np.asarray(sticky_owner, dtype=np.int64)
+            if sticky_owner.shape != (self.config.n_items,):
+                raise ConfigurationError(
+                    "sticky_owner must map every item to a server"
+                )
+            for item, owner in enumerate(sticky_owner):
+                pos = self.server_position.get(int(owner))
+                if pos is None or not allocation[item, pos]:
+                    raise ConfigurationError(
+                        f"sticky owner of item {item} does not hold a copy"
+                    )
+        # Pin sticky items first so pinning cannot hit a full cache.
+        if sticky_owner is not None:
+            for item, owner in enumerate(sticky_owner):
+                cache = self.nodes[int(owner)].cache
+                assert cache is not None
+                cache.pin(item)
+        for pos, node_id in enumerate(self.server_ids):
+            cache = self.nodes[int(node_id)].cache
+            assert cache is not None
+            for item in np.where(allocation[:, pos])[0]:
+                cache.add(int(item))
+        self.counts = allocation.sum(axis=1).astype(np.int64)
+        self.sticky_owner = sticky_owner
+        self._initialized = True
+
+    def insert_copy(self, node: NodeState, item: int) -> bool:
+        """Insert a replica of *item* at *node*, evicting randomly.
+
+        Returns True when the cache now holds a new copy of *item*;
+        False when the node is not a server, already holds it, or every
+        slot is pinned.  Replica accounting is updated for both the
+        insertion and any eviction.
+        """
+        cache = node.cache
+        if cache is None or item in cache:
+            return False
+        before = len(cache)
+        victim = cache.insert(item, self.rng)
+        if item not in cache:
+            return False  # refused: all slots sticky
+        self.counts[item] += 1
+        if victim is not None:
+            self.counts[victim] -= 1
+        elif len(cache) == before:  # pragma: no cover - defensive
+            raise SimulationError("cache bookkeeping out of sync")
+        return True
+
+    def remove_copy(self, node: NodeState, item: int) -> bool:
+        """Remove a (non-sticky) replica, keeping the counts consistent.
+
+        Not used by any protocol; exposed for failure-injection
+        experiments and tests.
+        """
+        cache = node.cache
+        if cache is None or not cache.discard(item):
+            return False
+        self.counts[item] -= 1
+        return True
+
+    def sticky_node_of(self, item: int) -> int:
+        """Node id of the item's sticky replica, or ``-1`` if none."""
+        if self.sticky_owner is None:
+            return -1
+        return int(self.sticky_owner[item])
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Process all events and return the collected metrics."""
+        contact_times = self.trace.times.tolist()
+        contact_a = self.trace.node_a.tolist()
+        contact_b = self.trace.node_b.tolist()
+        request_times = self.requests.times.tolist()
+        request_items = self.requests.items.tolist()
+        request_nodes = self.requests.nodes.tolist()
+
+        record_interval = self.config.record_interval
+        next_snapshot = 0.0 if record_interval is not None else math.inf
+
+        ci, qi = 0, 0
+        n_contacts, n_requests = len(contact_times), len(request_times)
+        while ci < n_contacts or qi < n_requests:
+            take_request = qi < n_requests and (
+                ci >= n_contacts or request_times[qi] <= contact_times[ci]
+            )
+            t = request_times[qi] if take_request else contact_times[ci]
+            while t >= next_snapshot:
+                self._take_snapshot(next_snapshot)
+                next_snapshot += record_interval  # type: ignore[operator]
+            if take_request:
+                self._handle_request(
+                    t, request_items[qi], request_nodes[qi]
+                )
+                qi += 1
+            else:
+                self._handle_contact(t, contact_a[ci], contact_b[ci])
+                ci += 1
+        while next_snapshot <= self.trace.duration:
+            self._take_snapshot(next_snapshot)
+            next_snapshot += record_interval  # type: ignore[operator]
+        n_unfulfilled = self._settle_unfulfilled()
+        return self.metrics.build_result(self.counts, n_unfulfilled)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _handle_request(self, t: float, item: int, node_id: int) -> None:
+        node = self.nodes[node_id]
+        self.metrics.record_generated()
+        if node.is_server and node.cache is not None and item in node.cache:
+            if self.config.self_request_policy == "skip":
+                self.metrics.record_skipped_self()
+                return
+            h0 = self.config.utility.h0
+            if not math.isfinite(h0):
+                raise SimulationError(
+                    f"{self.config.utility.name} has h(0+) = inf and node "
+                    f"{node_id} requested item {item} it already caches; "
+                    "use self_request_policy='skip' or a dedicated-node "
+                    "scenario"
+                )
+            self.metrics.record_fulfillment(t, 0.0, h0, immediate=True)
+            return
+        node.add_request(Request(item, node_id, t))
+
+    def _handle_contact(self, t: float, a: int, b: int) -> None:
+        node_a = self.nodes[a]
+        node_b = self.nodes[b]
+        self._exchange(t, node_a, node_b)
+        self._exchange(t, node_b, node_a)
+        self.protocol.after_contact(self, t, node_a, node_b)
+
+    def _exchange(
+        self, t: float, requester: NodeState, provider: NodeState
+    ) -> None:
+        """One direction of the metadata exchange: query and fulfill."""
+        if not provider.is_server:
+            return
+        outstanding = requester.outstanding
+        if not outstanding:
+            return
+        timeout = self.config.request_timeout
+        if timeout is not None:
+            self._expire_requests(requester, t - timeout)
+            if not outstanding:
+                return
+        provider_cache = provider.cache
+        assert provider_cache is not None
+        utility = self.config.utility
+        fulfilled = None
+        for item, request_list in outstanding.items():
+            for request in request_list:
+                request.counter += 1
+            if item in provider_cache:
+                if fulfilled is None:
+                    fulfilled = [item]
+                else:
+                    fulfilled.append(item)
+        if fulfilled is None:
+            return
+        for item in fulfilled:
+            for request in outstanding.pop(item):
+                delay = t - request.created_at
+                gain = float(utility(delay)) if delay > 0 else utility.h0
+                if not math.isfinite(gain):
+                    # Measure-zero tie between a request and a contact at
+                    # the same instant under an unbounded utility.
+                    gain = 0.0
+                self.metrics.record_fulfillment(t, delay, gain)
+                self.protocol.on_fulfill(
+                    self, t, requester, provider, item, request.counter
+                )
+
+    def _expire_requests(self, node: NodeState, deadline: float) -> None:
+        """Drop outstanding requests created before *deadline*."""
+        utility = self.config.utility
+        abandoned_gain = utility.gain_never
+        credit = math.isfinite(abandoned_gain) and abandoned_gain != 0.0
+        stale_items = None
+        for item, request_list in node.outstanding.items():
+            if any(r.created_at < deadline for r in request_list):
+                if stale_items is None:
+                    stale_items = [item]
+                else:
+                    stale_items.append(item)
+        if stale_items is None:
+            return
+        for item in stale_items:
+            request_list = node.outstanding[item]
+            kept = [r for r in request_list if r.created_at >= deadline]
+            expired = len(request_list) - len(kept)
+            if credit:
+                for _ in range(expired):
+                    self.metrics.record_abandonment(deadline, abandoned_gain)
+            self.metrics.n_expired += expired
+            if kept:
+                node.outstanding[item] = kept
+            else:
+                del node.outstanding[item]
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _take_snapshot(self, t: float) -> None:
+        mandates = self.protocol.mandate_totals(self)
+        self.metrics.record_snapshot(t, self.counts, mandates)
+
+    def _settle_unfulfilled(self) -> int:
+        """Apply the end-of-horizon policy to outstanding requests."""
+        utility = self.config.utility
+        horizon = self.trace.duration
+        truncate = self.config.unfulfilled_policy == "truncate"
+        n_unfulfilled = 0
+        for node in self.nodes:
+            for request_list in node.outstanding.values():
+                for request in request_list:
+                    n_unfulfilled += 1
+                    if truncate:
+                        age = horizon - request.created_at
+                        if age > 0:
+                            gain = float(utility(age))
+                            if math.isfinite(gain):
+                                self.metrics.record_end_of_run_gain(gain)
+        return n_unfulfilled
+
+
+def simulate(
+    trace: ContactTrace,
+    requests: RequestSchedule,
+    config: SimulationConfig,
+    protocol: ReplicationProtocol,
+    seed: SeedLike = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulation` and run it."""
+    return Simulation(trace, requests, config, protocol, seed=seed).run()

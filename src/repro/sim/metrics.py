@@ -1,0 +1,197 @@
+"""Measurement collection and the simulation result record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..types import FloatArray, IntArray
+
+__all__ = ["MetricsCollector", "SimulationResult"]
+
+
+class MetricsCollector:
+    """Accumulates gains, delays, and time series during a run."""
+
+    def __init__(
+        self,
+        duration: float,
+        n_items: int,
+        window_length: float,
+        record_interval: Optional[float],
+        track_items: Tuple[int, ...],
+    ) -> None:
+        self.duration = duration
+        self.n_items = n_items
+        self.window_length = window_length
+        self.record_interval = record_interval
+        self.track_items = track_items
+
+        self.total_gain = 0.0
+        self.n_generated = 0
+        self.n_fulfilled = 0
+        self.n_immediate = 0
+        self.n_skipped_self = 0
+        self.n_expired = 0
+        self.delays: List[float] = []
+        n_windows = int(np.ceil(duration / window_length))
+        self.window_gains = np.zeros(max(n_windows, 1))
+        self.window_fulfillments = np.zeros(max(n_windows, 1), dtype=np.int64)
+
+        self.snapshot_times: List[float] = []
+        self.snapshot_counts: List[IntArray] = []
+        self.snapshot_mandates: List[IntArray] = []
+        self.snapshot_tracked: List[IntArray] = []
+
+    # ------------------------------------------------------------------
+    # event hooks
+    # ------------------------------------------------------------------
+    def record_generated(self) -> None:
+        self.n_generated += 1
+
+    def record_skipped_self(self) -> None:
+        self.n_skipped_self += 1
+
+    def record_fulfillment(
+        self, t: float, delay: float, gain: float, *, immediate: bool = False
+    ) -> None:
+        self.total_gain += gain
+        self.n_fulfilled += 1
+        if immediate:
+            self.n_immediate += 1
+        self.delays.append(delay)
+        window = min(int(t / self.window_length), len(self.window_gains) - 1)
+        self.window_gains[window] += gain
+        self.window_fulfillments[window] += 1
+
+    def record_end_of_run_gain(self, gain: float) -> None:
+        """Gain credited to requests still outstanding at the horizon."""
+        self.total_gain += gain
+        self.window_gains[-1] += gain
+
+    def record_abandonment(self, t: float, gain: float) -> None:
+        """Gain credited to a request abandoned (timed out) at time *t*."""
+        self.total_gain += gain
+        window = min(int(t / self.window_length), len(self.window_gains) - 1)
+        self.window_gains[window] += gain
+
+    def record_snapshot(
+        self,
+        t: float,
+        counts: IntArray,
+        mandates: Optional[IntArray],
+    ) -> None:
+        self.snapshot_times.append(t)
+        self.snapshot_counts.append(counts.copy())
+        if mandates is not None:
+            self.snapshot_mandates.append(mandates.copy())
+        if self.track_items:
+            self.snapshot_tracked.append(
+                counts[np.asarray(self.track_items)].copy()
+            )
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+    def build_result(
+        self, final_counts: IntArray, n_unfulfilled: int
+    ) -> "SimulationResult":
+        delays = np.asarray(self.delays, dtype=float)
+        return SimulationResult(
+            delays=delays,
+            duration=self.duration,
+            total_gain=self.total_gain,
+            n_generated=self.n_generated,
+            n_fulfilled=self.n_fulfilled,
+            n_immediate=self.n_immediate,
+            n_skipped_self=self.n_skipped_self,
+            n_expired=self.n_expired,
+            n_unfulfilled=n_unfulfilled,
+            mean_delay=float(delays.mean()) if len(delays) else float("nan"),
+            median_delay=(
+                float(np.median(delays)) if len(delays) else float("nan")
+            ),
+            p95_delay=(
+                float(np.percentile(delays, 95)) if len(delays) else float("nan")
+            ),
+            window_length=self.window_length,
+            window_gains=self.window_gains,
+            window_fulfillments=self.window_fulfillments,
+            snapshot_times=np.asarray(self.snapshot_times),
+            snapshot_counts=(
+                np.asarray(self.snapshot_counts)
+                if self.snapshot_counts
+                else np.zeros((0, self.n_items), dtype=np.int64)
+            ),
+            snapshot_mandates=(
+                np.asarray(self.snapshot_mandates)
+                if self.snapshot_mandates
+                else None
+            ),
+            snapshot_tracked=(
+                np.asarray(self.snapshot_tracked)
+                if self.snapshot_tracked
+                else None
+            ),
+            final_counts=final_counts.copy(),
+        )
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything measured in one simulation run.
+
+    ``gain_rate`` (total gain per unit time) is the simulated counterpart
+    of the social welfare ``U(x)`` and the quantity the paper's
+    normalized-loss comparisons are computed from.
+    """
+
+    duration: float
+    total_gain: float
+    n_generated: int
+    n_fulfilled: int
+    n_immediate: int
+    n_skipped_self: int
+    n_expired: int
+    n_unfulfilled: int
+    #: Every fulfillment's delay (immediate self-fulfillments included as
+    #: zeros), in event order — the raw material for feedback studies.
+    delays: FloatArray
+    mean_delay: float
+    median_delay: float
+    p95_delay: float
+    window_length: float
+    window_gains: FloatArray
+    window_fulfillments: IntArray
+    snapshot_times: FloatArray
+    snapshot_counts: IntArray
+    snapshot_mandates: Optional[IntArray]
+    snapshot_tracked: Optional[IntArray]
+    final_counts: IntArray
+
+    @property
+    def gain_rate(self) -> float:
+        """Observed utility per unit time (the welfare estimate)."""
+        return self.total_gain / self.duration
+
+    @property
+    def fulfillment_ratio(self) -> float:
+        """Fraction of generated requests fulfilled before the horizon."""
+        if self.n_generated == 0:
+            return float("nan")
+        return self.n_fulfilled / self.n_generated
+
+    def summary(self) -> Dict[str, float]:
+        """A compact dictionary of headline metrics."""
+        return {
+            "gain_rate": self.gain_rate,
+            "total_gain": self.total_gain,
+            "fulfillment_ratio": self.fulfillment_ratio,
+            "mean_delay": self.mean_delay,
+            "median_delay": self.median_delay,
+            "p95_delay": self.p95_delay,
+            "n_generated": float(self.n_generated),
+            "n_unfulfilled": float(self.n_unfulfilled),
+        }

@@ -1,0 +1,97 @@
+"""Initial cache seeding.
+
+The paper's VideoForU story seeds "one or two copies of each episode into
+the global cache" and lets the protocol replicate from there; the
+simulator additionally designates one *sticky* replica per item that is
+never evicted (Section 6.1), so no item can go extinct.
+
+:func:`assign_sticky` spreads sticky replicas over servers (at most
+``rho`` per server); :func:`seed_counts` describes the common starting
+state — the sticky copy of each item plus a uniform-random fill of the
+remaining slots.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import IntArray, SeedLike, as_rng
+
+__all__ = ["assign_sticky", "seed_allocation"]
+
+
+def assign_sticky(
+    n_items: int,
+    server_ids: IntArray,
+    rho: int,
+    seed: SeedLike = None,
+) -> IntArray:
+    """Assign each item's sticky replica to a server.
+
+    Servers are shuffled and items dealt round-robin, so no server gets
+    more than ``ceil(n_items / n_servers)`` sticky items; that must not
+    exceed ``rho``.
+
+    Returns an array mapping ``item -> server node id``.
+    """
+    server_ids = np.asarray(server_ids, dtype=np.int64)
+    n_servers = len(server_ids)
+    if n_servers == 0:
+        raise ConfigurationError("need at least one server")
+    per_server = -(-n_items // n_servers)  # ceil
+    if per_server > rho:
+        raise ConfigurationError(
+            f"{n_items} sticky items over {n_servers} servers need "
+            f"{per_server} slots each, but rho = {rho}"
+        )
+    rng = as_rng(seed)
+    shuffled = server_ids[rng.permutation(n_servers)]
+    owners = np.empty(n_items, dtype=np.int64)
+    for item in range(n_items):
+        owners[item] = shuffled[item % n_servers]
+    return owners
+
+
+def seed_allocation(
+    n_items: int,
+    server_ids: IntArray,
+    rho: int,
+    seed: SeedLike = None,
+    *,
+    sticky_owner: Optional[IntArray] = None,
+) -> tuple:
+    """Build an initial allocation: sticky copies plus random fill.
+
+    Returns ``(allocation, sticky_owner)`` where *allocation* is a binary
+    ``(n_items, n_servers)`` matrix over the *positions* of ``server_ids``
+    and *sticky_owner* maps items to server node ids.
+    """
+    rng = as_rng(seed)
+    server_ids = np.asarray(server_ids, dtype=np.int64)
+    n_servers = len(server_ids)
+    if sticky_owner is None:
+        sticky_owner = assign_sticky(n_items, server_ids, rho, rng)
+    position_of = {int(node): pos for pos, node in enumerate(server_ids)}
+
+    allocation = np.zeros((n_items, n_servers), dtype=np.int8)
+    loads = np.zeros(n_servers, dtype=np.int64)
+    for item, owner in enumerate(sticky_owner):
+        pos = position_of[int(owner)]
+        allocation[item, pos] = 1
+        loads[pos] += 1
+
+    # Uniform random fill of the remaining slots with distinct items.
+    for pos in range(n_servers):
+        free = rho - int(loads[pos])
+        if free <= 0:
+            continue
+        absent = np.where(allocation[:, pos] == 0)[0]
+        if len(absent) == 0:
+            continue
+        chosen = rng.choice(absent, size=min(free, len(absent)), replace=False)
+        allocation[chosen, pos] = 1
+        loads[pos] += len(chosen)
+    return allocation, sticky_owner

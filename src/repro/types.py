@@ -1,0 +1,43 @@
+"""Shared type aliases used across the repro library.
+
+Items and nodes are identified by dense non-negative integers: item ``i`` in
+``range(n_items)`` and node ``m`` in ``range(n_nodes)``.  Dense ids keep every
+hot path a plain array index, which matters for the simulator's inner loop.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import numpy.typing as npt
+
+#: Identifier of a content item (dense index into ``range(n_items)``).
+ItemId = int
+
+#: Identifier of a node (dense index into ``range(n_nodes)``).
+NodeId = int
+
+#: A scalar or numpy array of floats, accepted by vectorized utility methods.
+ArrayLike = Union[float, npt.NDArray[np.floating]]
+
+#: Float array alias used in signatures.
+FloatArray = npt.NDArray[np.float64]
+
+#: Integer array alias used in signatures.
+IntArray = npt.NDArray[np.int64]
+
+#: Anything accepted as a random seed by :func:`numpy.random.default_rng`.
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_rng(seed: SeedLike) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Passing an existing generator returns it unchanged so callers can thread
+    one RNG through a pipeline; anything else is given to
+    :func:`numpy.random.default_rng`.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,54 @@
+"""Delay-utility models of user impatience (paper Section 3.2, Table 1).
+
+Public surface:
+
+* :class:`DelayUtility` — abstract base every family implements;
+* :class:`StepUtility`, :class:`ExponentialUtility` — advertising revenue;
+* :class:`PowerUtility`, :class:`NegLogUtility`, :func:`power_family` —
+  time-critical information and waiting costs;
+* :class:`ScaledUtility`, :class:`ShiftedUtility`, :class:`MixtureUtility`,
+  :class:`TabulatedUtility` — composite / empirical utilities;
+* :class:`DifferentialMeasure`, :class:`Atom` — the differential
+  delay-utility ``c = -h'`` as a measure (density plus Dirac atoms);
+* :func:`table1_rows` — the paper's Table 1 as data.
+"""
+
+from .base import DelayUtility
+from .composite import (
+    MixtureUtility,
+    ScaledUtility,
+    ShiftedUtility,
+    TabulatedUtility,
+)
+from .estimation import (
+    FeedbackSample,
+    estimate_consumption_curve,
+    pava_decreasing,
+    synthesize_feedback,
+)
+from .exponential import ExponentialUtility
+from .measures import Atom, DifferentialMeasure
+from .power import NegLogUtility, PowerUtility, power_family
+from .step import StepUtility
+from .tables import Table1Row, table1_rows
+
+__all__ = [
+    "DelayUtility",
+    "StepUtility",
+    "ExponentialUtility",
+    "PowerUtility",
+    "NegLogUtility",
+    "power_family",
+    "ScaledUtility",
+    "ShiftedUtility",
+    "MixtureUtility",
+    "TabulatedUtility",
+    "Atom",
+    "DifferentialMeasure",
+    "Table1Row",
+    "table1_rows",
+    "FeedbackSample",
+    "estimate_consumption_curve",
+    "pava_decreasing",
+    "synthesize_feedback",
+]

@@ -1,0 +1,305 @@
+"""Composite and empirical delay-utilities.
+
+The paper's results hold for *any* monotone non-increasing delay-utility;
+this module supplies the combinators a deployment would actually use:
+
+* :class:`ScaledUtility` — ``a * h(t)`` (content with higher stakes);
+* :class:`ShiftedUtility` — ``h(t) + b`` (a fixed participation reward;
+  demonstrates that optimal allocations are invariant to constant shifts,
+  since ``c`` and hence ``phi``/``psi`` are unchanged);
+* :class:`MixtureUtility` — ``sum_k w_k h_k(t)`` (heterogeneous user
+  sub-populations averaged, as Section 3.2 suggests);
+* :class:`TabulatedUtility` — a piecewise-linear utility interpolated from
+  measured ``(t, h)`` samples, e.g. survey feedback in the VideoForU story.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import UtilityDomainError
+from ..types import ArrayLike
+from .base import DelayUtility
+from .measures import DifferentialMeasure
+
+__all__ = [
+    "ScaledUtility",
+    "ShiftedUtility",
+    "MixtureUtility",
+    "TabulatedUtility",
+]
+
+
+class ScaledUtility(DelayUtility):
+    """Utility scaled by a positive factor: ``h(t) = factor * base(t)``."""
+
+    def __init__(self, base: DelayUtility, factor: float) -> None:
+        if not factor > 0:
+            raise UtilityDomainError(f"factor must be > 0, got {factor}")
+        self._base = base
+        self._factor = float(factor)
+
+    @property
+    def base(self) -> DelayUtility:
+        return self._base
+
+    @property
+    def factor(self) -> float:
+        return self._factor
+
+    @property
+    def name(self) -> str:
+        return f"{self._factor:g}*{self._base.name}"
+
+    def __call__(self, t: ArrayLike) -> ArrayLike:
+        return self._factor * self._base(t)
+
+    @property
+    def h0(self) -> float:
+        return self._factor * self._base.h0
+
+    @property
+    def gain_never(self) -> float:
+        return self._factor * self._base.gain_never
+
+    @property
+    def differential(self) -> DifferentialMeasure:
+        return self._base.differential.scaled(self._factor)
+
+    def laplace_c(self, rate: float) -> float:
+        return self._factor * self._base.laplace_c(rate)
+
+    def expected_gain(self, rate: float) -> float:
+        return self._factor * self._base.expected_gain(rate)
+
+    def phi(self, x: float, mu: float = 1.0) -> float:
+        return self._factor * self._base.phi(x, mu)
+
+    def phi_inverse(self, value: float, mu: float = 1.0) -> float:
+        return self._base.phi_inverse(value / self._factor, mu)
+
+
+class ShiftedUtility(DelayUtility):
+    """Utility shifted by a constant: ``h(t) = base(t) + offset``.
+
+    The differential measure — and therefore ``phi``, ``psi`` and the
+    optimal allocation — is identical to the base utility's.
+    """
+
+    def __init__(self, base: DelayUtility, offset: float) -> None:
+        self._base = base
+        self._offset = float(offset)
+
+    @property
+    def base(self) -> DelayUtility:
+        return self._base
+
+    @property
+    def offset(self) -> float:
+        return self._offset
+
+    @property
+    def name(self) -> str:
+        return f"{self._base.name}{self._offset:+g}"
+
+    def __call__(self, t: ArrayLike) -> ArrayLike:
+        return self._base(t) + self._offset
+
+    @property
+    def h0(self) -> float:
+        return self._base.h0 + self._offset
+
+    @property
+    def gain_never(self) -> float:
+        return self._base.gain_never + self._offset
+
+    @property
+    def differential(self) -> DifferentialMeasure:
+        return self._base.differential
+
+    def laplace_c(self, rate: float) -> float:
+        return self._base.laplace_c(rate)
+
+    def expected_gain(self, rate: float) -> float:
+        if rate == 0:
+            return self.gain_never
+        return self._base.expected_gain(rate) + self._offset
+
+    def phi(self, x: float, mu: float = 1.0) -> float:
+        return self._base.phi(x, mu)
+
+    def phi_inverse(self, value: float, mu: float = 1.0) -> float:
+        return self._base.phi_inverse(value, mu)
+
+
+class MixtureUtility(DelayUtility):
+    """Weighted average of several delay-utilities.
+
+    Models a population in which sub-population ``k`` (a fraction ``w_k`` of
+    users) follows utility ``h_k``; the effective per-request gain is the
+    population average ``sum_k w_k h_k(t)``.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[Tuple[float, DelayUtility]],
+    ) -> None:
+        if not components:
+            raise UtilityDomainError("mixture needs at least one component")
+        for weight, _utility in components:
+            if not weight > 0:
+                raise UtilityDomainError(
+                    f"mixture weights must be > 0, got {weight}"
+                )
+        self._components = tuple(
+            (float(w), u) for w, u in components
+        )
+
+    @property
+    def components(self) -> Tuple[Tuple[float, DelayUtility], ...]:
+        return self._components
+
+    @property
+    def name(self) -> str:
+        inner = " + ".join(
+            f"{w:g}*{u.name}" for w, u in self._components
+        )
+        return f"mix({inner})"
+
+    def __call__(self, t: ArrayLike) -> ArrayLike:
+        return sum(w * u(t) for w, u in self._components)
+
+    @property
+    def h0(self) -> float:
+        return sum(w * u.h0 for w, u in self._components)
+
+    @property
+    def gain_never(self) -> float:
+        return sum(w * u.gain_never for w, u in self._components)
+
+    @property
+    def differential(self) -> DifferentialMeasure:
+        return DifferentialMeasure.combine(
+            [u.differential.scaled(w) for w, u in self._components]
+        )
+
+    def laplace_c(self, rate: float) -> float:
+        return sum(w * u.laplace_c(rate) for w, u in self._components)
+
+    def expected_gain(self, rate: float) -> float:
+        return sum(w * u.expected_gain(rate) for w, u in self._components)
+
+    def phi(self, x: float, mu: float = 1.0) -> float:
+        return sum(w * u.phi(x, mu) for w, u in self._components)
+
+
+class TabulatedUtility(DelayUtility):
+    """Piecewise-linear utility interpolated from measured samples.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing sample times, starting at ``0``.
+    values:
+        Utility at each sample time; must be non-increasing.  Beyond the
+        last sample the utility stays constant at ``values[-1]``.
+    """
+
+    def __init__(
+        self, times: Sequence[float], values: Sequence[float]
+    ) -> None:
+        times_arr = np.asarray(times, dtype=float)
+        values_arr = np.asarray(values, dtype=float)
+        if times_arr.ndim != 1 or times_arr.shape != values_arr.shape:
+            raise UtilityDomainError(
+                "times and values must be 1-D arrays of equal length"
+            )
+        if len(times_arr) < 2:
+            raise UtilityDomainError("need at least two samples")
+        if times_arr[0] != 0.0:
+            raise UtilityDomainError("first sample time must be 0")
+        if not np.all(np.diff(times_arr) > 0):
+            raise UtilityDomainError("sample times must be strictly increasing")
+        if np.any(np.diff(values_arr) > 0):
+            raise UtilityDomainError("utility samples must be non-increasing")
+        self._times = times_arr
+        self._values = values_arr
+
+    @property
+    def times(self) -> np.ndarray:
+        return self._times.copy()
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values.copy()
+
+    @property
+    def name(self) -> str:
+        return f"tabulated({len(self._times)} pts)"
+
+    def __call__(self, t: ArrayLike) -> ArrayLike:
+        t = np.asarray(t, dtype=float)
+        result = np.interp(t, self._times, self._values)
+        return float(result) if result.ndim == 0 else result
+
+    @property
+    def h0(self) -> float:
+        return float(self._values[0])
+
+    @property
+    def gain_never(self) -> float:
+        return float(self._values[-1])
+
+    @property
+    def differential(self) -> DifferentialMeasure:
+        times = self._times
+        values = self._values
+        slopes = np.diff(values) / np.diff(times)
+
+        def density(t: float, _times=times, _slopes=slopes) -> float:
+            if t <= 0 or t >= _times[-1]:
+                return 0.0
+            index = int(np.searchsorted(_times, t, side="right")) - 1
+            return -float(_slopes[index])
+
+        interior = tuple(float(x) for x in times[1:-1])
+        return DifferentialMeasure(
+            density=density,
+            breakpoints=interior + (float(times[-1]),),
+        )
+
+    def laplace_c(self, rate: float) -> float:
+        if rate < 0:
+            raise UtilityDomainError(f"rate must be >= 0, got {rate}")
+        # Exact piecewise integration: on each panel c is the constant
+        # -slope, and the integral of exp(-rate*t) over [a, b] is
+        # (exp(-rate*a) - exp(-rate*b)) / rate.
+        times = self._times
+        slopes = np.diff(self._values) / np.diff(times)
+        if rate == 0:
+            return float(self._values[0] - self._values[-1])
+        decays = np.exp(-rate * times)
+        panel = (decays[:-1] - decays[1:]) / rate
+        return float(np.sum(-slopes * panel))
+
+    def phi(self, x: float, mu: float = 1.0) -> float:
+        if x < 0:
+            raise UtilityDomainError(f"replica count must be >= 0, got {x}")
+        if mu <= 0:
+            raise UtilityDomainError(f"meeting rate must be > 0, got {mu}")
+        # Exact per-panel integral of mu * t * exp(-mu*x*t) * (-slope).
+        times = self._times
+        slopes = np.diff(self._values) / np.diff(times)
+        rate = mu * x
+        if rate == 0:
+            # integral of mu * t * c(t) dt — finite: c has bounded support.
+            panel = (times[1:] ** 2 - times[:-1] ** 2) / 2.0
+            return float(np.sum(-slopes * mu * panel))
+        # antiderivative of t*exp(-r t) is -(t/r + 1/r^2) exp(-r t)
+        def anti(t: np.ndarray) -> np.ndarray:
+            return -(t / rate + 1.0 / rate**2) * np.exp(-rate * t)
+
+        panel = anti(times[1:]) - anti(times[:-1])
+        return float(np.sum(-slopes * mu * panel))

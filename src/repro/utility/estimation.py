@@ -1,0 +1,173 @@
+"""Estimating the delay-utility from user feedback.
+
+The paper's conclusion lists this as the missing piece for deployment:
+"how to estimate the delay-utility function implicitly from user
+feedback, instead of assuming that it is known."  This module closes the
+loop for the advertising-revenue model, where ``h(t)`` is the probability
+that a user still consumes content delivered after waiting ``t``:
+
+1. the system logs feedback samples ``(delay, consumed)`` — whether each
+   fulfilled request's content was actually consumed;
+2. :func:`estimate_consumption_curve` turns the log into a monotone
+   non-increasing survival-style curve via isotonic regression (pool
+   adjacent violators), which is the maximum-likelihood monotone fit for
+   Bernoulli outcomes;
+3. the result is a :class:`~repro.utility.composite.TabulatedUtility`,
+   immediately usable for welfare computation, optimal allocation, and —
+   through Property 2 — as QCR's reaction function.
+
+No external ML dependency: PAVA is ~30 lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import UtilityDomainError
+from ..types import FloatArray, SeedLike, as_rng
+from .base import DelayUtility
+from .composite import TabulatedUtility
+
+__all__ = [
+    "FeedbackSample",
+    "pava_decreasing",
+    "estimate_consumption_curve",
+    "synthesize_feedback",
+]
+
+
+@dataclass(frozen=True)
+class FeedbackSample:
+    """One logged fulfillment: the wait and whether it was consumed."""
+
+    delay: float
+    consumed: bool
+
+
+def pava_decreasing(
+    values: FloatArray, weights: FloatArray
+) -> FloatArray:
+    """Weighted isotonic regression for a *non-increasing* fit.
+
+    Pool-adjacent-violators: merge neighboring blocks whose means
+    increase, replacing them with their weighted mean, until the block
+    means are non-increasing.  Returns the fitted value per input point.
+    """
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if values.shape != weights.shape or values.ndim != 1:
+        raise UtilityDomainError("values and weights must be equal-length 1-D")
+    if np.any(weights <= 0):
+        raise UtilityDomainError("weights must be > 0")
+
+    # Blocks as (mean, weight, count) triples on a stack.
+    means: list = []
+    block_weights: list = []
+    counts: list = []
+    for value, weight in zip(values, weights):
+        means.append(float(value))
+        block_weights.append(float(weight))
+        counts.append(1)
+        # Non-increasing: merge while the previous block is *smaller*.
+        while len(means) > 1 and means[-2] < means[-1]:
+            total = block_weights[-2] + block_weights[-1]
+            merged = (
+                means[-2] * block_weights[-2] + means[-1] * block_weights[-1]
+            ) / total
+            means[-2:] = [merged]
+            block_weights[-2:] = [total]
+            counts[-2:] = [counts[-2] + counts[-1]]
+    fitted = np.empty(len(values))
+    index = 0
+    for mean, count in zip(means, counts):
+        fitted[index : index + count] = mean
+        index += count
+    return fitted
+
+
+def estimate_consumption_curve(
+    samples: Sequence[FeedbackSample],
+    *,
+    n_bins: int = 12,
+    min_bin_count: int = 5,
+) -> TabulatedUtility:
+    """Fit a monotone consumption-probability curve from feedback.
+
+    Samples are grouped into (roughly) equal-population delay bins; the
+    per-bin consumption frequencies are made monotone by PAVA; the
+    resulting step curve is returned as a piecewise-linear
+    :class:`TabulatedUtility` anchored at ``h(0) = first fitted value``.
+
+    Raises :class:`~repro.errors.UtilityDomainError` when there is too
+    little data to fit anything (fewer than ``2 * min_bin_count``
+    samples).
+    """
+    if len(samples) < 2 * min_bin_count:
+        raise UtilityDomainError(
+            f"need at least {2 * min_bin_count} feedback samples, "
+            f"got {len(samples)}"
+        )
+    delays = np.array([s.delay for s in samples], dtype=float)
+    outcomes = np.array([1.0 if s.consumed else 0.0 for s in samples])
+    if np.any(delays < 0):
+        raise UtilityDomainError("delays must be >= 0")
+    order = np.argsort(delays, kind="stable")
+    delays, outcomes = delays[order], outcomes[order]
+
+    n_bins = max(1, min(n_bins, len(samples) // min_bin_count))
+    edges = np.array_split(np.arange(len(samples)), n_bins)
+    centers = []
+    frequencies = []
+    bin_weights = []
+    for indices in edges:
+        if len(indices) == 0:
+            continue
+        centers.append(float(delays[indices].mean()))
+        frequencies.append(float(outcomes[indices].mean()))
+        bin_weights.append(float(len(indices)))
+    fitted = pava_decreasing(
+        np.asarray(frequencies), np.asarray(bin_weights)
+    )
+
+    # Build strictly increasing knots (merge duplicate centers).
+    knot_times = [0.0]
+    knot_values = [float(fitted[0])]
+    for center, value in zip(centers, fitted):
+        if center <= knot_times[-1]:
+            continue
+        knot_times.append(center)
+        knot_values.append(float(min(value, knot_values[-1])))
+    if len(knot_times) < 2:
+        raise UtilityDomainError("feedback delays are degenerate")
+    # Close the curve: beyond the last observation the probability is
+    # taken to keep its final fitted level (TabulatedUtility extends the
+    # last value as a constant).
+    return TabulatedUtility(knot_times, knot_values)
+
+
+def synthesize_feedback(
+    true_utility: DelayUtility,
+    n_samples: int,
+    *,
+    delay_scale: float = 10.0,
+    seed: SeedLike = None,
+) -> Tuple[FeedbackSample, ...]:
+    """Simulate a feedback log from a known consumption-probability curve.
+
+    Delays are exponential with mean *delay_scale*; each sample is
+    consumed with probability ``h(delay)`` (clipped to [0, 1]).  Used to
+    test the estimator end-to-end against a ground truth.
+    """
+    if n_samples <= 0:
+        raise UtilityDomainError(f"n_samples must be > 0, got {n_samples}")
+    rng = as_rng(seed)
+    delays = rng.exponential(delay_scale, size=n_samples)
+    probabilities = np.clip(np.asarray(true_utility(delays)), 0.0, 1.0)
+    consumed = rng.random(n_samples) < probabilities
+    return tuple(
+        FeedbackSample(float(d), bool(c))
+        for d, c in zip(delays, consumed)
+    )

@@ -1,0 +1,99 @@
+"""Exponential delay-utility: the mixed-impatience advertising model.
+
+``h_nu(t) = exp(-nu * t)`` — at any instant a constant fraction of the user
+population loses interest (paper, Section 3.2).  Table-1 closed forms:
+
+=============  ===============================================
+``U`` term     ``d_i * (1 - 1 / (1 + (mu/nu) * x_i))``
+``phi(x)``     ``(mu/nu) * (1 + (mu/nu) * x)**-2 * nu``  (i.e. ``mu*nu/(nu+mu*x)**2``)
+``psi(y)``     ``1 / (nu*y/(mu*|S|) + 2 + mu*|S|/(nu*y))``
+=============  ===============================================
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import UtilityDomainError
+from ..types import ArrayLike
+from .base import DelayUtility
+from .measures import DifferentialMeasure
+
+__all__ = ["ExponentialUtility"]
+
+
+class ExponentialUtility(DelayUtility):
+    """Exponential-decay utility ``h(t) = exp(-nu * t)``.
+
+    Parameters
+    ----------
+    nu:
+        Impatience rate; larger means users lose interest faster.
+    """
+
+    def __init__(self, nu: float) -> None:
+        if not nu > 0:
+            raise UtilityDomainError(f"nu must be > 0, got {nu}")
+        self._nu = float(nu)
+
+    @property
+    def nu(self) -> float:
+        """The impatience rate."""
+        return self._nu
+
+    @property
+    def name(self) -> str:
+        return f"exp(nu={self._nu:g})"
+
+    # -- primitives -----------------------------------------------------
+    def __call__(self, t: ArrayLike) -> ArrayLike:
+        t = np.asarray(t, dtype=float)
+        result = np.exp(-self._nu * t)
+        return float(result) if result.ndim == 0 else result
+
+    @property
+    def h0(self) -> float:
+        return 1.0
+
+    @property
+    def gain_never(self) -> float:
+        return 0.0
+
+    @property
+    def differential(self) -> DifferentialMeasure:
+        nu = self._nu
+        return DifferentialMeasure(density=lambda t: nu * math.exp(-nu * t))
+
+    # -- Table 1 closed forms --------------------------------------------
+    def laplace_c(self, rate: float) -> float:
+        if rate < 0:
+            raise UtilityDomainError(f"rate must be >= 0, got {rate}")
+        return self._nu / (self._nu + rate)
+
+    def expected_gain(self, rate: float) -> float:
+        if rate < 0:
+            raise UtilityDomainError(f"rate must be >= 0, got {rate}")
+        if math.isinf(rate):
+            return 1.0
+        return rate / (self._nu + rate)
+
+    def expected_gains(self, rates) -> np.ndarray:
+        rates = np.asarray(rates, dtype=float)
+        return rates / (self._nu + rates)
+
+    def phi(self, x: float, mu: float = 1.0) -> float:
+        if x < 0:
+            raise UtilityDomainError(f"replica count must be >= 0, got {x}")
+        if mu <= 0:
+            raise UtilityDomainError(f"meeting rate must be > 0, got {mu}")
+        return mu * self._nu / (self._nu + mu * x) ** 2
+
+    def phi_inverse(self, value: float, mu: float = 1.0) -> float:
+        if value <= 0:
+            raise UtilityDomainError(f"phi value must be > 0, got {value}")
+        if mu <= 0:
+            raise UtilityDomainError(f"meeting rate must be > 0, got {mu}")
+        x = (math.sqrt(mu * self._nu / value) - self._nu) / mu
+        return max(0.0, x)

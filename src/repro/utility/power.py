@@ -1,0 +1,240 @@
+"""Power-family delay-utilities: time-critical information and waiting cost.
+
+``h_alpha(t) = t**(1 - alpha) / (alpha - 1)`` with ``alpha < 2`` (paper,
+Section 3.2):
+
+* ``1 < alpha < 2`` — *inverse power*, time-critical information: a large
+  reward for prompt fulfillment, ``h(0+) = inf`` (dedicated-node scenarios
+  only).
+* ``alpha < 1`` — *negative power*, waiting cost: ``h(0+) = 0`` and the
+  utility grows increasingly negative with waiting time (``alpha = 0`` is a
+  linear waiting cost ``h(t) = -t``).
+* ``alpha = 1`` — the *negative logarithm* limit ``h(t) = -ln(t)``, provided
+  by :class:`NegLogUtility`.
+
+Table-1 closed forms (continuous time, homogeneous rate ``mu``):
+
+===============  =====================================================
+``c(t)``         ``t**-alpha``
+``U`` term       ``d_i * Gamma(2-alpha)/(alpha-1) * (mu*x_i)**(alpha-1)``
+``phi(x)``       ``mu**(alpha-1) * Gamma(2-alpha) * x**(alpha-2)``
+``psi(y)``       ``(mu*|S|)**(alpha-1) * Gamma(2-alpha) * y**(1-alpha)``
+===============  =====================================================
+
+The optimal relaxed allocation is the power law
+``x_i ∝ d_i**(1/(2-alpha))`` (Figure 2): uniform as ``alpha -> -inf``,
+proportional at ``alpha = 1``, square-root at ``alpha = 0``, and fully
+skewed towards popular items as ``alpha -> 2``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import UtilityDomainError
+from ..types import ArrayLike
+from .base import DelayUtility
+from .measures import DifferentialMeasure
+
+__all__ = ["PowerUtility", "NegLogUtility", "power_family"]
+
+_EULER_GAMMA = 0.5772156649015329
+
+
+class PowerUtility(DelayUtility):
+    """Power-law utility ``h(t) = t**(1-alpha) / (alpha - 1)``.
+
+    Parameters
+    ----------
+    alpha:
+        Impatience exponent, ``alpha < 2`` and ``alpha != 1``.  Use
+        :class:`NegLogUtility` (or :func:`power_family`) for ``alpha = 1``.
+    """
+
+    def __init__(self, alpha: float) -> None:
+        if alpha >= 2:
+            raise UtilityDomainError(
+                f"power utility requires alpha < 2 (welfare diverges); got {alpha}"
+            )
+        if alpha == 1:
+            raise UtilityDomainError(
+                "alpha = 1 is the negative-logarithm limit; use NegLogUtility"
+            )
+        self._alpha = float(alpha)
+
+    @property
+    def alpha(self) -> float:
+        """The impatience exponent."""
+        return self._alpha
+
+    @property
+    def name(self) -> str:
+        return f"power(alpha={self._alpha:g})"
+
+    # -- primitives -----------------------------------------------------
+    def __call__(self, t: ArrayLike) -> ArrayLike:
+        t = np.asarray(t, dtype=float)
+        result = t ** (1.0 - self._alpha) / (self._alpha - 1.0)
+        return float(result) if result.ndim == 0 else result
+
+    @property
+    def h0(self) -> float:
+        # t**(1-alpha) -> 0 for alpha < 1 and -> inf for alpha > 1.
+        return 0.0 if self._alpha < 1 else math.inf
+
+    @property
+    def gain_never(self) -> float:
+        # h(t) -> -inf for alpha < 1 (unbounded waiting cost), -> 0 otherwise.
+        return -math.inf if self._alpha < 1 else 0.0
+
+    @property
+    def differential(self) -> DifferentialMeasure:
+        alpha = self._alpha
+        return DifferentialMeasure(
+            density=lambda t: t ** (-alpha),
+            singular_at_zero=alpha > 0,
+        )
+
+    # -- Table 1 closed forms --------------------------------------------
+    def laplace_c(self, rate: float) -> float:
+        if rate < 0:
+            raise UtilityDomainError(f"rate must be >= 0, got {rate}")
+        if self._alpha >= 1:
+            # c(t) = t**-alpha is not integrable near zero.
+            return math.inf
+        if rate == 0:
+            return math.inf  # c is not integrable at infinity either.
+        return math.gamma(1.0 - self._alpha) * rate ** (self._alpha - 1.0)
+
+    def expected_gain(self, rate: float) -> float:
+        if rate < 0:
+            raise UtilityDomainError(f"rate must be >= 0, got {rate}")
+        if rate == 0:
+            return self.gain_never
+        if math.isinf(rate):
+            return self.h0
+        alpha = self._alpha
+        return (
+            math.gamma(2.0 - alpha) / (alpha - 1.0) * rate ** (alpha - 1.0)
+        )
+
+    def expected_gains(self, rates) -> np.ndarray:
+        rates = np.asarray(rates, dtype=float)
+        alpha = self._alpha
+        with np.errstate(divide="ignore"):
+            gains = (
+                math.gamma(2.0 - alpha)
+                / (alpha - 1.0)
+                * rates ** (alpha - 1.0)
+            )
+        gains = np.where(rates == 0, self.gain_never, gains)
+        return gains
+
+    def phi(self, x: float, mu: float = 1.0) -> float:
+        if x < 0:
+            raise UtilityDomainError(f"replica count must be >= 0, got {x}")
+        if mu <= 0:
+            raise UtilityDomainError(f"meeting rate must be > 0, got {mu}")
+        alpha = self._alpha
+        if x == 0:
+            return math.inf  # x**(alpha-2) with alpha < 2.
+        return mu ** (alpha - 1.0) * math.gamma(2.0 - alpha) * x ** (alpha - 2.0)
+
+    def phi_inverse(self, value: float, mu: float = 1.0) -> float:
+        if value <= 0:
+            raise UtilityDomainError(f"phi value must be > 0, got {value}")
+        if mu <= 0:
+            raise UtilityDomainError(f"meeting rate must be > 0, got {mu}")
+        alpha = self._alpha
+        constant = mu ** (alpha - 1.0) * math.gamma(2.0 - alpha)
+        return (value / constant) ** (1.0 / (alpha - 2.0))
+
+
+class NegLogUtility(DelayUtility):
+    """Negative-logarithm utility ``h(t) = -ln(t)``: the ``alpha = 1`` limit.
+
+    Features both a high reward for fast fulfillment and an unbounded
+    waiting cost.  ``phi(x) = 1/x`` and ``psi(y)`` is constant: creating one
+    replica per fulfilled request (passive/proportional replication) is
+    exactly optimal at this impatience level.
+    """
+
+    @property
+    def alpha(self) -> float:
+        """The impatience exponent (always 1 for this family)."""
+        return 1.0
+
+    @property
+    def name(self) -> str:
+        return "neglog"
+
+    # -- primitives -----------------------------------------------------
+    def __call__(self, t: ArrayLike) -> ArrayLike:
+        t = np.asarray(t, dtype=float)
+        result = -np.log(t)
+        return float(result) if result.ndim == 0 else result
+
+    @property
+    def h0(self) -> float:
+        return math.inf
+
+    @property
+    def gain_never(self) -> float:
+        return -math.inf
+
+    @property
+    def differential(self) -> DifferentialMeasure:
+        return DifferentialMeasure(
+            density=lambda t: 1.0 / t, singular_at_zero=True
+        )
+
+    # -- Table 1 closed forms --------------------------------------------
+    def laplace_c(self, rate: float) -> float:
+        if rate < 0:
+            raise UtilityDomainError(f"rate must be >= 0, got {rate}")
+        return math.inf  # 1/t is not integrable near zero.
+
+    def expected_gain(self, rate: float) -> float:
+        if rate < 0:
+            raise UtilityDomainError(f"rate must be >= 0, got {rate}")
+        if rate == 0:
+            return -math.inf
+        if math.isinf(rate):
+            return math.inf
+        # E[-ln Y] = euler_gamma + ln(rate) for Y ~ Exp(rate).
+        return _EULER_GAMMA + math.log(rate)
+
+    def expected_gains(self, rates) -> np.ndarray:
+        rates = np.asarray(rates, dtype=float)
+        with np.errstate(divide="ignore"):
+            gains = _EULER_GAMMA + np.log(rates)
+        return gains
+
+    def phi(self, x: float, mu: float = 1.0) -> float:
+        if x < 0:
+            raise UtilityDomainError(f"replica count must be >= 0, got {x}")
+        if mu <= 0:
+            raise UtilityDomainError(f"meeting rate must be > 0, got {mu}")
+        if x == 0:
+            return math.inf
+        return 1.0 / x
+
+    def phi_inverse(self, value: float, mu: float = 1.0) -> float:
+        if value <= 0:
+            raise UtilityDomainError(f"phi value must be > 0, got {value}")
+        if mu <= 0:
+            raise UtilityDomainError(f"meeting rate must be > 0, got {mu}")
+        return 1.0 / value
+
+
+def power_family(alpha: float) -> DelayUtility:
+    """Return the power-family utility for *alpha*, handling the limit.
+
+    ``alpha = 1`` returns :class:`NegLogUtility`; any other ``alpha < 2``
+    returns :class:`PowerUtility`.
+    """
+    if alpha == 1:
+        return NegLogUtility()
+    return PowerUtility(alpha)

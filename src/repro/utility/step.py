@@ -1,0 +1,100 @@
+"""Step delay-utility: the "advertising revenue" deadline model.
+
+``h_tau(t) = 1 if t <= tau else 0`` — every user abandons the content after
+waiting exactly ``tau`` time units (paper, Section 3.2, "Advertising
+Revenue").  The differential delay-utility is a unit Dirac atom at ``tau``,
+and all Table-1 quantities have simple closed forms:
+
+=============  =======================================
+``U`` term     ``d_i * (1 - exp(-mu * tau * x_i))``
+``phi(x)``     ``mu * tau * exp(-mu * tau * x)``
+``psi(y)``     ``(mu*tau*|S|/y) * exp(-mu*tau*|S|/y)``
+=============  =======================================
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import UtilityDomainError
+from ..types import ArrayLike
+from .base import DelayUtility
+from .measures import Atom, DifferentialMeasure
+
+__all__ = ["StepUtility"]
+
+
+class StepUtility(DelayUtility):
+    """Deadline utility ``h(t) = 1{t <= tau}``.
+
+    Parameters
+    ----------
+    tau:
+        The common abandonment deadline; must be positive.
+    """
+
+    def __init__(self, tau: float) -> None:
+        if not tau > 0:
+            raise UtilityDomainError(f"tau must be > 0, got {tau}")
+        self._tau = float(tau)
+
+    @property
+    def tau(self) -> float:
+        """The abandonment deadline."""
+        return self._tau
+
+    @property
+    def name(self) -> str:
+        return f"step(tau={self._tau:g})"
+
+    # -- primitives -----------------------------------------------------
+    def __call__(self, t: ArrayLike) -> ArrayLike:
+        t = np.asarray(t, dtype=float)
+        result = np.where(t <= self._tau, 1.0, 0.0)
+        return float(result) if result.ndim == 0 else result
+
+    @property
+    def h0(self) -> float:
+        return 1.0
+
+    @property
+    def gain_never(self) -> float:
+        return 0.0
+
+    @property
+    def differential(self) -> DifferentialMeasure:
+        return DifferentialMeasure(atoms=(Atom(self._tau, 1.0),))
+
+    # -- Table 1 closed forms --------------------------------------------
+    def laplace_c(self, rate: float) -> float:
+        if rate < 0:
+            raise UtilityDomainError(f"rate must be >= 0, got {rate}")
+        return math.exp(-rate * self._tau)
+
+    def expected_gain(self, rate: float) -> float:
+        if rate < 0:
+            raise UtilityDomainError(f"rate must be >= 0, got {rate}")
+        if math.isinf(rate):
+            return 1.0
+        return -math.expm1(-rate * self._tau)
+
+    def expected_gains(self, rates) -> np.ndarray:
+        return -np.expm1(-np.asarray(rates, dtype=float) * self._tau)
+
+    def phi(self, x: float, mu: float = 1.0) -> float:
+        if x < 0:
+            raise UtilityDomainError(f"replica count must be >= 0, got {x}")
+        if mu <= 0:
+            raise UtilityDomainError(f"meeting rate must be > 0, got {mu}")
+        return mu * self._tau * math.exp(-mu * self._tau * x)
+
+    def phi_inverse(self, value: float, mu: float = 1.0) -> float:
+        if value <= 0:
+            raise UtilityDomainError(f"phi value must be > 0, got {value}")
+        if mu <= 0:
+            raise UtilityDomainError(f"meeting rate must be > 0, got {mu}")
+        if value >= mu * self._tau:
+            return 0.0
+        return math.log(mu * self._tau / value) / (mu * self._tau)

@@ -1,0 +1,102 @@
+"""Assembly of the paper's Table 1.
+
+Table 1 lists, for each delay-utility family, the differential utility
+``c``, the homogeneous welfare term ``U``, the balance transform ``phi``
+(Property 1), and the QCR reaction function ``psi`` (Property 2).  Here each
+row pairs a concrete :class:`~repro.utility.base.DelayUtility` (whose
+methods *are* the closed forms) with the symbolic expressions, so the
+benchmark harness can print the table and cross-check every closed form
+against the generic numeric integrals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .base import DelayUtility
+from .exponential import ExponentialUtility
+from .power import NegLogUtility, PowerUtility
+from .step import StepUtility
+
+__all__ = ["Table1Row", "table1_rows"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One column of the paper's Table 1 (a delay-utility family)."""
+
+    label: str
+    utility: DelayUtility
+    h_expr: str
+    c_expr: str
+    gain_expr: str
+    phi_expr: str
+    psi_expr: str
+
+
+def table1_rows(
+    *,
+    tau: float = 1.0,
+    nu: float = 1.0,
+    inverse_alpha: float = 1.5,
+    negative_alphas: Sequence[float] = (0.5, 0.0, -1.0),
+) -> List[Table1Row]:
+    """Return the five families of Table 1 with concrete parameters.
+
+    The inverse-power family uses ``1 < alpha < 2`` and each entry of
+    *negative_alphas* must satisfy ``alpha < 1``.
+    """
+    rows = [
+        Table1Row(
+            label="Step function",
+            utility=StepUtility(tau),
+            h_expr="1{t <= tau}",
+            c_expr="Dirac at t = tau",
+            gain_expr="d_i (1 - exp(-mu tau x_i))",
+            phi_expr="mu tau exp(-mu tau x)",
+            psi_expr="(mu tau |S| / y) exp(-mu tau |S| / y)",
+        ),
+        Table1Row(
+            label="Exponential decay",
+            utility=ExponentialUtility(nu),
+            h_expr="exp(-nu t)",
+            c_expr="nu exp(-nu t)",
+            gain_expr="d_i (1 - 1/(1 + mu x_i / nu))",
+            phi_expr="(mu/nu) (1 + mu x / nu)^-2 nu",
+            psi_expr="(nu y/(mu|S|) + 2 + mu|S|/(nu y))^-1",
+        ),
+        Table1Row(
+            label=f"Inv. power (alpha={inverse_alpha:g})",
+            utility=PowerUtility(inverse_alpha),
+            h_expr="t^(1-a)/(a-1)",
+            c_expr="t^-a",
+            gain_expr="d_i Gamma(2-a)/(a-1) (mu x_i)^(a-1)",
+            phi_expr="mu^(a-1) Gamma(2-a) x^(a-2)",
+            psi_expr="(mu|S|)^(a-1) Gamma(2-a) y^(1-a)",
+        ),
+    ]
+    for alpha in negative_alphas:
+        rows.append(
+            Table1Row(
+                label=f"Neg. power (alpha={alpha:g})",
+                utility=PowerUtility(alpha),
+                h_expr="t^(1-a)/(a-1)",
+                c_expr="t^-a",
+                gain_expr="d_i Gamma(2-a)/(a-1) (mu x_i)^(a-1)",
+                phi_expr="mu^(a-1) Gamma(2-a) x^(a-2)",
+                psi_expr="(mu|S|)^(a-1) Gamma(2-a) y^(1-a)",
+            )
+        )
+    rows.append(
+        Table1Row(
+            label="Neg. logarithm (alpha=1)",
+            utility=NegLogUtility(),
+            h_expr="-ln(t)",
+            c_expr="1/t",
+            gain_expr="d_i ln(x_i) + cst",
+            phi_expr="1/x",
+            psi_expr="constant",
+        )
+    )
+    return rows

@@ -1,0 +1,103 @@
+"""Tests for closed-form target allocations (UNI/SQRT/PROP/DOM, Figure 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    dominant_counts,
+    power_allocation_exponent,
+    power_law_counts,
+    proportional_counts,
+    sqrt_counts,
+    uniform_counts,
+    weighted_counts,
+)
+from repro.demand import DemandModel
+from repro.errors import AllocationError, ConfigurationError
+
+
+@pytest.fixture
+def demand():
+    return DemandModel.pareto(10, omega=1.0, total_rate=2.0)
+
+
+class TestExponent:
+    def test_figure2_values(self):
+        assert power_allocation_exponent(0.0) == pytest.approx(0.5)
+        assert power_allocation_exponent(1.0) == pytest.approx(1.0)
+        assert power_allocation_exponent(1.5) == pytest.approx(2.0)
+        assert power_allocation_exponent(-2.0) == pytest.approx(0.25)
+
+    def test_rejects_alpha_ge_2(self):
+        with pytest.raises(ConfigurationError):
+            power_allocation_exponent(2.0)
+
+
+class TestWeightedCounts:
+    def test_sums_to_budget(self, demand):
+        counts = weighted_counts(demand.rates, 40.0, 10.0)
+        assert counts.sum() == pytest.approx(40.0)
+
+    def test_water_filling_caps(self):
+        counts = weighted_counts(np.array([100.0, 1.0, 1.0]), 12.0, 5.0)
+        assert counts[0] == pytest.approx(5.0)
+        assert counts.sum() == pytest.approx(12.0)
+        assert counts[1] == pytest.approx(3.5)
+
+    def test_budget_exceeding_capacity_rejected(self):
+        with pytest.raises(AllocationError):
+            weighted_counts(np.ones(3), 100.0, 5.0)
+
+    def test_zero_weights_absorb_leftovers(self):
+        counts = weighted_counts(np.array([1.0, 0.0, 0.0]), 6.0, 4.0)
+        assert counts[0] == pytest.approx(4.0)
+        assert counts.sum() == pytest.approx(6.0)
+
+
+class TestStandardAllocations:
+    def test_uniform(self, demand):
+        counts = uniform_counts(10, 50.0, 25.0)
+        assert np.allclose(counts, 5.0)
+
+    def test_proportional(self, demand):
+        counts = proportional_counts(demand, 50.0, 50.0)
+        assert counts[0] / counts[1] == pytest.approx(
+            demand.rates[0] / demand.rates[1]
+        )
+
+    def test_sqrt(self, demand):
+        counts = sqrt_counts(demand, 50.0, 50.0)
+        assert counts[0] / counts[1] == pytest.approx(
+            np.sqrt(demand.rates[0] / demand.rates[1])
+        )
+
+    def test_power_law_special_cases(self, demand):
+        assert np.allclose(
+            power_law_counts(demand, 0.0, 30.0, 50.0),
+            sqrt_counts(demand, 30.0, 50.0),
+        )
+        assert np.allclose(
+            power_law_counts(demand, 1.0, 30.0, 50.0),
+            proportional_counts(demand, 30.0, 50.0),
+        )
+
+    def test_dominant(self, demand):
+        counts = dominant_counts(demand, rho=3, n_servers=7)
+        assert counts[:3].tolist() == [7.0, 7.0, 7.0]
+        assert counts[3:].sum() == 0.0
+
+    def test_dominant_validation(self, demand):
+        with pytest.raises(AllocationError):
+            dominant_counts(demand, rho=0, n_servers=5)
+        with pytest.raises(AllocationError):
+            dominant_counts(demand, rho=11, n_servers=5)
+
+    def test_skew_ordering(self, demand):
+        """UNI flattest, then SQRT, then PROP, then DOM (Section 4.2)."""
+        budget, cap = 40.0, 20.0
+        uni = uniform_counts(10, budget, cap)
+        sqrt = sqrt_counts(demand, budget, cap)
+        prop = proportional_counts(demand, budget, cap)
+        assert uni.std() < sqrt.std() < prop.std()

@@ -1,0 +1,109 @@
+"""Tests for the Eq. (7) mean-field replica dynamics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    dynamics_equilibrium,
+    replica_dynamics,
+    solve_relaxed,
+)
+from repro.demand import DemandModel
+from repro.errors import ConfigurationError
+from repro.utility import ExponentialUtility, PowerUtility, StepUtility
+
+MU, S, RHO = 0.05, 50, 5
+
+
+@pytest.fixture
+def demand():
+    return DemandModel.pareto(10, omega=1.0, total_rate=1.0)
+
+
+class TestEquilibrium:
+    @pytest.mark.parametrize(
+        "utility",
+        [StepUtility(5.0), ExponentialUtility(0.2), PowerUtility(0.0)],
+        ids=lambda u: u.name,
+    )
+    def test_converges_to_relaxed_optimum(self, demand, utility):
+        """Property 2: the QCR fluid limit settles at the Property-1 point.
+
+        The *shape* (normalized allocation) converges quickly; the total
+        mass approaches capacity only at the reaction rate, which is
+        exponentially small for well-replicated deadline utilities — so
+        the shape is what we assert tightly.
+        """
+        from repro.allocation import balance_report, solve_relaxed
+
+        x0 = np.full(10, RHO * S / 10.0)
+        result = replica_dynamics(
+            x0, demand, utility, MU, S, RHO, t_end=50000.0
+        )
+        final = result.final_counts
+        # The final state satisfies the Property-1 balance condition...
+        report = balance_report(final, demand, utility, MU, S)
+        assert report.is_balanced(rtol=5e-3)
+        # ...and matches the relaxed optimum at its (slowly converging)
+        # total mass.
+        reference = solve_relaxed(
+            demand, utility, MU, S, budget=float(final.sum())
+        ).counts
+        assert np.allclose(final, reference, rtol=5e-3, atol=1e-3)
+
+    def test_total_mass_driven_to_capacity(self, demand):
+        """Eq. (7) drives the total replica count to rho * |S|."""
+        utility = PowerUtility(0.0)  # strong reaction at every state
+        x0 = np.full(10, 1.0)  # under-filled cache
+        result = replica_dynamics(
+            x0, demand, utility, MU, S, RHO, t_end=30000.0
+        )
+        assert result.final_counts.sum() == pytest.approx(RHO * S, rel=1e-3)
+
+    def test_psi_scale_changes_speed_not_equilibrium(self, demand):
+        utility = ExponentialUtility(0.2)
+        x0 = np.full(10, RHO * S / 10.0)
+        slow = replica_dynamics(
+            x0, demand, utility, MU, S, RHO, t_end=50000.0, psi_scale=0.5
+        )
+        fast = replica_dynamics(
+            x0, demand, utility, MU, S, RHO, t_end=25000.0, psi_scale=1.0
+        )
+        assert np.allclose(slow.final_counts, fast.final_counts, rtol=1e-2)
+
+    def test_equilibrium_is_fixed_point(self, demand):
+        utility = StepUtility(5.0)
+        equilibrium = dynamics_equilibrium(demand, utility, MU, S, RHO)
+        result = replica_dynamics(
+            equilibrium, demand, utility, MU, S, RHO, t_end=5000.0
+        )
+        assert np.allclose(result.final_counts, equilibrium, rtol=1e-4)
+
+
+class TestValidation:
+    def test_rejects_zero_initial(self, demand):
+        with pytest.raises(ConfigurationError):
+            replica_dynamics(
+                np.zeros(10), demand, StepUtility(1.0), MU, S, RHO, 100.0
+            )
+
+    def test_rejects_wrong_shape(self, demand):
+        with pytest.raises(ConfigurationError):
+            replica_dynamics(
+                np.ones(3), demand, StepUtility(1.0), MU, S, RHO, 100.0
+            )
+
+    def test_rejects_bad_horizon(self, demand):
+        with pytest.raises(ConfigurationError):
+            replica_dynamics(
+                np.ones(10), demand, StepUtility(1.0), MU, S, RHO, 0.0
+            )
+
+    def test_trajectory_shape(self, demand):
+        result = replica_dynamics(
+            np.ones(10), demand, StepUtility(5.0), MU, S, RHO, 100.0, n_eval=30
+        )
+        assert result.trajectory.shape == (30, 10)
+        assert len(result.times) == 30

@@ -1,0 +1,140 @@
+"""Tests for the Theorem-2 greedy: exactness, complexity contract, caps."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation import greedy_homogeneous, homogeneous_welfare
+from repro.demand import DemandModel
+from repro.errors import ConfigurationError
+from repro.utility import ExponentialUtility, PowerUtility, StepUtility, power_family
+
+
+def brute_force(demand, utility, mu, n_servers, budget, **kwargs):
+    """Exhaustive search over integer allocations (tiny instances only)."""
+    best_value, best_counts = -np.inf, None
+    n = demand.n_items
+    for combo in product(range(min(budget, n_servers) + 1), repeat=n):
+        if sum(combo) != budget:
+            continue
+        value = homogeneous_welfare(
+            np.asarray(combo, dtype=float), demand, utility, mu, n_servers, **kwargs
+        )
+        if value > best_value:
+            best_value, best_counts = value, combo
+    return best_value, best_counts
+
+
+class TestExactness:
+    @pytest.mark.parametrize(
+        "utility",
+        [StepUtility(2.0), StepUtility(30.0), ExponentialUtility(0.3), PowerUtility(0.5)],
+        ids=lambda u: u.name,
+    )
+    def test_matches_brute_force(self, utility):
+        demand = DemandModel.from_weights([5.0, 2.0, 1.0, 0.5])
+        result = greedy_homogeneous(
+            demand, utility, 0.1, n_servers=4, rho=1, budget=4
+        )
+        best_value, _ = brute_force(demand, utility, 0.1, 4, 4)
+        assert result.welfare == pytest.approx(best_value, rel=1e-12)
+
+    def test_matches_brute_force_pure_p2p(self):
+        demand = DemandModel.from_weights([4.0, 1.0, 1.0])
+        utility = StepUtility(5.0)
+        result = greedy_homogeneous(
+            demand, utility, 0.1, n_servers=3, rho=2,
+            pure_p2p=True, n_clients=3,
+        )
+        best_value, _ = brute_force(
+            demand, utility, 0.1, 3, 6, pure_p2p=True, n_clients=3
+        )
+        assert result.welfare == pytest.approx(best_value, rel=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=3, max_size=3
+        ),
+        tau=st.floats(min_value=0.5, max_value=50.0),
+    )
+    def test_random_instances_match_brute_force(self, weights, tau):
+        demand = DemandModel.from_weights(weights)
+        utility = StepUtility(tau)
+        result = greedy_homogeneous(
+            demand, utility, 0.1, n_servers=3, rho=1, budget=3
+        )
+        best_value, _ = brute_force(demand, utility, 0.1, 3, 3)
+        assert result.welfare == pytest.approx(best_value, rel=1e-10)
+
+
+class TestConstraints:
+    def test_budget_respected(self):
+        demand = DemandModel.pareto(10)
+        result = greedy_homogeneous(demand, StepUtility(5.0), 0.05, 8, 3)
+        assert result.total_copies == 24
+
+    def test_per_item_cap(self):
+        demand = DemandModel.from_weights([100.0, 0.001])
+        result = greedy_homogeneous(demand, StepUtility(1.0), 0.5, 4, 3)
+        assert result.counts.max() <= 4
+
+    def test_budget_capped_by_capacity(self):
+        demand = DemandModel.pareto(2)
+        result = greedy_homogeneous(
+            demand, StepUtility(5.0), 0.05, n_servers=3, rho=5
+        )
+        # Only 2 items * 3 servers = 6 possible copies.
+        assert result.total_copies == 6
+
+    def test_unbounded_cost_gives_every_item_a_copy(self):
+        """With waiting costs, a zero-replica item costs -inf; greedy
+        must give every item at least one copy first."""
+        demand = DemandModel.pareto(10, omega=2.0)
+        result = greedy_homogeneous(demand, PowerUtility(0.0), 0.05, 20, 1)
+        assert result.counts.min() >= 1
+
+    def test_skewed_for_time_critical(self):
+        demand = DemandModel.pareto(10, omega=1.0)
+        impatient = greedy_homogeneous(demand, PowerUtility(1.9), 0.05, 20, 2)
+        patient = greedy_homogeneous(demand, PowerUtility(-1.0), 0.05, 20, 2)
+        # More impatient -> more copies of the top item (Figure 2 trend).
+        assert impatient.counts[0] > patient.counts[0]
+        # Patient allocations are closer to uniform.
+        assert patient.counts.std() < impatient.counts.std()
+
+    def test_validation(self):
+        demand = DemandModel.pareto(3)
+        with pytest.raises(ConfigurationError):
+            greedy_homogeneous(demand, StepUtility(1.0), 0.05, 0, 1)
+        with pytest.raises(ConfigurationError):
+            greedy_homogeneous(demand, StepUtility(1.0), 0.05, 5, 1, budget=-1)
+
+
+class TestAgainstRelaxed:
+    def test_integer_welfare_at_most_relaxed(self):
+        """The relaxed optimum upper-bounds the integer optimum."""
+        from repro.allocation import solve_relaxed
+
+        demand = DemandModel.pareto(10)
+        utility = ExponentialUtility(0.2)
+        mu, n_servers, rho = 0.05, 10, 2
+        greedy = greedy_homogeneous(demand, utility, mu, n_servers, rho)
+        relaxed = solve_relaxed(
+            demand, utility, mu, n_servers, budget=float(rho * n_servers)
+        )
+        relaxed_welfare = homogeneous_welfare(
+            relaxed.counts, demand, utility, mu, n_servers
+        )
+        assert greedy.welfare <= relaxed_welfare + 1e-9
+        # And rounding the relaxed solution cannot beat the exact greedy.
+        rounded = np.floor(relaxed.counts)
+        rounded_welfare = homogeneous_welfare(
+            rounded, demand, utility, mu, n_servers
+        )
+        assert rounded_welfare <= greedy.welfare + 1e-9

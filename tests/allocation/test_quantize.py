@@ -1,0 +1,104 @@
+"""Tests for count quantization and server placement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation import (
+    counts_of_allocation,
+    place_copies,
+    quantize_counts,
+)
+from repro.errors import AllocationError
+
+
+class TestQuantize:
+    def test_exact_integers_unchanged(self):
+        counts = quantize_counts(np.array([3.0, 2.0, 1.0]), 6, 10)
+        assert counts.tolist() == [3, 2, 1]
+
+    def test_largest_remainder(self):
+        counts = quantize_counts(np.array([2.6, 2.4, 1.0]), 6, 10)
+        assert counts.tolist() == [3, 2, 1]
+
+    def test_respects_cap(self):
+        counts = quantize_counts(np.array([9.9, 0.1]), 10, 5)
+        assert counts.max() <= 5
+        assert counts.sum() == 10
+
+    def test_oversubscribed_trimmed(self):
+        counts = quantize_counts(np.array([4.0, 4.0]), 6, 10)
+        assert counts.sum() == 6
+
+    def test_impossible_budget_rejected(self):
+        with pytest.raises(AllocationError):
+            quantize_counts(np.array([1.0, 1.0]), 11, 5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(AllocationError):
+            quantize_counts(np.array([-1.0, 2.0]), 1, 5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        fractions=st.lists(
+            st.floats(min_value=0.0, max_value=8.0), min_size=2, max_size=10
+        ),
+    )
+    def test_sum_preserved(self, fractions):
+        fractional = np.asarray(fractions)
+        budget = int(round(fractional.sum()))
+        budget = min(budget, len(fractions) * 8)
+        counts = quantize_counts(fractional, budget, 8)
+        assert counts.sum() == budget
+        assert counts.max() <= 8
+        assert counts.min() >= 0
+        # Rounding moves each entry by less than 1 except cap effects.
+        assert np.all(np.abs(counts - fractional) <= len(fractions))
+
+
+class TestPlacement:
+    def test_feasible_placement(self):
+        counts = np.array([4, 3, 2, 1], dtype=np.int64)
+        allocation = place_copies(counts, n_servers=5, rho=2, seed=1)
+        assert allocation.shape == (4, 5)
+        assert np.array_equal(counts_of_allocation(allocation), counts)
+        assert allocation.sum(axis=0).max() <= 2
+
+    def test_full_caches(self):
+        counts = np.array([5, 5], dtype=np.int64)
+        allocation = place_copies(counts, n_servers=5, rho=2, seed=2)
+        assert np.all(allocation.sum(axis=0) == 2)
+
+    def test_item_cap_validated(self):
+        with pytest.raises(AllocationError):
+            place_copies(np.array([6]), n_servers=5, rho=2)
+
+    def test_capacity_validated(self):
+        with pytest.raises(AllocationError):
+            place_copies(np.array([5, 5, 5]), n_servers=5, rho=2)
+
+    def test_deterministic_with_seed(self):
+        counts = np.array([3, 2, 2], dtype=np.int64)
+        a = place_copies(counts, 4, 2, seed=3)
+        b = place_copies(counts, 4, 2, seed=3)
+        assert np.array_equal(a, b)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        raw=st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=12),
+        rho=st.integers(min_value=1, max_value=4),
+    )
+    def test_random_instances_feasible(self, raw, rho):
+        n_servers = 6
+        counts = np.asarray(raw, dtype=np.int64)
+        if counts.sum() > rho * n_servers:
+            # Scale down to a feasible total.
+            while counts.sum() > rho * n_servers:
+                counts[int(np.argmax(counts))] -= 1
+        allocation = place_copies(counts, n_servers, rho, seed=0)
+        assert np.array_equal(counts_of_allocation(allocation), counts)
+        assert allocation.sum(axis=0).max() <= rho
+        assert np.isin(allocation, (0, 1)).all()

@@ -1,0 +1,125 @@
+"""Tests for the relaxed solver and the Property-1 balance condition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    balance_report,
+    balance_values,
+    power_allocation_exponent,
+    power_law_counts,
+    solve_relaxed,
+)
+from repro.demand import DemandModel
+from repro.errors import ConfigurationError
+from repro.utility import (
+    ExponentialUtility,
+    NegLogUtility,
+    PowerUtility,
+    StepUtility,
+)
+
+MU = 0.05
+
+
+@pytest.fixture
+def demand():
+    return DemandModel.pareto(20, omega=1.0, total_rate=1.0)
+
+
+class TestSolveRelaxed:
+    @pytest.mark.parametrize(
+        "utility",
+        [
+            StepUtility(3.0),
+            ExponentialUtility(0.2),
+            PowerUtility(0.5),
+            PowerUtility(-1.0),
+            NegLogUtility(),
+        ],
+        ids=lambda u: u.name,
+    )
+    def test_budget_met(self, demand, utility):
+        result = solve_relaxed(demand, utility, MU, 50, budget=100.0)
+        assert result.counts.sum() == pytest.approx(100.0, rel=1e-6)
+        assert np.all(result.counts >= 0)
+        assert np.all(result.counts <= 50)
+
+    @pytest.mark.parametrize(
+        "utility",
+        [StepUtility(3.0), ExponentialUtility(0.2), PowerUtility(0.5)],
+        ids=lambda u: u.name,
+    )
+    def test_balance_condition(self, demand, utility):
+        """Property 1: d_i phi(x_i) equal on the interior."""
+        result = solve_relaxed(demand, utility, MU, 50, budget=100.0)
+        report = balance_report(result.counts, demand, utility, MU, 50)
+        assert report.is_balanced(rtol=1e-4)
+
+    def test_matches_closed_form_power_law(self, demand):
+        """Figure 2: x_i ∝ d_i^(1/(2-alpha))."""
+        for alpha in (-1.0, 0.0, 0.5):
+            utility = PowerUtility(alpha)
+            solved = solve_relaxed(demand, utility, MU, 100, budget=200.0)
+            closed = power_law_counts(demand, alpha, 200.0, 100)
+            assert np.allclose(solved.counts, closed, rtol=1e-5, atol=1e-5)
+
+    def test_neglog_proportional(self, demand):
+        """alpha = 1: the optimum is proportional to demand."""
+        solved = solve_relaxed(demand, NegLogUtility(), MU, 200, budget=100.0)
+        expected = demand.probabilities * 100.0
+        assert np.allclose(solved.counts, expected, rtol=1e-5)
+
+    def test_step_boundary_items(self):
+        """Very impatient step: tail items get (almost) nothing."""
+        demand = DemandModel.pareto(20, omega=2.0)
+        utility = StepUtility(0.2)
+        result = solve_relaxed(demand, utility, MU, 10, budget=30.0)
+        assert result.counts[0] > result.counts[-1]
+        assert result.counts[-1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_upper_boundary_respected(self):
+        demand = DemandModel.from_weights([100.0, 1.0, 1.0])
+        utility = PowerUtility(1.5)
+        result = solve_relaxed(demand, utility, MU, 4, budget=8.0)
+        assert result.counts[0] == pytest.approx(4.0, abs=1e-6)
+
+    def test_multiplier_positive(self, demand):
+        result = solve_relaxed(demand, StepUtility(3.0), MU, 50, budget=100.0)
+        assert result.multiplier > 0
+
+    def test_validation(self, demand):
+        with pytest.raises(ConfigurationError):
+            solve_relaxed(demand, StepUtility(1.0), -0.1, 50, budget=10.0)
+        with pytest.raises(ConfigurationError):
+            solve_relaxed(demand, StepUtility(1.0), MU, 50, budget=0.0)
+        with pytest.raises(ConfigurationError):
+            solve_relaxed(demand, StepUtility(1.0), MU, 2, budget=1000.0)
+
+
+class TestBalanceDiagnostics:
+    def test_balance_values(self, demand):
+        utility = StepUtility(3.0)
+        counts = np.full(20, 5.0)
+        values = balance_values(counts, demand, utility, MU)
+        assert values.shape == (20,)
+        # Uniform counts: balance value proportional to demand.
+        assert values[0] / values[1] == pytest.approx(
+            demand.rates[0] / demand.rates[1]
+        )
+
+    def test_uniform_allocation_unbalanced(self, demand):
+        report = balance_report(
+            np.full(20, 5.0), demand, StepUtility(3.0), MU, 50
+        )
+        assert not report.is_balanced(rtol=0.01)
+
+    def test_boundary_items_reported(self):
+        demand = DemandModel.from_weights([100.0, 1.0, 0.0])
+        utility = PowerUtility(1.5)
+        counts = solve_relaxed(demand, utility, MU, 4, budget=8.0).counts
+        report = balance_report(counts, demand, utility, MU, 4)
+        assert 0 in report.at_upper
+        assert 2 in report.at_zero

@@ -1,0 +1,228 @@
+"""Unit tests for social-welfare computation (Eqs. 1-5, Lemma 1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    heterogeneous_welfare,
+    homogeneous_welfare,
+    homogeneous_welfare_discrete,
+    item_gain_function,
+)
+from repro.demand import DemandModel, uniform_profile
+from repro.errors import AllocationError, ConfigurationError
+from repro.utility import ExponentialUtility, PowerUtility, StepUtility
+
+
+@pytest.fixture
+def demand():
+    return DemandModel.pareto(4, omega=1.0, total_rate=1.0)
+
+
+class TestHomogeneous:
+    def test_step_closed_form(self, demand):
+        """Eq. (3) with step utility: sum d_i (1 - exp(-mu tau x_i))."""
+        utility = StepUtility(2.0)
+        mu = 0.1
+        counts = np.array([3, 2, 1, 0], dtype=float)
+        expected = sum(
+            d * (1 - math.exp(-mu * 2.0 * x))
+            for d, x in zip(demand.rates, counts)
+        )
+        value = homogeneous_welfare(counts, demand, utility, mu, 10)
+        assert value == pytest.approx(expected)
+
+    def test_more_copies_never_hurt(self, demand):
+        utility = ExponentialUtility(0.5)
+        base = np.array([1, 1, 1, 1], dtype=float)
+        more = np.array([2, 1, 1, 1], dtype=float)
+        assert homogeneous_welfare(
+            more, demand, utility, 0.1, 10
+        ) >= homogeneous_welfare(base, demand, utility, 0.1, 10)
+
+    def test_concavity_in_counts(self, demand):
+        """Theorem 2: U is concave in the replica counts."""
+        utility = StepUtility(5.0)
+        x = np.array([2.0, 3.0, 1.0, 4.0])
+        y = np.array([4.0, 1.0, 3.0, 2.0])
+        mid = (x + y) / 2
+        u_mid = homogeneous_welfare(mid, demand, utility, 0.1, 10)
+        u_avg = 0.5 * (
+            homogeneous_welfare(x, demand, utility, 0.1, 10)
+            + homogeneous_welfare(y, demand, utility, 0.1, 10)
+        )
+        assert u_mid >= u_avg - 1e-12
+
+    def test_pure_p2p_adds_immediate_gain(self, demand):
+        utility = StepUtility(5.0)
+        counts = np.array([2, 2, 2, 2], dtype=float)
+        dedicated = homogeneous_welfare(counts, demand, utility, 0.1, 10)
+        pure = homogeneous_welfare(
+            counts, demand, utility, 0.1, 10, pure_p2p=True, n_clients=10
+        )
+        assert pure > dedicated  # own-cache hits gain h(0+) instantly
+
+    def test_pure_p2p_requires_finite_h0(self, demand):
+        with pytest.raises(ConfigurationError):
+            homogeneous_welfare(
+                np.ones(4),
+                demand,
+                PowerUtility(1.5),
+                0.1,
+                10,
+                pure_p2p=True,
+                n_clients=10,
+            )
+
+    def test_count_floor(self, demand):
+        utility = PowerUtility(0.0)
+        counts = np.array([2, 2, 2, 0], dtype=float)
+        assert homogeneous_welfare(counts, demand, utility, 0.1, 10) == -math.inf
+        floored = homogeneous_welfare(
+            counts, demand, utility, 0.1, 10, count_floor=0.5
+        )
+        assert math.isfinite(floored)
+
+    def test_shape_validation(self, demand):
+        with pytest.raises(AllocationError):
+            homogeneous_welfare(np.ones(3), demand, StepUtility(1.0), 0.1, 10)
+        with pytest.raises(AllocationError):
+            homogeneous_welfare(
+                np.full(4, 11.0), demand, StepUtility(1.0), 0.1, 10
+            )
+
+
+class TestDiscrete:
+    def test_converges_to_continuous(self, demand):
+        utility = ExponentialUtility(0.3)
+        counts = np.array([3, 2, 1, 1])
+        mu = 0.1
+        continuous = homogeneous_welfare(
+            counts.astype(float), demand, utility, mu, 10
+        )
+        discrete = homogeneous_welfare_discrete(
+            counts, demand, utility, mu, 10, delta=0.01
+        )
+        assert discrete == pytest.approx(continuous, rel=5e-3)
+
+    def test_pure_p2p_discrete(self, demand):
+        utility = StepUtility(5.0)
+        counts = np.array([2, 2, 2, 2])
+        dedicated = homogeneous_welfare_discrete(
+            counts, demand, utility, 0.1, 10, delta=0.1
+        )
+        pure = homogeneous_welfare_discrete(
+            counts,
+            demand,
+            utility,
+            0.1,
+            10,
+            delta=0.1,
+            pure_p2p=True,
+            n_clients=10,
+        )
+        assert pure > dedicated
+
+    def test_rejects_bad_slot_probability(self, demand):
+        with pytest.raises(ConfigurationError):
+            homogeneous_welfare_discrete(
+                np.ones(4, dtype=int), demand, StepUtility(1.0), 2.0, 10, delta=1.0
+            )
+
+
+class TestHeterogeneous:
+    def test_matches_homogeneous_on_uniform_matrix(self, demand):
+        """Lemma 1 reduces to Eq. (3) when mu_{m,n} = mu."""
+        utility = StepUtility(3.0)
+        mu = 0.2
+        n_servers, n_clients = 6, 5
+        rates = np.full((n_servers, n_clients), mu)
+        allocation = np.zeros((4, n_servers), dtype=np.int8)
+        allocation[0, :3] = 1
+        allocation[1, 3:5] = 1
+        allocation[2, 5] = 1
+        counts = allocation.sum(axis=1).astype(float)
+        hom = homogeneous_welfare(counts, demand, utility, mu, n_servers)
+        het = heterogeneous_welfare(allocation, demand, utility, rates)
+        assert het == pytest.approx(hom)
+
+    def test_own_copy_gains_h0(self, demand):
+        utility = StepUtility(3.0)
+        n = 4
+        rates = np.full((n, n), 0.1)
+        np.fill_diagonal(rates, 0.0)
+        allocation = np.zeros((4, n), dtype=np.int8)
+        allocation[0, 0] = 1
+        without_mapping = heterogeneous_welfare(
+            allocation, demand, utility, rates
+        )
+        with_mapping = heterogeneous_welfare(
+            allocation,
+            demand,
+            utility,
+            rates,
+            server_of_client=np.arange(n),
+        )
+        assert with_mapping > without_mapping
+
+    def test_profile_weighting(self, demand):
+        utility = StepUtility(3.0)
+        n_servers, n_clients = 3, 2
+        rates = np.array([[0.5, 0.0], [0.5, 0.0], [0.5, 0.0]])
+        allocation = np.zeros((4, n_servers), dtype=np.int8)
+        allocation[0] = 1
+        # All demand for item 0 arises at client 0 (well-connected).
+        pi = uniform_profile(4, 2)
+        pi[0] = [1.0, 0.0]
+        concentrated = heterogeneous_welfare(
+            allocation, demand, utility, rates, pi=pi
+        )
+        uniform = heterogeneous_welfare(allocation, demand, utility, rates)
+        assert concentrated > uniform
+
+    def test_rate_floor(self, demand):
+        utility = PowerUtility(0.0)
+        rates = np.zeros((2, 2))
+        allocation = np.zeros((4, 2), dtype=np.int8)
+        value = heterogeneous_welfare(
+            allocation, demand, utility, rates, rate_floor=0.01
+        )
+        assert math.isfinite(value)
+
+    def test_binary_validation(self, demand):
+        rates = np.full((3, 3), 0.1)
+        allocation = np.zeros((4, 3))
+        allocation[0, 0] = 2
+        with pytest.raises(AllocationError):
+            heterogeneous_welfare(allocation, demand, StepUtility(1.0), rates)
+
+    def test_infinite_h0_with_client_servers_rejected(self, demand):
+        rates = np.full((4, 4), 0.1)
+        np.fill_diagonal(rates, 0.0)
+        allocation = np.zeros((4, 4), dtype=np.int8)
+        with pytest.raises(ConfigurationError):
+            heterogeneous_welfare(
+                allocation,
+                demand,
+                PowerUtility(1.5),
+                rates,
+                server_of_client=np.arange(4),
+            )
+
+
+class TestItemGainFunction:
+    def test_scalar_and_array(self):
+        gain = item_gain_function(StepUtility(2.0), 0.1)
+        scalar = gain(3.0)
+        array = gain(np.array([3.0, 5.0]))
+        assert isinstance(scalar, float)
+        assert array.shape == (2,)
+        assert array[0] == pytest.approx(scalar)
+
+    def test_pure_requires_clients(self):
+        with pytest.raises(ConfigurationError):
+            item_gain_function(StepUtility(2.0), 0.1, pure_p2p=True)

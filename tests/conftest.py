@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contacts import homogeneous_poisson_trace
+from repro.demand import DemandModel, generate_requests
+from repro.utility import (
+    ExponentialUtility,
+    NegLogUtility,
+    PowerUtility,
+    StepUtility,
+)
+
+#: Every closed-form delay-utility family with representative parameters.
+ALL_UTILITIES = [
+    StepUtility(1.3),
+    StepUtility(25.0),
+    ExponentialUtility(0.07),
+    ExponentialUtility(1.5),
+    PowerUtility(1.5),
+    PowerUtility(0.5),
+    PowerUtility(0.0),
+    PowerUtility(-1.0),
+    NegLogUtility(),
+]
+
+#: The subset with finite h(0+) (usable in pure-P2P scenarios).
+BOUNDED_UTILITIES = [u for u in ALL_UTILITIES if u.finite_at_zero]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_demand():
+    return DemandModel.pareto(8, omega=1.0, total_rate=2.0)
+
+
+@pytest.fixture
+def paper_demand():
+    return DemandModel.pareto(50, omega=1.0, total_rate=4.0)
+
+
+@pytest.fixture
+def small_trace():
+    return homogeneous_poisson_trace(10, rate=0.1, duration=200.0, seed=7)
+
+
+@pytest.fixture
+def small_requests(small_demand, small_trace):
+    return generate_requests(
+        small_demand, small_trace.n_nodes, small_trace.duration, seed=8
+    )

@@ -1,0 +1,97 @@
+"""Tests for the CRAWDAD/Haggle interval-format loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contacts import load_interval_format
+from repro.errors import TraceFormatError
+
+
+def write(tmp_path, text, name="contacts.dat"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestLoadIntervalFormat:
+    def test_basic(self, tmp_path):
+        path = write(
+            tmp_path,
+            "1 2 100 160\n"
+            "2 3 130 190\n"
+            "1 2 400 420\n",
+        )
+        trace = load_interval_format(path)
+        assert trace.n_nodes == 3
+        assert len(trace) == 3
+        # Times re-based to the earliest start.
+        assert trace.times.tolist() == [0.0, 30.0, 300.0]
+        assert trace.duration == pytest.approx(320.0)
+
+    def test_dense_relabeling(self, tmp_path):
+        path = write(tmp_path, "21 71 0 10\n71 35 5 15\n")
+        trace = load_interval_format(path)
+        assert trace.n_nodes == 3
+        assert set(trace.node_a.tolist()) | set(trace.node_b.tolist()) == {
+            0,
+            1,
+            2,
+        }
+
+    def test_time_scale(self, tmp_path):
+        path = write(tmp_path, "1 2 0 600\n1 2 1200 1260\n")
+        trace = load_interval_format(path, time_scale=1 / 60.0)
+        assert trace.times.tolist() == [0.0, 20.0]
+        assert trace.duration == pytest.approx(21.0)
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = write(
+            tmp_path, "# haggle export\n\n1 2 0 5\n# trailing\n2 3 1 6\n"
+        )
+        assert len(load_interval_format(path)) == 2
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = write(tmp_path, "1 2 0 5 17 bluetooth\n")
+        assert len(load_interval_format(path)) == 1
+
+    def test_self_sightings_dropped(self, tmp_path):
+        path = write(tmp_path, "1 1 0 5\n1 2 0 5\n")
+        trace = load_interval_format(path)
+        assert len(trace) == 1
+        assert trace.n_nodes == 2
+
+    def test_unsorted_input_sorted(self, tmp_path):
+        path = write(tmp_path, "1 2 50 60\n2 3 10 20\n")
+        trace = load_interval_format(path)
+        assert np.all(np.diff(trace.times) >= 0)
+
+    def test_malformed_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_interval_format(write(tmp_path, "1 2 0\n"))
+        with pytest.raises(TraceFormatError):
+            load_interval_format(write(tmp_path, "a b 0 5\n"))
+        with pytest.raises(TraceFormatError):
+            load_interval_format(write(tmp_path, "1 2 10 5\n"))
+        with pytest.raises(TraceFormatError):
+            load_interval_format(write(tmp_path, "# only comments\n"))
+
+    def test_bad_scale_rejected(self, tmp_path):
+        path = write(tmp_path, "1 2 0 5\n")
+        with pytest.raises(TraceFormatError):
+            load_interval_format(path, time_scale=0.0)
+
+    def test_feeds_paper_preprocessing(self, tmp_path):
+        """The loaded trace supports the paper's best-covered filtering."""
+        from repro.contacts import select_best_covered
+
+        lines = []
+        for k in range(12):
+            lines.append(f"1 2 {10 * k} {10 * k + 5}")  # busy pair
+        lines.append("3 4 5 9")
+        path = write(tmp_path, "\n".join(lines) + "\n")
+        trace = load_interval_format(path)
+        kept = select_best_covered(trace, 2)
+        assert kept.n_nodes == 2
+        assert len(kept) == 12

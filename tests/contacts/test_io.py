@@ -1,0 +1,104 @@
+"""Round-trip tests for contact-trace file formats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contacts import (
+    ContactTrace,
+    load_csv,
+    load_jsonl,
+    save_csv,
+    save_jsonl,
+)
+from repro.errors import TraceFormatError
+
+
+@pytest.fixture
+def trace():
+    return ContactTrace(
+        times=np.array([0.5, 1.25, 1.25, 9.75]),
+        node_a=np.array([0, 1, 0, 2]),
+        node_b=np.array([1, 2, 3, 3]),
+        n_nodes=4,
+        duration=10.0,
+    )
+
+
+def assert_traces_equal(a: ContactTrace, b: ContactTrace) -> None:
+    assert a.n_nodes == b.n_nodes
+    assert a.duration == b.duration
+    assert np.array_equal(a.times, b.times)
+    assert np.array_equal(a.node_a, b.node_a)
+    assert np.array_equal(a.node_b, b.node_b)
+
+
+class TestCsv:
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_csv(trace, path)
+        assert_traces_equal(trace, load_csv(path))
+
+    def test_round_trip_empty(self, tmp_path):
+        empty = ContactTrace(
+            times=np.array([]),
+            node_a=np.array([], dtype=np.int64),
+            node_b=np.array([], dtype=np.int64),
+            n_nodes=5,
+            duration=3.0,
+        )
+        path = tmp_path / "empty.csv"
+        save_csv(empty, path)
+        assert_traces_equal(empty, load_csv(path))
+
+    def test_missing_metadata_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,node_a,node_b\n1.0,0,1\n")
+        with pytest.raises(TraceFormatError):
+            load_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad2.csv"
+        path.write_text("# n_nodes=2\n# duration=5.0\n1.0,0\n")
+        with pytest.raises(TraceFormatError):
+            load_csv(path)
+
+    def test_exact_float_preservation(self, tmp_path):
+        # repr round-trip keeps full float precision.
+        trace = ContactTrace(
+            times=np.array([0.1 + 0.2]),
+            node_a=np.array([0]),
+            node_b=np.array([1]),
+            n_nodes=2,
+            duration=1.0,
+        )
+        path = tmp_path / "precise.csv"
+        save_csv(trace, path)
+        assert load_csv(path).times[0] == trace.times[0]
+
+
+class TestJsonl:
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, path)
+        assert_traces_equal(trace, load_jsonl(path))
+
+    def test_header_required(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('[1.0, 0, 1]\n')
+        with pytest.raises(TraceFormatError):
+            load_jsonl(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceFormatError):
+            load_jsonl(path)
+
+    def test_formats_interchangeable(self, trace, tmp_path):
+        csv_path = tmp_path / "a.csv"
+        jsonl_path = tmp_path / "a.jsonl"
+        save_csv(trace, csv_path)
+        save_jsonl(trace, jsonl_path)
+        assert_traces_equal(load_csv(csv_path), load_jsonl(jsonl_path))

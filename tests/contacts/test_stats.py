@@ -1,0 +1,112 @@
+"""Unit tests for trace statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contacts import (
+    ContactTrace,
+    burstiness,
+    homogeneous_poisson_trace,
+    inter_contact_times,
+    pair_rate_matrix,
+    select_best_covered,
+    summarize,
+)
+from repro.errors import TraceFormatError
+
+
+def line_trace():
+    """Node 0 meets node 1 at t=1,3,6; node 2 meets node 3 at t=2."""
+    return ContactTrace(
+        times=np.array([1.0, 2.0, 3.0, 6.0]),
+        node_a=np.array([0, 2, 0, 0]),
+        node_b=np.array([1, 3, 1, 1]),
+        n_nodes=4,
+        duration=10.0,
+    )
+
+
+class TestPairRates:
+    def test_matrix_values(self):
+        rates = pair_rate_matrix(line_trace())
+        assert rates[0, 1] == pytest.approx(0.3)
+        assert rates[2, 3] == pytest.approx(0.1)
+        assert rates[0, 2] == 0.0
+        assert np.array_equal(rates, rates.T)
+
+    def test_poisson_rates_recovered(self):
+        trace = homogeneous_poisson_trace(20, rate=0.2, duration=500.0, seed=9)
+        rates = pair_rate_matrix(trace)
+        upper = rates[np.triu_indices(20, k=1)]
+        assert upper.mean() == pytest.approx(0.2, rel=0.05)
+
+
+class TestInterContact:
+    def test_single_pair(self):
+        gaps = inter_contact_times(line_trace(), pair=(0, 1))
+        assert gaps.tolist() == [2.0, 3.0]
+
+    def test_pair_order_irrelevant(self):
+        a = inter_contact_times(line_trace(), pair=(0, 1))
+        b = inter_contact_times(line_trace(), pair=(1, 0))
+        assert np.array_equal(a, b)
+
+    def test_pooled_excludes_cross_pair_gaps(self):
+        gaps = inter_contact_times(line_trace())
+        # only the (0,1) pair has >= 2 contacts.
+        assert sorted(gaps.tolist()) == [2.0, 3.0]
+
+    def test_poisson_gaps_memoryless(self):
+        trace = homogeneous_poisson_trace(5, rate=0.5, duration=2000.0, seed=3)
+        gaps = inter_contact_times(trace)
+        assert abs(burstiness(gaps)) < 0.05
+
+
+class TestBurstiness:
+    def test_regular_train_negative(self):
+        assert burstiness(np.ones(100)) == pytest.approx(-1.0)
+
+    def test_exponential_near_zero(self):
+        rng = np.random.default_rng(0)
+        gaps = rng.exponential(1.0, size=20000)
+        assert abs(burstiness(gaps)) < 0.02
+
+    def test_heavy_tail_positive(self):
+        rng = np.random.default_rng(0)
+        gaps = rng.pareto(1.3, size=20000)
+        assert burstiness(gaps) > 0.3
+
+    def test_needs_two_gaps(self):
+        with pytest.raises(TraceFormatError):
+            burstiness(np.array([1.0]))
+
+
+class TestSummarize:
+    def test_fields(self):
+        stats = summarize(line_trace())
+        assert stats.n_nodes == 4
+        assert stats.n_events == 4
+        assert stats.disconnected_pair_fraction == pytest.approx(4 / 6)
+
+    def test_homogeneous_trace_low_cv(self):
+        trace = homogeneous_poisson_trace(30, rate=0.3, duration=300.0, seed=4)
+        stats = summarize(trace)
+        assert stats.rate_cv < 0.3
+        assert abs(stats.burstiness) < 0.05
+
+
+class TestSelectBestCovered:
+    def test_keeps_most_active(self):
+        trace = line_trace()
+        kept = select_best_covered(trace, 2)
+        # nodes 0 and 1 have 3 contacts each.
+        assert kept.n_nodes == 2
+        assert len(kept) == 3
+
+    def test_bounds_checked(self):
+        with pytest.raises(TraceFormatError):
+            select_best_covered(line_trace(), 1)
+        with pytest.raises(TraceFormatError):
+            select_best_covered(line_trace(), 9)

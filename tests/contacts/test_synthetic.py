@@ -1,0 +1,142 @@
+"""Tests for the synthetic conference / vehicular / memoryless traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contacts import pair_rate_matrix, summarize
+from repro.contacts.synthetic import (
+    ConferenceTraceConfig,
+    VehicularTraceConfig,
+    conference_trace,
+    homogenized_poisson,
+    rate_matched_poisson,
+    vehicular_trace,
+)
+from repro.errors import ConfigurationError
+
+SMALL_CONF = ConferenceTraceConfig(n_nodes=20, n_days=2)
+SMALL_VEH = VehicularTraceConfig(
+    n_nodes=15, duration_hours=6.0, sample_interval_s=60.0
+)
+
+
+@pytest.fixture(scope="module")
+def conf_trace():
+    return conference_trace(SMALL_CONF, seed=42)
+
+
+@pytest.fixture(scope="module")
+def veh_trace():
+    return vehicular_trace(SMALL_VEH, seed=42)
+
+
+class TestConferenceTrace:
+    def test_duration(self, conf_trace):
+        assert conf_trace.duration == SMALL_CONF.duration == 2 * 1440.0
+
+    def test_volume_near_target(self, conf_trace):
+        expected = SMALL_CONF.mean_pair_rate * conf_trace.n_pairs * conf_trace.duration
+        assert 0.5 * expected < len(conf_trace) < 2.0 * expected
+
+    def test_heterogeneous_rates(self, conf_trace):
+        assert summarize(conf_trace).rate_cv > 0.5
+
+    def test_bursty(self, conf_trace):
+        assert summarize(conf_trace).burstiness > 0.15
+
+    def test_diurnal_cycle(self, conf_trace):
+        hours = (conf_trace.times % 1440.0) / 60.0
+        day = np.sum((hours >= 8) & (hours < 20))
+        night = len(conf_trace) - day
+        # Daytime occupies half the day but should carry most contacts.
+        assert day > 5 * night
+
+    def test_determinism(self):
+        a = conference_trace(SMALL_CONF, seed=5)
+        b = conference_trace(SMALL_CONF, seed=5)
+        assert np.array_equal(a.times, b.times)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConferenceTraceConfig(n_nodes=1)
+        with pytest.raises(ConfigurationError):
+            ConferenceTraceConfig(night_activity=0.0)
+        with pytest.raises(ConfigurationError):
+            ConferenceTraceConfig(pareto_shape=1.0)
+        with pytest.raises(ConfigurationError):
+            ConferenceTraceConfig(day_start=1000.0, day_end=500.0)
+
+
+class TestConferenceEdgeCases:
+    def test_always_active_profile(self):
+        config = ConferenceTraceConfig(
+            n_nodes=10, n_days=1, day_start=0.0, day_end=1440.0
+        )
+        trace = conference_trace(config, seed=1)
+        # No diurnal gating: event volume still near target.
+        expected = config.mean_pair_rate * trace.n_pairs * trace.duration
+        assert 0.4 * expected < len(trace) < 2.5 * expected
+
+    def test_homogeneous_sociability(self):
+        config = ConferenceTraceConfig(n_nodes=20, sociability_sigma=0.0)
+        trace = conference_trace(config, seed=2)
+        # Without sociability spread, pair rates are homogeneous.
+        assert summarize(trace).rate_cv < 0.6
+
+    def test_single_day(self):
+        config = ConferenceTraceConfig(n_nodes=10, n_days=1)
+        trace = conference_trace(config, seed=3)
+        assert trace.duration == 1440.0
+
+
+class TestVehicularTrace:
+    def test_duration_in_minutes(self, veh_trace):
+        assert veh_trace.duration == pytest.approx(360.0)
+
+    def test_nonempty(self, veh_trace):
+        assert len(veh_trace) > 10
+
+    def test_heterogeneous(self, veh_trace):
+        assert summarize(veh_trace).rate_cv > 0.5
+
+    def test_determinism(self):
+        a = vehicular_trace(SMALL_VEH, seed=9)
+        b = vehicular_trace(SMALL_VEH, seed=9)
+        assert np.array_equal(a.times, b.times)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            VehicularTraceConfig(n_nodes=1)
+        with pytest.raises(ConfigurationError):
+            VehicularTraceConfig(contact_radius_m=0.0)
+
+
+class TestMemorylessControls:
+    def test_rate_matched_preserves_rates(self, conf_trace):
+        control = rate_matched_poisson(conf_trace, seed=1)
+        original = pair_rate_matrix(conf_trace)
+        matched = pair_rate_matrix(control)
+        # Aggregate rate preserved closely; per-pair correlated.
+        assert matched.sum() == pytest.approx(original.sum(), rel=0.1)
+        iu = np.triu_indices(conf_trace.n_nodes, k=1)
+        correlation = np.corrcoef(original[iu], matched[iu])[0, 1]
+        assert correlation > 0.9
+
+    def test_rate_matched_removes_burstiness(self, conf_trace):
+        control = rate_matched_poisson(conf_trace, seed=2)
+        assert summarize(control).burstiness < summarize(conf_trace).burstiness
+
+    def test_homogenized_removes_heterogeneity(self, conf_trace):
+        control = homogenized_poisson(conf_trace, seed=3)
+        stats = summarize(control)
+        assert stats.rate_cv < 0.5
+        assert abs(stats.burstiness) < 0.1
+        assert stats.mean_pair_rate == pytest.approx(
+            conf_trace.mean_pair_rate, rel=0.1
+        )
+
+    def test_duration_override(self, conf_trace):
+        control = homogenized_poisson(conf_trace, seed=4, duration=500.0)
+        assert control.duration == 500.0

@@ -1,0 +1,58 @@
+"""Tests for request-schedule concatenation (dynamic-demand support)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.demand import DemandModel, RequestSchedule, generate_requests
+from repro.errors import ConfigurationError
+
+
+class TestConcatenate:
+    def test_joins_epochs(self):
+        head = DemandModel.pareto(4, omega=2.0, total_rate=2.0)
+        tail = DemandModel(rates=head.rates[::-1].copy())
+        first = generate_requests(head, 5, 100.0, seed=1)
+        second = generate_requests(tail, 5, 50.0, seed=2)
+        joined = RequestSchedule.concatenate([first, second])
+        assert len(joined) == len(first) + len(second)
+        assert joined.duration == pytest.approx(150.0)
+        assert np.all(np.diff(joined.times) >= 0)
+
+    def test_offsets_applied(self):
+        a = RequestSchedule(
+            times=np.array([1.0]), items=np.array([0]),
+            nodes=np.array([0]), duration=10.0,
+        )
+        b = RequestSchedule(
+            times=np.array([2.0]), items=np.array([1]),
+            nodes=np.array([1]), duration=5.0,
+        )
+        joined = RequestSchedule.concatenate([a, b])
+        assert joined.times.tolist() == [1.0, 12.0]
+
+    def test_popularity_shift_visible(self):
+        head = DemandModel.from_weights([10.0, 1.0], total_rate=5.0)
+        tail = DemandModel.from_weights([1.0, 10.0], total_rate=5.0)
+        joined = RequestSchedule.concatenate(
+            [
+                generate_requests(head, 3, 400.0, seed=3),
+                generate_requests(tail, 3, 400.0, seed=4),
+            ]
+        )
+        first_half = joined.sliced(0.0, 400.0).per_item_counts(2)
+        second_half = joined.sliced(400.0, 800.0).per_item_counts(2)
+        assert first_half[0] > first_half[1]
+        assert second_half[1] > second_half[0]
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RequestSchedule.concatenate([])
+
+    def test_single_schedule_identity(self):
+        schedule = generate_requests(
+            DemandModel.pareto(3), 2, 20.0, seed=5
+        )
+        joined = RequestSchedule.concatenate([schedule])
+        assert np.array_equal(joined.times, schedule.times)

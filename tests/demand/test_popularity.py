@@ -1,0 +1,89 @@
+"""Unit tests for demand models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.demand import DemandModel
+from repro.errors import ConfigurationError
+
+
+class TestPareto:
+    def test_total_rate(self):
+        demand = DemandModel.pareto(10, omega=1.0, total_rate=3.0)
+        assert demand.total_rate == pytest.approx(3.0)
+
+    def test_decreasing_rates(self):
+        demand = DemandModel.pareto(20, omega=1.2)
+        assert np.all(np.diff(demand.rates) <= 0)
+
+    def test_pareto_shape(self):
+        demand = DemandModel.pareto(10, omega=2.0)
+        # d_i ∝ i^-2 => d_1/d_3 = 9.
+        assert demand.rates[0] / demand.rates[2] == pytest.approx(9.0)
+
+    def test_omega_zero_is_uniform(self):
+        demand = DemandModel.pareto(5, omega=0.0, total_rate=1.0)
+        assert np.allclose(demand.rates, 0.2)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DemandModel.pareto(0)
+        with pytest.raises(ConfigurationError):
+            DemandModel.pareto(5, omega=-1.0)
+
+
+class TestBuilders:
+    def test_uniform(self):
+        demand = DemandModel.uniform(4, total_rate=2.0)
+        assert np.allclose(demand.rates, 0.5)
+
+    def test_geometric(self):
+        demand = DemandModel.geometric(3, ratio=0.5, total_rate=7.0)
+        assert demand.rates[0] / demand.rates[1] == pytest.approx(2.0)
+        assert demand.total_rate == pytest.approx(7.0)
+
+    def test_geometric_rejects_bad_ratio(self):
+        with pytest.raises(ConfigurationError):
+            DemandModel.geometric(3, ratio=1.5)
+
+    def test_from_weights(self):
+        demand = DemandModel.from_weights([3.0, 1.0], total_rate=8.0)
+        assert demand.rates.tolist() == [6.0, 2.0]
+
+    def test_from_weights_rejects_all_zero(self):
+        with pytest.raises(ConfigurationError):
+            DemandModel.from_weights([0.0, 0.0])
+
+    def test_zero_weight_items_allowed(self):
+        demand = DemandModel.from_weights([1.0, 0.0], total_rate=1.0)
+        assert demand.rates[1] == 0.0
+
+
+class TestProperties:
+    def test_probabilities_sum_to_one(self):
+        demand = DemandModel.pareto(13, omega=0.7)
+        assert demand.probabilities.sum() == pytest.approx(1.0)
+
+    def test_ranked_items(self):
+        demand = DemandModel.from_weights([1.0, 5.0, 3.0])
+        assert demand.ranked_items().tolist() == [1, 2, 0]
+
+    def test_ranked_items_tie_break_by_id(self):
+        demand = DemandModel.from_weights([2.0, 2.0, 1.0])
+        assert demand.ranked_items().tolist() == [0, 1, 2]
+
+    def test_scaled(self):
+        demand = DemandModel.pareto(5, total_rate=1.0)
+        doubled = demand.scaled(2.0)
+        assert doubled.total_rate == pytest.approx(2.0)
+        assert np.allclose(doubled.probabilities, demand.probabilities)
+
+    def test_validation_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            DemandModel(rates=np.array([1.0, -0.1]))
+
+    def test_validation_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            DemandModel(rates=np.array([]))

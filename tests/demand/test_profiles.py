@@ -1,0 +1,74 @@
+"""Unit tests for per-node demand profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.demand import clustered_profile, uniform_profile, validate_profile
+from repro.errors import ConfigurationError
+
+
+class TestUniformProfile:
+    def test_shape_and_rows(self):
+        pi = uniform_profile(4, 10)
+        assert pi.shape == (4, 10)
+        assert np.allclose(pi.sum(axis=1), 1.0)
+        assert np.allclose(pi, 0.1)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            uniform_profile(0, 5)
+
+
+class TestClusteredProfile:
+    def test_rows_normalized(self):
+        pi = clustered_profile(6, 9, n_groups=3, bias=5.0)
+        assert np.allclose(pi.sum(axis=1), 1.0)
+
+    def test_bias_favors_own_group(self):
+        pi = clustered_profile(4, 4, n_groups=2, bias=4.0)
+        # item 0 belongs to group 0 = clients 0, 2.
+        assert pi[0, 0] > pi[0, 1]
+        assert pi[0, 0] / pi[0, 1] == pytest.approx(4.0)
+
+    def test_bias_one_is_uniform(self):
+        pi = clustered_profile(4, 8, n_groups=2, bias=1.0)
+        assert np.allclose(pi, uniform_profile(4, 8))
+
+    def test_seeded_shuffle_is_deterministic(self):
+        a = clustered_profile(8, 8, n_groups=2, bias=3.0, seed=5)
+        b = clustered_profile(8, 8, n_groups=2, bias=3.0, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(ConfigurationError):
+            clustered_profile(4, 4, n_groups=0)
+        with pytest.raises(ConfigurationError):
+            clustered_profile(4, 4, n_groups=5)
+
+    def test_rejects_bias_below_one(self):
+        with pytest.raises(ConfigurationError):
+            clustered_profile(4, 4, n_groups=2, bias=0.5)
+
+
+class TestValidateProfile:
+    def test_accepts_valid(self):
+        pi = uniform_profile(3, 5)
+        assert validate_profile(pi, 3, 5) is not None
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ConfigurationError):
+            validate_profile(uniform_profile(3, 5), 3, 4)
+
+    def test_rejects_negative_entries(self):
+        pi = uniform_profile(2, 2)
+        pi[0, 0] = -0.5
+        pi[0, 1] = 1.5
+        with pytest.raises(ConfigurationError):
+            validate_profile(pi, 2, 2)
+
+    def test_rejects_unnormalized_rows(self):
+        pi = np.full((2, 2), 0.4)
+        with pytest.raises(ConfigurationError):
+            validate_profile(pi, 2, 2)

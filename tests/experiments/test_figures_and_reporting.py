@@ -1,0 +1,116 @@
+"""Smoke and correctness tests for figure regeneration and reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EffortProfile,
+    figure1,
+    figure2,
+    recommended_timeout,
+    render_loss_sweep,
+    render_table,
+)
+from repro.experiments.profiles import current_profile
+from repro.utility import ExponentialUtility, PowerUtility, StepUtility
+
+TINY = EffortProfile(
+    label="tiny",
+    n_trials=1,
+    duration=400.0,
+    power_alphas=(0.0,),
+    step_taus=(5.0,),
+    exp_nus=(0.1,),
+)
+
+
+class TestFigure1:
+    def test_panels_present(self):
+        result = figure1(n_points=4)
+        assert len(result.panels) == 3
+        text = result.render()
+        assert "advertising revenue" in text
+        assert "waiting cost" in text
+
+    def test_curves_monotone(self):
+        result = figure1(n_points=20)
+        for curves in result.panels.values():
+            for name, values in curves.items():
+                assert np.all(np.diff(values) <= 1e-9), name
+
+
+class TestFigure2:
+    def test_fitted_matches_closed_form(self):
+        result = figure2(alphas=[-2.0, -0.5, 0.0, 1.0, 1.5])
+        assert np.allclose(result.closed_form, result.fitted, atol=1e-3)
+
+    def test_key_points(self):
+        result = figure2(alphas=[0.0, 1.0])
+        assert result.closed_form[0] == pytest.approx(0.5)  # sqrt law
+        assert result.closed_form[1] == pytest.approx(1.0)  # proportional
+
+    def test_render(self):
+        text = figure2(alphas=[0.0]).render()
+        assert "alpha" in text and "fitted" in text
+
+
+class TestProfiles:
+    def test_quick_and_full(self):
+        quick = EffortProfile.quick()
+        full = EffortProfile.full()
+        assert quick.n_trials < full.n_trials
+        assert quick.duration < full.duration
+        assert len(quick.power_alphas) < len(full.power_alphas)
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert current_profile().label == "full"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        assert current_profile().label == "quick"
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        assert current_profile().label == "quick"
+
+    def test_bad_env_rejected(self, monkeypatch):
+        from repro.errors import ConfigurationError
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "massive")
+        with pytest.raises(ConfigurationError):
+            current_profile()
+
+
+class TestTimeouts:
+    def test_step(self):
+        assert recommended_timeout(StepUtility(3.0), 1e6) == 30.0
+
+    def test_exponential(self):
+        assert recommended_timeout(ExponentialUtility(0.1), 1e6) == 200.0
+
+    def test_capped_by_duration(self):
+        assert recommended_timeout(StepUtility(1000.0), 500.0) == 500.0
+
+    def test_unbounded_costs_have_none(self):
+        assert recommended_timeout(PowerUtility(0.0), 1e6) is None
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "value"], [["a", 1.0], ["long-name", 123456.0]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_render_table_title(self):
+        text = render_table(["x"], [[1.0]], title="demo")
+        assert text.splitlines()[0] == "demo"
+
+    def test_render_loss_sweep(self):
+        text = render_loss_sweep(
+            "tau", [1.0, 10.0], {"QCR": [-1.5, -0.25], "UNI": [-30.0, -2.0]}
+        )
+        assert "tau" in text
+        assert "-1.50%" in text
+        assert "-30.00%" in text

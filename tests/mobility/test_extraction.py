@@ -1,0 +1,70 @@
+"""Unit tests for proximity contact extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility import extract_contacts
+
+
+def positions_from_distances(distances):
+    """Two nodes on the x-axis at the given separations per step."""
+    frames = []
+    for d in distances:
+        frames.append([[0.0, 0.0], [d, 0.0]])
+    return np.asarray(frames)
+
+
+class TestExtraction:
+    def test_encounter_start_detected(self):
+        positions = positions_from_distances([500, 150, 100, 150, 500])
+        times = np.arange(5.0)
+        trace = extract_contacts(positions, times, radius=200.0)
+        assert len(trace) == 1
+        assert trace.times[0] == 1.0
+
+    def test_separate_encounters_counted(self):
+        positions = positions_from_distances([500, 100, 500, 100, 500])
+        trace = extract_contacts(positions, np.arange(5.0), radius=200.0)
+        assert len(trace) == 2
+        assert trace.times.tolist() == [1.0, 3.0]
+
+    def test_continuous_proximity_single_event(self):
+        positions = positions_from_distances([100, 120, 90, 110])
+        trace = extract_contacts(positions, np.arange(4.0), radius=200.0)
+        assert len(trace) == 1
+        assert trace.times[0] == 0.0  # in range at the first sample
+
+    def test_boundary_inclusive(self):
+        positions = positions_from_distances([300, 200])
+        trace = extract_contacts(positions, np.arange(2.0), radius=200.0)
+        assert len(trace) == 1
+
+    def test_three_nodes_pairwise(self):
+        frames = np.array(
+            [
+                [[0, 0], [1000, 0], [0, 1000]],
+                [[0, 0], [80, 0], [0, 80]],  # d(1,2) = 113 > radius
+            ],
+            dtype=float,
+        )
+        trace = extract_contacts(frames, np.array([0.0, 1.0]), radius=100.0)
+        pairs = set(zip(trace.node_a.tolist(), trace.node_b.tolist()))
+        assert pairs == {(0, 1), (0, 2)}
+
+    def test_duration_is_last_sample(self):
+        positions = positions_from_distances([500, 500])
+        trace = extract_contacts(positions, np.array([0.0, 7.5]), radius=10.0)
+        assert trace.duration == 7.5
+        assert len(trace) == 0
+
+    def test_validation(self):
+        good = positions_from_distances([1, 2])
+        with pytest.raises(ConfigurationError):
+            extract_contacts(good, np.array([0.0, 1.0]), radius=0.0)
+        with pytest.raises(ConfigurationError):
+            extract_contacts(good, np.array([0.0]), radius=1.0)
+        with pytest.raises(ConfigurationError):
+            extract_contacts(good[..., :1], np.array([0.0, 1.0]), radius=1.0)

@@ -1,0 +1,90 @@
+"""Unit tests for random-waypoint mobility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility import RandomWaypointModel
+
+
+def model(**overrides):
+    defaults = dict(
+        width=1000.0, height=800.0, speed_min=5.0, speed_max=10.0
+    )
+    defaults.update(overrides)
+    return RandomWaypointModel(**defaults)
+
+
+class TestValidation:
+    def test_rejects_bad_area(self):
+        with pytest.raises(ConfigurationError):
+            model(width=0.0)
+
+    def test_rejects_bad_speeds(self):
+        with pytest.raises(ConfigurationError):
+            model(speed_min=0.0)
+        with pytest.raises(ConfigurationError):
+            model(speed_min=10.0, speed_max=5.0)
+
+    def test_rejects_bad_pauses(self):
+        with pytest.raises(ConfigurationError):
+            model(pause_min=5.0, pause_max=1.0)
+
+    def test_rejects_bad_home_std(self):
+        with pytest.raises(ConfigurationError):
+            model(home_std=0.0)
+
+
+class TestPositions:
+    def test_shape(self):
+        times = np.linspace(0, 100, 11)
+        positions = model().sample_positions(4, times, seed=1)
+        assert positions.shape == (11, 4, 2)
+
+    def test_within_bounds(self):
+        times = np.linspace(0, 500, 100)
+        positions = model().sample_positions(6, times, seed=2)
+        assert positions[..., 0].min() >= 0
+        assert positions[..., 0].max() <= 1000.0
+        assert positions[..., 1].min() >= 0
+        assert positions[..., 1].max() <= 800.0
+
+    def test_speed_bounded(self):
+        times = np.linspace(0, 200, 401)  # dt = 0.5
+        positions = model().sample_positions(3, times, seed=3)
+        steps = np.diff(positions, axis=0)
+        speeds = np.hypot(steps[..., 0], steps[..., 1]) / 0.5
+        # Displacement speed never exceeds speed_max (pauses allow less).
+        assert speeds.max() <= 10.0 + 1e-9
+
+    def test_pause_produces_stationary_spells(self):
+        paused = model(pause_min=20.0, pause_max=30.0)
+        times = np.linspace(0, 500, 501)
+        positions = paused.sample_positions(2, times, seed=4)
+        steps = np.hypot(*np.moveaxis(np.diff(positions, axis=0), -1, 0))
+        assert (steps < 1e-9).any()
+
+    def test_determinism(self):
+        times = np.linspace(0, 50, 20)
+        a = model().sample_positions(3, times, seed=5)
+        b = model().sample_positions(3, times, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_home_zone_confines_movement(self):
+        homebound = model(home_std=30.0, width=10000.0, height=10000.0)
+        times = np.linspace(0, 2000, 200)
+        positions = homebound.sample_positions(5, times, seed=6)
+        for node in range(5):
+            track = positions[:, node]
+            spread = track.std(axis=0).max()
+            assert spread < 200.0  # stays near home, not area-wide
+
+    def test_rejects_bad_times(self):
+        with pytest.raises(ConfigurationError):
+            model().sample_positions(2, np.array([]), seed=1)
+        with pytest.raises(ConfigurationError):
+            model().sample_positions(2, np.array([3.0, 1.0]), seed=1)
+        with pytest.raises(ConfigurationError):
+            model().sample_positions(0, np.array([0.0, 1.0]), seed=1)

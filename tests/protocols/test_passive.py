@@ -1,0 +1,51 @@
+"""Tests for passive (cache-on-fulfill) replication."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contacts import homogeneous_poisson_trace
+from repro.demand import DemandModel, generate_requests
+from repro.protocols import PassiveReplication
+from repro.sim import Simulation, SimulationConfig
+from repro.utility import StepUtility
+
+
+@pytest.fixture
+def environment():
+    demand = DemandModel.pareto(8, omega=1.5, total_rate=4.0)
+    trace = homogeneous_poisson_trace(12, 0.1, 800.0, seed=21)
+    requests = generate_requests(demand, 12, 800.0, seed=22)
+    config = SimulationConfig(
+        n_items=8, rho=2, utility=StepUtility(10.0), record_interval=50.0
+    )
+    return demand, trace, requests, config
+
+
+class TestPassive:
+    def test_replicates_on_fulfill(self, environment):
+        demand, trace, requests, config = environment
+        result = Simulation(
+            trace, requests, config, PassiveReplication(), seed=23
+        ).run()
+        # Caches stay full; the allocation must have drifted from seed
+        # towards popularity (top item gains replicas).
+        assert result.snapshot_counts.sum(axis=1).max() <= 2 * 12
+        assert result.final_counts[0] > result.final_counts[-1]
+
+    def test_drifts_toward_proportional(self, environment):
+        """Passive replication converges to ~proportional allocation,
+        the equilibrium the paper attributes to it (Section 6.2)."""
+        demand, trace, requests, config = environment
+        result = Simulation(
+            trace, requests, config, PassiveReplication(), seed=24
+        ).run()
+        half = len(result.snapshot_counts) // 2
+        average = result.snapshot_counts[half:].mean(axis=0)
+        # Correlate long-run average counts with demand (both centered).
+        correlation = np.corrcoef(average, demand.rates)[0, 1]
+        assert correlation > 0.8
+
+    def test_name(self):
+        assert PassiveReplication().name == "PASSIVE"

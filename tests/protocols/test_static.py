@@ -1,0 +1,116 @@
+"""Tests for the fixed-allocation competitor protocols."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contacts import homogeneous_poisson_trace
+from repro.demand import DemandModel, generate_requests
+from repro.errors import ConfigurationError
+from repro.protocols import (
+    StaticAllocation,
+    dom_protocol,
+    opt_protocol,
+    prop_protocol,
+    sqrt_protocol,
+    uni_protocol,
+)
+from repro.sim import Simulation, SimulationConfig
+from repro.utility import StepUtility
+
+N, I, RHO, MU = 10, 8, 2, 0.1
+
+
+@pytest.fixture
+def demand():
+    return DemandModel.pareto(I, omega=1.0, total_rate=1.0)
+
+
+@pytest.fixture
+def environment(demand):
+    trace = homogeneous_poisson_trace(N, MU, 100.0, seed=1)
+    requests = generate_requests(demand, N, 100.0, seed=2)
+    config = SimulationConfig(n_items=I, rho=RHO, utility=StepUtility(5.0))
+    return trace, requests, config
+
+
+def initial_counts(protocol, environment):
+    trace, requests, config = environment
+    sim = Simulation(trace, requests, config, protocol, seed=3)
+    return sim.counts.copy()
+
+
+class TestBuilders:
+    def test_uni_counts(self, demand, environment):
+        counts = initial_counts(uni_protocol(demand, N, RHO), environment)
+        assert counts.sum() == RHO * N
+        assert counts.max() - counts.min() <= 1  # as even as possible
+
+    def test_prop_counts(self, demand, environment):
+        counts = initial_counts(prop_protocol(demand, N, RHO), environment)
+        assert counts.sum() == RHO * N
+        # Ratio roughly follows demand, up to integer rounding.
+        assert counts[0] > counts[-1]
+
+    def test_sqrt_between_uni_and_prop(self, demand, environment):
+        uni = initial_counts(uni_protocol(demand, N, RHO), environment)
+        sqrt = initial_counts(sqrt_protocol(demand, N, RHO), environment)
+        prop = initial_counts(prop_protocol(demand, N, RHO), environment)
+        assert uni.std() <= sqrt.std() <= prop.std()
+
+    def test_dom_counts(self, demand, environment):
+        counts = initial_counts(dom_protocol(demand, N, RHO), environment)
+        assert counts[:RHO].tolist() == [N, N]
+        assert counts[RHO:].sum() == 0
+
+    def test_opt_counts_match_greedy(self, demand, environment):
+        from repro.allocation import greedy_homogeneous
+
+        protocol = opt_protocol(demand, StepUtility(5.0), MU, N, RHO)
+        counts = initial_counts(protocol, environment)
+        greedy = greedy_homogeneous(demand, StepUtility(5.0), MU, N, RHO)
+        assert np.array_equal(np.sort(counts), np.sort(greedy.counts))
+
+    def test_names(self, demand):
+        assert uni_protocol(demand, N, RHO).name == "UNI"
+        assert sqrt_protocol(demand, N, RHO).name == "SQRT"
+        assert prop_protocol(demand, N, RHO).name == "PROP"
+        assert dom_protocol(demand, N, RHO).name == "DOM"
+        assert opt_protocol(demand, StepUtility(1.0), MU, N, RHO).name == "OPT"
+
+
+class TestStaticAllocation:
+    def test_requires_exactly_one_input(self):
+        with pytest.raises(ConfigurationError):
+            StaticAllocation()
+        with pytest.raises(ConfigurationError):
+            StaticAllocation(
+                counts=np.ones(3, dtype=np.int64),
+                allocation=np.ones((3, 2), dtype=np.int8),
+            )
+
+    def test_explicit_matrix_used_verbatim(self, environment):
+        trace, requests, config = environment
+        allocation = np.zeros((I, N), dtype=np.int8)
+        allocation[0, :4] = 1
+        sim = Simulation(
+            trace,
+            requests,
+            config,
+            StaticAllocation(allocation=allocation),
+            seed=4,
+        )
+        assert sim.counts[0] == 4
+        assert sim.counts[1:].sum() == 0
+
+    def test_no_dynamics(self, environment):
+        trace, requests, config = environment
+        allocation = np.zeros((I, N), dtype=np.int8)
+        allocation[0] = 1
+        allocation[1] = 1
+        sim = Simulation(
+            trace, requests, config, StaticAllocation(allocation=allocation), seed=5
+        )
+        result = sim.run()
+        assert np.array_equal(result.final_counts, allocation.sum(axis=1))

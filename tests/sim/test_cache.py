@@ -1,0 +1,172 @@
+"""Unit tests for the fixed-capacity cache with sticky slots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Cache
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestBasics:
+    def test_empty(self):
+        cache = Cache(3)
+        assert len(cache) == 0
+        assert not cache.is_full
+        assert 5 not in cache
+
+    def test_add_until_full(self):
+        cache = Cache(2)
+        cache.add(1)
+        cache.add(2)
+        assert cache.is_full
+        with pytest.raises(SimulationError):
+            cache.add(3)
+
+    def test_add_idempotent(self):
+        cache = Cache(2)
+        cache.add(1)
+        cache.add(1)
+        assert len(cache) == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(SimulationError):
+            Cache(0)
+
+    def test_items_snapshot(self):
+        cache = Cache(3)
+        cache.add(1)
+        cache.add(2)
+        snapshot = cache.items()
+        snapshot.add(99)
+        assert 99 not in cache
+
+
+class TestInsert:
+    def test_insert_into_space(self, rng):
+        cache = Cache(2)
+        assert cache.insert(7, rng) is None
+        assert 7 in cache
+
+    def test_insert_existing_noop(self, rng):
+        cache = Cache(2)
+        cache.add(7)
+        assert cache.insert(7, rng) is None
+        assert len(cache) == 1
+
+    def test_insert_evicts_when_full(self, rng):
+        cache = Cache(2)
+        cache.add(1)
+        cache.add(2)
+        victim = cache.insert(3, rng)
+        assert victim in (1, 2)
+        assert 3 in cache
+        assert len(cache) == 2
+
+    def test_eviction_uniform(self):
+        rng = np.random.default_rng(42)
+        victims = {1: 0, 2: 0, 3: 0}
+        for _ in range(600):
+            cache = Cache(3)
+            for item in (1, 2, 3):
+                cache.add(item)
+            victims[cache.insert(4, rng)] += 1
+        for count in victims.values():
+            assert 130 < count < 270  # roughly uniform thirds
+
+
+class TestSticky:
+    def test_pin_inserts(self):
+        cache = Cache(2, sticky=9)
+        assert 9 in cache
+        assert cache.sticky == 9
+
+    def test_sticky_never_evicted(self, rng):
+        cache = Cache(2, sticky=9)
+        cache.add(1)
+        for item in range(100, 130):
+            cache.insert(item, rng)
+        assert 9 in cache
+
+    def test_all_sticky_refuses_insert(self, rng):
+        cache = Cache(1, sticky=9)
+        assert cache.insert(5, rng) is None
+        assert 5 not in cache
+        assert 9 in cache
+
+    def test_pin_existing_item(self, rng):
+        cache = Cache(2)
+        cache.add(3)
+        cache.pin(3)
+        cache.add(4)
+        for item in range(10, 40):
+            cache.insert(item, rng)
+        assert 3 in cache
+
+    def test_repin_demotes_old_sticky(self, rng):
+        cache = Cache(2, sticky=1)
+        cache.pin(2)
+        assert cache.sticky == 2
+        # item 1 is now evictable.
+        evicted = set()
+        for item in range(10, 60):
+            victim = cache.insert(item, rng)
+            if victim is not None:
+                evicted.add(victim)
+        assert 1 in evicted
+        assert 2 in cache
+
+    def test_pin_into_full_cache_raises(self):
+        cache = Cache(1)
+        cache.add(1)
+        with pytest.raises(SimulationError):
+            cache.pin(2)
+
+
+class TestFillRandom:
+    def test_fills_free_slots(self, rng):
+        cache = Cache(4, sticky=0)
+        added = cache.fill_random(range(1, 10), rng)
+        assert len(cache) == 4
+        assert len(added) == 3
+        assert all(a in cache for a in added)
+
+    def test_no_duplicates(self, rng):
+        cache = Cache(4)
+        cache.add(2)
+        added = cache.fill_random([2, 3], rng)
+        assert added == [3]
+
+    def test_candidates_exhausted(self, rng):
+        cache = Cache(5)
+        added = cache.fill_random([1, 2], rng)
+        assert sorted(added) == [1, 2]
+        assert len(cache) == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    operations=st.lists(
+        st.integers(min_value=0, max_value=19), min_size=1, max_size=60
+    ),
+    capacity=st.integers(min_value=1, max_value=5),
+    sticky=st.integers(min_value=0, max_value=19),
+)
+def test_invariants_under_random_operations(operations, capacity, sticky):
+    """Size never exceeds capacity; sticky item never disappears."""
+    rng = np.random.default_rng(7)
+    cache = Cache(capacity, sticky=sticky)
+    for item in operations:
+        cache.insert(item, rng)
+        assert len(cache) <= capacity
+        assert sticky in cache
+        # internal consistency: eviction list matches item set
+        assert set(cache._evictable) | {sticky} == cache.items()

@@ -1,0 +1,107 @@
+"""Tests for SimulationConfig validation and initial-cache seeding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import SimulationConfig, assign_sticky, seed_allocation
+from repro.utility import StepUtility
+
+
+def config(**overrides):
+    defaults = dict(n_items=10, rho=3, utility=StepUtility(5.0))
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = config()
+        assert cfg.self_request_policy == "immediate"
+        assert cfg.unfulfilled_policy == "truncate"
+        assert cfg.request_timeout is None
+
+    def test_server_client_resolution(self):
+        cfg = config()
+        assert cfg.server_ids(5).tolist() == [0, 1, 2, 3, 4]
+        cfg2 = config(servers=(1, 3), clients=(0, 2, 4))
+        assert cfg2.server_ids(5).tolist() == [1, 3]
+        assert cfg2.client_ids(5).tolist() == [0, 2, 4]
+
+    def test_out_of_range_ids_rejected(self):
+        cfg = config(servers=(7,))
+        with pytest.raises(ConfigurationError):
+            cfg.server_ids(5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            config(n_items=0)
+        with pytest.raises(ConfigurationError):
+            config(rho=0)
+        with pytest.raises(ConfigurationError):
+            config(self_request_policy="noop")
+        with pytest.raises(ConfigurationError):
+            config(unfulfilled_policy="explode")
+        with pytest.raises(ConfigurationError):
+            config(record_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            config(request_timeout=-1.0)
+        with pytest.raises(ConfigurationError):
+            config(window_length=0.0)
+        with pytest.raises(ConfigurationError):
+            config(track_items=(99,))
+
+
+class TestSticky:
+    def test_each_item_assigned(self):
+        owners = assign_sticky(10, np.arange(5), rho=3, seed=1)
+        assert owners.shape == (10,)
+        assert set(owners.tolist()) <= set(range(5))
+
+    def test_balanced_assignment(self):
+        owners = assign_sticky(10, np.arange(5), rho=2, seed=2)
+        counts = np.bincount(owners, minlength=5)
+        assert counts.max() == 2
+
+    def test_capacity_check(self):
+        with pytest.raises(ConfigurationError):
+            assign_sticky(10, np.arange(2), rho=3, seed=3)
+
+    def test_subset_of_servers(self):
+        servers = np.array([3, 5, 9])
+        owners = assign_sticky(3, servers, rho=1, seed=4)
+        assert set(owners.tolist()) == {3, 5, 9}
+
+
+class TestSeedAllocation:
+    def test_shape_and_capacity(self):
+        allocation, sticky = seed_allocation(10, np.arange(5), rho=3, seed=5)
+        assert allocation.shape == (10, 5)
+        assert np.all(allocation.sum(axis=0) <= 3)
+
+    def test_sticky_copies_present(self):
+        allocation, sticky = seed_allocation(10, np.arange(5), rho=3, seed=6)
+        for item, owner in enumerate(sticky):
+            assert allocation[item, owner] == 1
+
+    def test_caches_filled(self):
+        allocation, _ = seed_allocation(10, np.arange(5), rho=3, seed=7)
+        # with 10 candidate items per server, every slot can be filled.
+        assert np.all(allocation.sum(axis=0) == 3)
+
+    def test_deterministic(self):
+        a, sa = seed_allocation(8, np.arange(4), rho=2, seed=8)
+        b, sb = seed_allocation(8, np.arange(4), rho=2, seed=8)
+        assert np.array_equal(a, b)
+        assert np.array_equal(sa, sb)
+
+    def test_explicit_sticky_owner(self):
+        sticky = np.array([2, 2, 0])
+        allocation, owners = seed_allocation(
+            3, np.arange(3), rho=2, seed=9, sticky_owner=sticky
+        )
+        assert np.array_equal(owners, sticky)
+        assert allocation[0, 2] == 1
+        assert allocation[2, 0] == 1

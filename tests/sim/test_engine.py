@@ -1,0 +1,337 @@
+"""Engine semantics tests: fulfillment, counters, policies, snapshots.
+
+These tests drive the simulator with hand-crafted traces and request
+schedules so every gain and counter value can be verified by hand.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.contacts import ContactTrace
+from repro.demand import RequestSchedule
+from repro.errors import ConfigurationError, SimulationError
+from repro.protocols import StaticAllocation
+from repro.protocols.base import ReplicationProtocol
+from repro.sim import Simulation, SimulationConfig, simulate
+from repro.utility import PowerUtility, StepUtility
+
+
+def trace_of(events, n_nodes=3, duration=100.0):
+    if events:
+        times, a, b = zip(*events)
+    else:
+        times, a, b = (), (), ()
+    return ContactTrace(
+        times=np.asarray(times, dtype=float),
+        node_a=np.asarray(a, dtype=np.int64),
+        node_b=np.asarray(b, dtype=np.int64),
+        n_nodes=n_nodes,
+        duration=duration,
+    )
+
+
+def requests_of(events, duration=100.0):
+    if events:
+        times, items, nodes = zip(*events)
+    else:
+        times, items, nodes = (), (), ()
+    return RequestSchedule(
+        times=np.asarray(times, dtype=float),
+        items=np.asarray(items, dtype=np.int64),
+        nodes=np.asarray(nodes, dtype=np.int64),
+        duration=duration,
+    )
+
+
+def static_protocol(allocation):
+    return StaticAllocation(allocation=np.asarray(allocation, dtype=np.int8))
+
+
+def base_config(**overrides):
+    defaults = dict(
+        n_items=2, rho=1, utility=StepUtility(10.0), window_length=10.0
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestFulfillment:
+    def test_single_fulfillment_gain(self):
+        # Node 1 holds item 0; node 0 requests it at t=1, meets node 1 at t=4.
+        allocation = [[0, 1, 0], [0, 0, 0]]
+        trace = trace_of([(4.0, 0, 1)])
+        requests = requests_of([(1.0, 0, 0)])
+        result = simulate(
+            trace, requests, base_config(), static_protocol(allocation), seed=1
+        )
+        assert result.n_fulfilled == 1
+        assert result.total_gain == pytest.approx(1.0)  # 3 < tau
+        assert result.mean_delay == pytest.approx(3.0)
+
+    def test_gain_uses_age(self):
+        allocation = [[0, 1, 0], [0, 0, 0]]
+        trace = trace_of([(20.0, 0, 1)])
+        requests = requests_of([(1.0, 0, 0)])
+        config = base_config(utility=PowerUtility(0.0))  # h = -t
+        result = simulate(
+            trace, requests, config, static_protocol(allocation), seed=1
+        )
+        assert result.total_gain == pytest.approx(-19.0)
+
+    def test_step_deadline_missed_gains_zero(self):
+        allocation = [[0, 1, 0], [0, 0, 0]]
+        trace = trace_of([(50.0, 0, 1)])
+        requests = requests_of([(1.0, 0, 0)])
+        result = simulate(
+            trace, requests, base_config(), static_protocol(allocation), seed=1
+        )
+        assert result.n_fulfilled == 1
+        assert result.total_gain == pytest.approx(0.0)
+
+    def test_meeting_without_item_no_fulfillment(self):
+        allocation = [[0, 0, 1], [0, 0, 0]]  # only node 2 has item 0
+        trace = trace_of([(4.0, 0, 1)])
+        requests = requests_of([(1.0, 0, 0)])
+        result = simulate(
+            trace, requests, base_config(), static_protocol(allocation), seed=1
+        )
+        assert result.n_fulfilled == 0
+        assert result.n_unfulfilled == 1
+
+    def test_both_directions_served(self):
+        # Node 0 holds item 0, node 1 holds item 1; they request each
+        # other's item and meet once.
+        allocation = [[1, 0, 0], [0, 1, 0]]
+        trace = trace_of([(5.0, 0, 1)])
+        requests = requests_of([(1.0, 1, 0), (2.0, 0, 1)])
+        result = simulate(
+            trace, requests, base_config(), static_protocol(allocation), seed=1
+        )
+        assert result.n_fulfilled == 2
+
+    def test_multiple_requests_same_item(self):
+        allocation = [[0, 1, 0], [0, 0, 0]]
+        trace = trace_of([(6.0, 0, 1)])
+        requests = requests_of([(1.0, 0, 0), (2.0, 0, 0)])
+        result = simulate(
+            trace, requests, base_config(), static_protocol(allocation), seed=1
+        )
+        assert result.n_fulfilled == 2
+        assert sorted(
+            round(d, 6) for d in (result.mean_delay * 2 - 4.0, 4.0)
+        )  # delays 5 and 4
+
+    def test_window_gains(self):
+        allocation = [[0, 1, 0], [0, 0, 0]]
+        trace = trace_of([(35.0, 0, 1)])
+        requests = requests_of([(30.0, 0, 0)])
+        result = simulate(
+            trace, requests, base_config(), static_protocol(allocation), seed=1
+        )
+        assert result.window_gains[3] == pytest.approx(1.0)
+        assert result.window_gains[:3].sum() == 0.0
+
+
+class TestSelfRequests:
+    def test_immediate_policy(self):
+        allocation = [[1, 0, 0], [0, 0, 0]]
+        trace = trace_of([])
+        requests = requests_of([(1.0, 0, 0)])
+        result = simulate(
+            trace, requests, base_config(), static_protocol(allocation), seed=1
+        )
+        assert result.n_immediate == 1
+        assert result.total_gain == pytest.approx(1.0)  # h(0+)
+
+    def test_skip_policy(self):
+        allocation = [[1, 0, 0], [0, 0, 0]]
+        config = base_config(self_request_policy="skip")
+        result = simulate(
+            trace_of([]),
+            requests_of([(1.0, 0, 0)]),
+            config,
+            static_protocol(allocation),
+            seed=1,
+        )
+        assert result.n_skipped_self == 1
+        assert result.total_gain == 0.0
+
+    def test_immediate_with_infinite_h0_raises(self):
+        allocation = [[1, 0, 0], [0, 0, 0]]
+        config = base_config(utility=PowerUtility(1.5))
+        with pytest.raises(SimulationError):
+            simulate(
+                trace_of([]),
+                requests_of([(1.0, 0, 0)]),
+                config,
+                static_protocol(allocation),
+                seed=1,
+            )
+
+
+class TestEndOfRun:
+    def test_truncate_policy_credits_partial_cost(self):
+        config = base_config(utility=PowerUtility(0.0))  # h = -t
+        result = simulate(
+            trace_of([], duration=50.0),
+            requests_of([(10.0, 0, 0)], duration=50.0),
+            config,
+            static_protocol([[0, 0, 1], [0, 0, 0]]),
+            seed=1,
+        )
+        assert result.n_unfulfilled == 1
+        assert result.total_gain == pytest.approx(-40.0)
+
+    def test_ignore_policy(self):
+        config = base_config(
+            utility=PowerUtility(0.0), unfulfilled_policy="ignore"
+        )
+        result = simulate(
+            trace_of([], duration=50.0),
+            requests_of([(10.0, 0, 0)], duration=50.0),
+            config,
+            static_protocol([[0, 0, 1], [0, 0, 0]]),
+            seed=1,
+        )
+        assert result.total_gain == 0.0
+
+
+class TestTimeout:
+    def test_expired_requests_dropped(self):
+        # Request at t=1; node 1 (with the item) met only at t=50,
+        # after the 20-unit timeout has passed (purge happens on the
+        # earlier t=30 meeting with empty-handed node 2).
+        allocation = [[0, 1, 0], [0, 0, 0]]
+        config = base_config(request_timeout=20.0)
+        trace = trace_of([(30.0, 0, 2), (50.0, 0, 1)])
+        requests = requests_of([(1.0, 0, 0)])
+        result = simulate(
+            trace, requests, config, static_protocol(allocation), seed=1
+        )
+        assert result.n_expired == 1
+        assert result.n_fulfilled == 0
+
+    def test_fresh_requests_kept(self):
+        allocation = [[0, 1, 0], [0, 0, 0]]
+        config = base_config(request_timeout=20.0)
+        trace = trace_of([(5.0, 0, 2), (8.0, 0, 1)])
+        requests = requests_of([(1.0, 0, 0)])
+        result = simulate(
+            trace, requests, config, static_protocol(allocation), seed=1
+        )
+        assert result.n_expired == 0
+        assert result.n_fulfilled == 1
+
+
+class TestSnapshotsAndCounts:
+    def test_snapshots_recorded(self):
+        allocation = [[0, 1, 0], [1, 0, 0]]
+        config = base_config(record_interval=25.0, track_items=(0,))
+        result = simulate(
+            trace_of([]),
+            requests_of([]),
+            config,
+            static_protocol(allocation),
+            seed=1,
+        )
+        assert len(result.snapshot_times) == 5  # t = 0, 25, 50, 75, 100
+        assert np.all(result.snapshot_counts == [1, 1])
+        assert result.snapshot_tracked.shape == (5, 1)
+
+    def test_static_allocation_never_changes(self, small_trace, small_requests, small_demand):
+        from repro.allocation import place_copies
+
+        counts = np.array([2, 2, 2, 1, 1, 1, 1, 0], dtype=np.int64)
+        allocation = place_copies(counts, 10, 2, seed=3)
+        config = SimulationConfig(
+            n_items=8, rho=2, utility=StepUtility(5.0), record_interval=50.0
+        )
+        result = simulate(
+            small_trace,
+            small_requests,
+            config,
+            static_protocol(allocation),
+            seed=4,
+        )
+        assert np.all(result.final_counts == counts)
+        assert np.all(result.snapshot_counts == counts)
+
+
+class TestValidation:
+    def test_requests_beyond_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate(
+                trace_of([], duration=10.0),
+                requests_of([(5.0, 0, 0)], duration=50.0),
+                base_config(),
+                static_protocol([[0, 0, 0], [0, 0, 0]]),
+            )
+
+    def test_protocol_must_initialize(self):
+        class Lazy(ReplicationProtocol):
+            name = "lazy"
+
+            def initialize(self, sim):
+                pass  # never sets an allocation
+
+        with pytest.raises(SimulationError):
+            Simulation(
+                trace_of([]), requests_of([]), base_config(), Lazy()
+            )
+
+    def test_non_client_requests_rejected(self):
+        config = base_config(clients=(0,))
+        with pytest.raises(ConfigurationError):
+            simulate(
+                trace_of([]),
+                requests_of([(1.0, 0, 2)]),
+                config,
+                static_protocol([[0, 0, 0], [0, 0, 0]]),
+            )
+
+    def test_overfull_allocation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate(
+                trace_of([]),
+                requests_of([]),
+                base_config(rho=1),
+                static_protocol([[1, 0, 0], [1, 0, 0]]),  # node 0 has 2 > rho
+            )
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, small_trace, small_requests):
+        from repro.protocols import QCR
+
+        config = SimulationConfig(n_items=8, rho=2, utility=StepUtility(5.0))
+        a = simulate(
+            small_trace, small_requests, config, QCR(config.utility, 0.1), seed=9
+        )
+        b = simulate(
+            small_trace, small_requests, config, QCR(config.utility, 0.1), seed=9
+        )
+        assert a.total_gain == b.total_gain
+        assert np.array_equal(a.final_counts, b.final_counts)
+
+    def test_dedicated_servers_only_serve(self):
+        """Clients that are not servers never store content."""
+        from repro.protocols import QCR
+
+        config = SimulationConfig(
+            n_items=2,
+            rho=2,
+            utility=StepUtility(10.0),
+            servers=(0,),
+            clients=(1, 2),
+        )
+        trace = trace_of([(1.0, 0, 1), (2.0, 1, 2), (3.0, 0, 2)])
+        requests = requests_of([(0.5, 0, 1), (0.5, 1, 2)])
+        sim = Simulation(trace, requests, config, QCR(config.utility, 0.1), seed=2)
+        result = sim.run()
+        assert sim.nodes[1].cache is None
+        assert sim.nodes[2].cache is None
+        assert result.n_fulfilled == 2  # both served by node 0

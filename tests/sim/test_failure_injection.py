@@ -1,0 +1,94 @@
+"""Tests for the failure-injection API (discard / remove_copy / delays)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contacts import homogeneous_poisson_trace
+from repro.demand import DemandModel, generate_requests
+from repro.protocols import QCR
+from repro.sim import Cache, Simulation, SimulationConfig, simulate
+from repro.utility import StepUtility
+
+
+class TestCacheDiscard:
+    def test_discard_present(self):
+        cache = Cache(3)
+        cache.add(1)
+        assert cache.discard(1)
+        assert 1 not in cache
+
+    def test_discard_absent(self):
+        cache = Cache(3)
+        assert not cache.discard(7)
+
+    def test_discard_sticky_refused(self):
+        cache = Cache(3, sticky=2)
+        assert not cache.discard(2)
+        assert 2 in cache
+
+    def test_discard_keeps_invariants(self):
+        rng = np.random.default_rng(1)
+        cache = Cache(3, sticky=0)
+        cache.add(1)
+        cache.add(2)
+        cache.discard(1)
+        cache.insert(5, rng)
+        assert set(cache._evictable) | {0} == cache.items()
+
+
+class TestRemoveCopy:
+    @pytest.fixture
+    def sim(self):
+        demand = DemandModel.pareto(6, total_rate=1.0)
+        trace = homogeneous_poisson_trace(8, 0.1, 100.0, seed=2)
+        requests = generate_requests(demand, 8, 100.0, seed=3)
+        config = SimulationConfig(n_items=6, rho=2, utility=StepUtility(5.0))
+        return Simulation(trace, requests, config, QCR(config.utility, 0.1), seed=4)
+
+    def test_counts_updated(self, sim):
+        node = next(
+            n for n in sim.nodes
+            if n.cache is not None
+            and any(i != n.cache.sticky for i in n.cache)
+        )
+        item = next(i for i in node.cache if i != node.cache.sticky)
+        before = sim.counts[item]
+        assert sim.remove_copy(node, item)
+        assert sim.counts[item] == before - 1
+
+    def test_remove_absent_false(self, sim):
+        node = sim.nodes[0]
+        missing = next(i for i in range(6) if not node.has_item(i))
+        assert not sim.remove_copy(node, missing)
+
+    def test_system_recovers_after_mass_failure(self):
+        """Knock every non-sticky replica out at t=0; QCR rebuilds."""
+        demand = DemandModel.pareto(8, total_rate=4.0)
+        trace = homogeneous_poisson_trace(12, 0.1, 600.0, seed=5)
+        requests = generate_requests(demand, 12, 600.0, seed=6)
+        config = SimulationConfig(
+            n_items=8, rho=2, utility=StepUtility(5.0), record_interval=50.0
+        )
+        sim = Simulation(trace, requests, config, QCR(config.utility, 0.1), seed=7)
+        for node in sim.nodes:
+            if node.cache is None:
+                continue
+            for item in list(node.cache.items()):
+                sim.remove_copy(node, item)
+        assert sim.counts.sum() == 8  # only sticky copies survive
+        result = sim.run()
+        # Replication refills the global cache substantially.
+        assert result.final_counts.sum() > 16
+
+
+class TestDelaysExposed:
+    def test_delays_match_summary(self):
+        demand = DemandModel.pareto(6, total_rate=2.0)
+        trace = homogeneous_poisson_trace(10, 0.1, 300.0, seed=8)
+        requests = generate_requests(demand, 10, 300.0, seed=9)
+        config = SimulationConfig(n_items=6, rho=2, utility=StepUtility(5.0))
+        result = simulate(trace, requests, config, QCR(config.utility, 0.1), seed=10)
+        assert len(result.delays) == result.n_fulfilled
+        assert result.mean_delay == pytest.approx(result.delays.mean())

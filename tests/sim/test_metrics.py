@@ -1,0 +1,99 @@
+"""Unit tests for the metrics collector and result record."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import MetricsCollector, SimulationResult
+
+
+def make_collector(**overrides):
+    defaults = dict(
+        duration=100.0,
+        n_items=4,
+        window_length=10.0,
+        record_interval=25.0,
+        track_items=(0, 2),
+    )
+    defaults.update(overrides)
+    return MetricsCollector(**defaults)
+
+
+class TestCollector:
+    def test_window_binning(self):
+        collector = make_collector()
+        collector.record_fulfillment(5.0, 1.0, 2.0)
+        collector.record_fulfillment(15.0, 1.0, 3.0)
+        collector.record_fulfillment(15.5, 1.0, 1.0)
+        assert collector.window_gains[0] == pytest.approx(2.0)
+        assert collector.window_gains[1] == pytest.approx(4.0)
+        assert collector.window_fulfillments[1] == 2
+
+    def test_event_at_horizon_clamped_to_last_window(self):
+        collector = make_collector()
+        collector.record_fulfillment(100.0, 1.0, 5.0)
+        assert collector.window_gains[-1] == pytest.approx(5.0)
+
+    def test_abandonment_binning(self):
+        collector = make_collector()
+        collector.record_abandonment(42.0, -1.5)
+        assert collector.window_gains[4] == pytest.approx(-1.5)
+        assert collector.total_gain == pytest.approx(-1.5)
+
+    def test_snapshot_tracking(self):
+        collector = make_collector()
+        counts = np.array([3, 1, 4, 1])
+        collector.record_snapshot(0.0, counts, None)
+        collector.record_snapshot(25.0, counts * 2, np.array([0, 0, 1, 0]))
+        result = collector.build_result(counts, n_unfulfilled=0)
+        assert result.snapshot_counts.shape == (2, 4)
+        assert result.snapshot_tracked.shape == (2, 2)
+        assert result.snapshot_tracked[0].tolist() == [3, 4]
+
+    def test_snapshots_are_copies(self):
+        collector = make_collector()
+        counts = np.array([1, 1, 1, 1])
+        collector.record_snapshot(0.0, counts, None)
+        counts[0] = 99
+        assert collector.snapshot_counts[0][0] == 1
+
+    def test_empty_run(self):
+        collector = make_collector()
+        result = collector.build_result(np.zeros(4, dtype=np.int64), 0)
+        assert result.n_fulfilled == 0
+        assert math.isnan(result.mean_delay)
+        assert math.isnan(result.fulfillment_ratio)
+        assert result.snapshot_counts.shape == (0, 4)
+        assert result.snapshot_mandates is None
+
+
+class TestResult:
+    def build(self):
+        collector = make_collector()
+        collector.record_generated()
+        collector.record_generated()
+        collector.record_fulfillment(10.0, 4.0, 1.0)
+        return collector.build_result(np.array([1, 1, 1, 1]), n_unfulfilled=1)
+
+    def test_gain_rate(self):
+        result = self.build()
+        assert result.gain_rate == pytest.approx(1.0 / 100.0)
+
+    def test_fulfillment_ratio(self):
+        result = self.build()
+        assert result.fulfillment_ratio == pytest.approx(0.5)
+
+    def test_summary_keys(self):
+        summary = self.build().summary()
+        assert {"gain_rate", "mean_delay", "n_generated"} <= set(summary)
+
+    def test_delay_percentiles(self):
+        collector = make_collector()
+        for delay in range(1, 101):
+            collector.record_fulfillment(1.0, float(delay), 0.0)
+        result = collector.build_result(np.zeros(4, dtype=np.int64), 0)
+        assert result.median_delay == pytest.approx(50.5)
+        assert result.p95_delay == pytest.approx(95.05)

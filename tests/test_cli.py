@@ -1,0 +1,76 @@
+"""CLI smoke tests (fast subcommands only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "max relative error" in out
+
+    def test_figure_1(self, capsys):
+        assert main(["figure", "1"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_figure_2(self, capsys):
+        assert main(["figure", "2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_allocate(self, capsys):
+        assert main(
+            ["allocate", "--utility", "power", "--param", "0", "--top", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "greedy x_i" in out
+
+    def test_simulate(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--protocol",
+                "UNI",
+                "--nodes",
+                "10",
+                "--items",
+                "8",
+                "--duration",
+                "150",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gain_rate" in out
+
+    def test_trace_generation(self, capsys, tmp_path):
+        output = tmp_path / "t.csv"
+        assert main(
+            [
+                "trace",
+                "poisson",
+                "--nodes",
+                "8",
+                "--duration",
+                "50",
+                "--output",
+                str(output),
+            ]
+        ) == 0
+        assert output.exists()
+        from repro.contacts import load_csv
+
+        trace = load_csv(output)
+        assert trace.n_nodes == 8
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,138 @@
+"""Integration tests for the dedicated-node (throwbox/kiosk) scenario.
+
+The paper's "Dedicated nodes" case: server and client populations are
+disjoint (buses, throwboxes, kiosks).  Unbounded `h(0+)` utilities
+(time-critical content) are only legal here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    HeterogeneousProblem,
+    greedy_heterogeneous,
+    greedy_homogeneous,
+)
+from repro.contacts import homogeneous_poisson_trace, pair_rate_matrix
+from repro.demand import DemandModel, RequestSchedule, generate_requests
+from repro.protocols import QCR, StaticAllocation, uni_protocol
+from repro.sim import Simulation, SimulationConfig, simulate
+from repro.utility import PowerUtility
+
+N_NODES, N_SERVERS, N_ITEMS, RHO, MU, T = 16, 6, 10, 2, 0.08, 1500.0
+SERVERS = tuple(range(N_SERVERS))
+CLIENTS = tuple(range(N_SERVERS, N_NODES))
+
+
+@pytest.fixture(scope="module")
+def world():
+    demand = DemandModel.pareto(N_ITEMS, omega=1.0, total_rate=2.0)
+    trace = homogeneous_poisson_trace(N_NODES, MU, T, seed=71)
+    raw = generate_requests(demand, N_NODES, T, seed=72)
+    # Map request origins onto the client population.
+    requests = RequestSchedule(
+        times=raw.times,
+        items=raw.items,
+        nodes=raw.nodes % len(CLIENTS) + N_SERVERS,
+        duration=raw.duration,
+    )
+    return demand, trace, requests
+
+
+def config(utility):
+    return SimulationConfig(
+        n_items=N_ITEMS,
+        rho=RHO,
+        utility=utility,
+        servers=SERVERS,
+        clients=CLIENTS,
+    )
+
+
+class TestDedicatedInversePower:
+    def test_unbounded_utility_runs(self, world):
+        """Inverse power (h(0+) = inf) is legal with disjoint populations."""
+        demand, trace, requests = world
+        utility = PowerUtility(1.5)
+        result = simulate(
+            trace, requests, config(utility), QCR(utility, MU), seed=73
+        )
+        assert result.n_fulfilled > 0
+        assert np.isfinite(result.total_gain)
+
+    def test_opt_beats_uniform(self, world):
+        demand, trace, requests = world
+        utility = PowerUtility(1.5)
+        greedy = greedy_homogeneous(
+            demand, utility, MU, N_SERVERS, RHO
+        )
+        opt = simulate(
+            trace,
+            requests,
+            config(utility),
+            StaticAllocation(counts=greedy.counts, name="OPT"),
+            seed=74,
+        )
+        uni = simulate(
+            trace,
+            requests,
+            config(utility),
+            uni_protocol(demand, N_SERVERS, RHO),
+            seed=74,
+        )
+        assert opt.gain_rate > uni.gain_rate
+
+    def test_heterogeneous_opt_without_client_servers(self, world):
+        """The submodular greedy accepts infinite-h0 utilities as long as
+        no client doubles as a server."""
+        demand, trace, requests = world
+        utility = PowerUtility(1.5)
+        rates = pair_rate_matrix(trace)[
+            np.ix_(list(SERVERS), list(CLIENTS))
+        ]
+        problem = HeterogeneousProblem(
+            demand=demand,
+            utility=utility,
+            rate_matrix=rates,
+            rho=RHO,
+            rate_floor=1.0 / trace.duration,
+        )
+        result = greedy_heterogeneous(problem)
+        assert result.allocation.shape == (N_ITEMS, N_SERVERS)
+        assert result.allocation.sum() == RHO * N_SERVERS
+
+    def test_clients_never_store(self, world):
+        demand, trace, requests = world
+        utility = PowerUtility(1.5)
+        sim = Simulation(
+            trace, requests, config(utility), QCR(utility, MU), seed=75
+        )
+        sim.run()
+        for client in CLIENTS:
+            assert sim.nodes[client].cache is None
+
+    def test_query_counter_only_counts_servers(self, world):
+        """Meetings with fellow clients must not advance the counter."""
+        demand, trace, requests = world
+        utility = PowerUtility(1.5)
+        protocol = QCR(utility, MU)
+        counters = []
+
+        original = protocol.on_fulfill
+
+        def spy(sim, t, requester, provider, item, counter):
+            counters.append(counter)
+            original(sim, t, requester, provider, item, counter)
+
+        protocol.on_fulfill = spy
+        sim = Simulation(
+            trace, requests, config(utility), protocol, seed=76
+        )
+        sim.run()
+        assert counters
+        # With 6 servers of 16 nodes and content spread over them, the
+        # mean query count must reflect server meetings only: at most a
+        # few servers seen before success.
+        assert np.mean(counters) < 8

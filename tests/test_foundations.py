@@ -1,0 +1,100 @@
+"""Tests for the foundation modules: errors, types, reporting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+    UtilityDomainError,
+)
+from repro.experiments.reporting import format_value
+from repro.types import as_rng
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            ConfigurationError,
+            TraceFormatError,
+            AllocationError,
+            UtilityDomainError,
+            SimulationError,
+        ],
+    )
+    def test_all_derive_from_base(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_value_errors_catchable_as_valueerror(self):
+        """Validation errors double as ValueError for ergonomic catching."""
+        for error_type in (
+            ConfigurationError,
+            TraceFormatError,
+            AllocationError,
+            UtilityDomainError,
+        ):
+            assert issubclass(error_type, ValueError)
+
+    def test_simulation_error_is_runtime(self):
+        assert issubclass(SimulationError, RuntimeError)
+
+    def test_library_raises_its_own_types(self):
+        from repro import DemandModel
+
+        with pytest.raises(ReproError):
+            DemandModel.pareto(0)
+
+
+class TestAsRng:
+    def test_from_int(self):
+        rng = as_rng(42)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_from_none(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert as_rng(rng) is rng
+
+    def test_same_seed_same_stream(self):
+        assert as_rng(7).random() == as_rng(7).random()
+
+
+class TestFormatValue:
+    def test_nan_and_inf(self):
+        assert format_value(float("nan")) == "nan"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(float("-inf")) == "-inf"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_regular(self):
+        assert format_value(3.14159, precision=3) == "3.14"
+
+    def test_large_and_tiny(self):
+        assert "e" in format_value(1.23e12) or "E" in format_value(1.23e12)
+        assert format_value(1.2e-9) != "0"
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_main_module_importable(self):
+        import repro.__main__  # noqa: F401

@@ -1,0 +1,134 @@
+"""End-to-end integration tests reproducing the paper's headline claims
+on small instances.
+
+Each test is a miniature of one evaluation finding:
+
+* the optimal allocation beats every heuristic (OPT is optimal);
+* SQRT is near-optimal at ``alpha = 0`` (Cohen-Shenker square-root law);
+* DOM collapses under waiting costs (tail items starve);
+* QCR, using only local information, lands between OPT and the naive
+  allocations;
+* analytic welfare predicts simulated gain rates for static allocations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import greedy_homogeneous, homogeneous_welfare
+from repro.contacts import homogeneous_poisson_trace
+from repro.demand import DemandModel, generate_requests
+from repro.protocols import (
+    QCR,
+    QCRConfig,
+    dom_protocol,
+    opt_protocol,
+    prop_protocol,
+    sqrt_protocol,
+    uni_protocol,
+)
+from repro.sim import SimulationConfig, simulate
+from repro.utility import PowerUtility, StepUtility
+
+N, I, RHO, MU, T = 30, 20, 3, 0.08, 2500.0
+
+
+@pytest.fixture(scope="module")
+def world():
+    demand = DemandModel.pareto(I, omega=1.0, total_rate=3.0)
+    trace = homogeneous_poisson_trace(N, MU, T, seed=41)
+    requests = generate_requests(demand, N, T, seed=42)
+    return demand, trace, requests
+
+
+def run(world, utility, protocol, seed=43):
+    _, trace, requests = world
+    config = SimulationConfig(n_items=I, rho=RHO, utility=utility)
+    return simulate(trace, requests, config, protocol, seed=seed)
+
+
+class TestOptimality:
+    def test_opt_beats_heuristics_step(self, world):
+        demand, _, _ = world
+        utility = StepUtility(5.0)
+        opt = run(world, utility, opt_protocol(
+            demand, utility, MU, N, RHO, pure_p2p=True, n_clients=N
+        ))
+        for heuristic in (
+            uni_protocol(demand, N, RHO),
+            dom_protocol(demand, N, RHO),
+        ):
+            other = run(world, utility, heuristic)
+            assert opt.gain_rate >= other.gain_rate - 1e-9
+
+    def test_sqrt_near_optimal_at_alpha_zero(self, world):
+        """The square-root law is optimal at alpha = 0 (Section 4.2)."""
+        demand, _, _ = world
+        utility = PowerUtility(0.0)
+        opt = run(world, utility, opt_protocol(
+            demand, utility, MU, N, RHO, pure_p2p=True, n_clients=N
+        ))
+        sqrt = run(world, utility, sqrt_protocol(demand, N, RHO))
+        loss = (sqrt.gain_rate - opt.gain_rate) / abs(opt.gain_rate)
+        assert abs(loss) < 0.10
+
+    def test_dom_collapses_under_waiting_costs(self, world):
+        demand, _, _ = world
+        utility = PowerUtility(0.0)
+        opt = run(world, utility, opt_protocol(
+            demand, utility, MU, N, RHO, pure_p2p=True, n_clients=N
+        ))
+        dom = run(world, utility, dom_protocol(demand, N, RHO))
+        # DOM starves the tail: at least an order of magnitude worse.
+        assert dom.gain_rate < 5 * opt.gain_rate  # both negative
+
+    def test_prop_overweights_popular_items(self, world):
+        """PROP is notably suboptimal for waiting costs (Section 6.2)."""
+        demand, _, _ = world
+        utility = PowerUtility(0.0)
+        sqrt = run(world, utility, sqrt_protocol(demand, N, RHO))
+        prop = run(world, utility, prop_protocol(demand, N, RHO))
+        assert sqrt.gain_rate > prop.gain_rate
+
+
+class TestQcrEndToEnd:
+    def test_qcr_between_opt_and_uni(self, world):
+        demand, _, _ = world
+        utility = StepUtility(5.0)
+        opt = run(world, utility, opt_protocol(
+            demand, utility, MU, N, RHO, pure_p2p=True, n_clients=N
+        ))
+        qcr = run(world, utility, QCR(utility, MU))
+        uni = run(world, utility, uni_protocol(demand, N, RHO))
+        assert uni.gain_rate < qcr.gain_rate <= opt.gain_rate * 1.02
+
+    def test_qcr_loss_within_paper_envelope_step(self, world):
+        """Paper: QCR within ~5% of OPT for step utilities."""
+        demand, _, _ = world
+        utility = StepUtility(5.0)
+        opt = run(world, utility, opt_protocol(
+            demand, utility, MU, N, RHO, pure_p2p=True, n_clients=N
+        ))
+        qcr = run(world, utility, QCR(utility, MU))
+        loss = (qcr.gain_rate - opt.gain_rate) / abs(opt.gain_rate)
+        assert loss > -0.10
+
+
+class TestAnalyticAgreement:
+    @pytest.mark.parametrize(
+        "utility", [StepUtility(5.0), PowerUtility(0.0)], ids=["step", "power"]
+    )
+    def test_simulated_gain_matches_welfare(self, world, utility):
+        """For a static optimal allocation, the simulated gain rate should
+        match the analytic social welfare within sampling error."""
+        demand, _, _ = world
+        greedy = greedy_homogeneous(
+            demand, utility, MU, N, RHO, pure_p2p=True, n_clients=N
+        )
+        result = run(
+            world,
+            utility,
+            opt_protocol(demand, utility, MU, N, RHO, pure_p2p=True, n_clients=N),
+        )
+        assert result.gain_rate == pytest.approx(greedy.welfare, rel=0.08)

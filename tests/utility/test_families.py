@@ -1,0 +1,242 @@
+"""Unit tests for the concrete delay-utility families (Table 1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import UtilityDomainError
+from repro.utility import (
+    ExponentialUtility,
+    NegLogUtility,
+    PowerUtility,
+    StepUtility,
+    power_family,
+)
+
+
+class TestStepUtility:
+    def test_values(self):
+        u = StepUtility(2.0)
+        assert u(1.0) == 1.0
+        assert u(2.0) == 1.0  # inclusive deadline
+        assert u(2.0001) == 0.0
+
+    def test_vectorized(self):
+        u = StepUtility(1.0)
+        values = u(np.array([0.5, 1.0, 1.5]))
+        assert values.tolist() == [1.0, 1.0, 0.0]
+
+    def test_limits(self):
+        u = StepUtility(3.0)
+        assert u.h0 == 1.0
+        assert u.gain_never == 0.0
+
+    def test_expected_gain_closed_form(self):
+        u = StepUtility(3.0)
+        assert u.expected_gain(0.5) == pytest.approx(1 - math.exp(-1.5))
+
+    def test_expected_gain_edge_rates(self):
+        u = StepUtility(3.0)
+        assert u.expected_gain(0.0) == 0.0
+        assert u.expected_gain(math.inf) == 1.0
+
+    def test_phi_closed_form(self):
+        u = StepUtility(2.0)
+        mu = 0.1
+        assert u.phi(4.0, mu) == pytest.approx(0.2 * math.exp(-0.8))
+
+    def test_phi_inverse_round_trip(self):
+        u = StepUtility(2.0)
+        for x in (0.5, 3.0, 12.0):
+            assert u.phi_inverse(u.phi(x, 0.05), 0.05) == pytest.approx(x)
+
+    def test_phi_inverse_saturates_at_zero(self):
+        u = StepUtility(2.0)
+        assert u.phi_inverse(1e9, 0.05) == 0.0
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(UtilityDomainError):
+            StepUtility(0.0)
+
+    def test_differential_is_single_atom(self):
+        u = StepUtility(1.5)
+        measure = u.differential
+        assert measure.density is None
+        assert len(measure.atoms) == 1
+        assert measure.atoms[0].location == 1.5
+        assert measure.atoms[0].mass == 1.0
+
+
+class TestExponentialUtility:
+    def test_values(self):
+        u = ExponentialUtility(0.5)
+        assert u(2.0) == pytest.approx(math.exp(-1.0))
+
+    def test_limits(self):
+        u = ExponentialUtility(1.0)
+        assert u.h0 == 1.0
+        assert u.gain_never == 0.0
+
+    def test_expected_gain_closed_form(self):
+        u = ExponentialUtility(2.0)
+        # E[exp(-nu Y)] = rate/(rate+nu).
+        assert u.expected_gain(3.0) == pytest.approx(3.0 / 5.0)
+
+    def test_phi_closed_form(self):
+        u = ExponentialUtility(2.0)
+        assert u.phi(1.0, 0.5) == pytest.approx(0.5 * 2.0 / (2.0 + 0.5) ** 2)
+
+    def test_phi_inverse_round_trip(self):
+        u = ExponentialUtility(0.3)
+        for x in (0.1, 2.0, 40.0):
+            assert u.phi_inverse(u.phi(x, 0.05), 0.05) == pytest.approx(x)
+
+    def test_psi_matches_table1_form(self):
+        # psi(y) = 1/(nu*y/(mu*S) + 2 + mu*S/(nu*y)).
+        nu, mu, s = 0.7, 0.05, 50
+        u = ExponentialUtility(nu)
+        for y in (1.0, 5.0, 30.0):
+            expected = 1.0 / (
+                nu * y / (mu * s) + 2.0 + mu * s / (nu * y)
+            )
+            assert u.psi(y, s, mu) == pytest.approx(expected)
+
+    def test_rejects_bad_nu(self):
+        with pytest.raises(UtilityDomainError):
+            ExponentialUtility(-1.0)
+
+
+class TestPowerUtility:
+    def test_waiting_cost_values(self):
+        u = PowerUtility(0.0)  # h(t) = -t
+        assert u(3.0) == pytest.approx(-3.0)
+        assert u.h0 == 0.0
+        assert u.gain_never == -math.inf
+
+    def test_time_critical_values(self):
+        u = PowerUtility(1.5)  # h(t) = 2/sqrt(t)
+        assert u(4.0) == pytest.approx(1.0)
+        assert u.h0 == math.inf
+        assert u.gain_never == 0.0
+        assert not u.finite_at_zero
+
+    def test_monotone_decreasing(self):
+        for alpha in (-2.0, -0.5, 0.0, 0.5, 1.5, 1.9):
+            u = power_family(alpha)
+            times = np.linspace(0.1, 10.0, 50)
+            values = np.asarray(u(times))
+            assert np.all(np.diff(values) <= 1e-12), alpha
+
+    def test_expected_gain_closed_form(self):
+        # alpha=0: E[-Y] = -1/rate.
+        u = PowerUtility(0.0)
+        assert u.expected_gain(0.25) == pytest.approx(-4.0)
+
+    def test_expected_gain_alpha_half(self):
+        # alpha=0.5: h=-2 sqrt(t); E[sqrt(Y)] = Gamma(1.5)/sqrt(rate).
+        u = PowerUtility(0.5)
+        rate = 2.0
+        expected = -2.0 * math.gamma(1.5) / math.sqrt(rate)
+        assert u.expected_gain(rate) == pytest.approx(expected)
+
+    def test_phi_closed_form(self):
+        u = PowerUtility(0.0)
+        # phi(x) = 1/(mu x^2) at alpha=0.
+        assert u.phi(4.0, 0.05) == pytest.approx(1 / (0.05 * 16.0))
+
+    def test_phi_at_zero_is_infinite(self):
+        assert PowerUtility(0.5).phi(0.0, 1.0) == math.inf
+
+    def test_phi_inverse_round_trip(self):
+        for alpha in (-1.0, 0.0, 0.5, 1.5):
+            u = PowerUtility(alpha)
+            for x in (0.5, 7.0):
+                assert u.phi_inverse(u.phi(x, 0.05), 0.05) == pytest.approx(x)
+
+    def test_alpha_domain(self):
+        with pytest.raises(UtilityDomainError):
+            PowerUtility(2.0)
+        with pytest.raises(UtilityDomainError):
+            PowerUtility(1.0)
+
+    def test_laplace_infinite_for_alpha_ge_1(self):
+        assert PowerUtility(1.5).laplace_c(1.0) == math.inf
+
+    def test_laplace_closed_form_alpha_below_1(self):
+        u = PowerUtility(0.5)
+        rate = 2.0
+        assert u.laplace_c(rate) == pytest.approx(
+            math.gamma(0.5) * rate**-0.5
+        )
+
+
+class TestNegLogUtility:
+    def test_values(self):
+        u = NegLogUtility()
+        assert u(1.0) == 0.0
+        assert u(math.e) == pytest.approx(-1.0)
+
+    def test_expected_gain(self):
+        u = NegLogUtility()
+        # E[-ln Y] = gamma + ln(rate).
+        assert u.expected_gain(1.0) == pytest.approx(0.5772156649, rel=1e-6)
+
+    def test_phi_is_reciprocal(self):
+        u = NegLogUtility()
+        assert u.phi(5.0, 0.3) == pytest.approx(0.2)
+
+    def test_psi_is_constant(self):
+        # Constant reaction = proportional (passive) replication optimal.
+        u = NegLogUtility()
+        values = [u.psi(y, 50, 0.05) for y in (1.0, 10.0, 100.0)]
+        assert max(values) == pytest.approx(min(values))
+
+    def test_power_family_dispatch(self):
+        assert isinstance(power_family(1.0), NegLogUtility)
+        assert isinstance(power_family(0.5), PowerUtility)
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize(
+        "utility",
+        [
+            StepUtility(2.0),
+            ExponentialUtility(0.5),
+            PowerUtility(0.5),
+            PowerUtility(-1.0),
+            NegLogUtility(),
+        ],
+        ids=lambda u: u.name,
+    )
+    def test_expected_gain_increases_with_rate(self, utility):
+        rates = [0.01, 0.1, 1.0, 10.0]
+        gains = [utility.expected_gain(r) for r in rates]
+        assert all(a <= b + 1e-12 for a, b in zip(gains, gains[1:]))
+
+    @pytest.mark.parametrize(
+        "utility",
+        [
+            StepUtility(2.0),
+            ExponentialUtility(0.5),
+            PowerUtility(0.5),
+            NegLogUtility(),
+        ],
+        ids=lambda u: u.name,
+    )
+    def test_phi_decreases_with_x(self, utility):
+        values = [utility.phi(x, 0.05) for x in (0.5, 1.0, 5.0, 20.0)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(UtilityDomainError):
+            StepUtility(1.0).expected_gain(-0.1)
+
+    def test_psi_rejects_bad_arguments(self):
+        u = StepUtility(1.0)
+        with pytest.raises(UtilityDomainError):
+            u.psi(0.0, 50, 0.05)
+        with pytest.raises(UtilityDomainError):
+            u.psi(5.0, 0, 0.05)

@@ -1,0 +1,91 @@
+"""Unit tests for the differential-measure machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.utility.measures import Atom, DifferentialMeasure
+
+
+class TestAtom:
+    def test_rejects_negative_location(self):
+        with pytest.raises(ValueError):
+            Atom(-1.0, 1.0)
+
+    def test_rejects_negative_mass(self):
+        with pytest.raises(ValueError):
+            Atom(1.0, -0.5)
+
+
+class TestDifferentialMeasure:
+    def test_requires_density_or_atoms(self):
+        with pytest.raises(ValueError):
+            DifferentialMeasure()
+
+    def test_atom_only_laplace(self):
+        measure = DifferentialMeasure(atoms=(Atom(2.0, 3.0),))
+        assert measure.laplace(0.5) == pytest.approx(3.0 * math.exp(-1.0))
+
+    def test_atom_outside_upper_excluded(self):
+        measure = DifferentialMeasure(atoms=(Atom(2.0, 1.0),))
+        assert measure.total_mass(upper=1.0) == 0.0
+        assert measure.total_mass(upper=3.0) == 1.0
+
+    def test_density_total_mass(self):
+        # Density nu*exp(-nu*t) has total mass 1.
+        measure = DifferentialMeasure(density=lambda t: 2.0 * math.exp(-2.0 * t))
+        assert measure.total_mass() == pytest.approx(1.0, rel=1e-8)
+
+    def test_density_plus_atom(self):
+        measure = DifferentialMeasure(
+            density=lambda t: math.exp(-t), atoms=(Atom(1.0, 0.5),)
+        )
+        assert measure.total_mass() == pytest.approx(1.5, rel=1e-8)
+
+    def test_laplace_rejects_negative_rate(self):
+        measure = DifferentialMeasure(atoms=(Atom(1.0, 1.0),))
+        with pytest.raises(ValueError):
+            measure.laplace(-1.0)
+
+    def test_scaled(self):
+        measure = DifferentialMeasure(
+            density=lambda t: math.exp(-t), atoms=(Atom(1.0, 2.0),)
+        )
+        doubled = measure.scaled(2.0)
+        assert doubled.total_mass() == pytest.approx(
+            2.0 * measure.total_mass(), rel=1e-8
+        )
+
+    def test_scaled_rejects_negative(self):
+        measure = DifferentialMeasure(atoms=(Atom(1.0, 1.0),))
+        with pytest.raises(ValueError):
+            measure.scaled(-1.0)
+
+    def test_combine_sums_masses(self):
+        first = DifferentialMeasure(density=lambda t: math.exp(-t))
+        second = DifferentialMeasure(atoms=(Atom(0.5, 0.25),))
+        combined = DifferentialMeasure.combine([first, second])
+        assert combined.total_mass() == pytest.approx(1.25, rel=1e-8)
+
+    def test_combine_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DifferentialMeasure.combine([])
+
+    def test_integrate_weight(self):
+        # integral of t * 1{t<=2} Dirac(2) = 2 * mass.
+        measure = DifferentialMeasure(atoms=(Atom(2.0, 0.5),))
+        assert measure.integrate(lambda t: t) == pytest.approx(1.0)
+
+    def test_breakpoints_improve_panels(self):
+        # A piecewise-constant density integrated exactly when split.
+        def density(t: float) -> float:
+            return 1.0 if t < 1.0 else 0.0
+
+        measure = DifferentialMeasure(
+            density=density, breakpoints=(1.0,)
+        )
+        assert measure.integrate(lambda t: 1.0, upper=5.0) == pytest.approx(
+            1.0, rel=1e-9
+        )

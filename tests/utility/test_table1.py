@@ -1,0 +1,54 @@
+"""Tests for the Table-1 assembly and its verification harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import verify_table1
+from repro.utility import table1_rows
+from repro.utility.exponential import ExponentialUtility
+from repro.utility.power import NegLogUtility, PowerUtility
+from repro.utility.step import StepUtility
+
+
+class TestTable1Rows:
+    def test_five_families_present(self):
+        labels = [row.label for row in table1_rows()]
+        assert any("Step" in label for label in labels)
+        assert any("Exponential" in label for label in labels)
+        assert any("Inv. power" in label for label in labels)
+        assert any("Neg. power" in label for label in labels)
+        assert any("logarithm" in label for label in labels)
+
+    def test_utility_types(self):
+        rows = table1_rows()
+        assert isinstance(rows[0].utility, StepUtility)
+        assert isinstance(rows[1].utility, ExponentialUtility)
+        assert isinstance(rows[2].utility, PowerUtility)
+        assert isinstance(rows[-1].utility, NegLogUtility)
+
+    def test_custom_parameters(self):
+        rows = table1_rows(tau=7.0, nu=0.2, inverse_alpha=1.25)
+        assert rows[0].utility.tau == 7.0
+        assert rows[1].utility.nu == 0.2
+        assert rows[2].utility.alpha == 1.25
+
+    def test_inverse_alpha_in_range(self):
+        rows = table1_rows(inverse_alpha=1.5)
+        assert 1 < rows[2].utility.alpha < 2
+
+
+class TestVerification:
+    def test_all_closed_forms_verified(self):
+        verification = verify_table1()
+        assert verification.max_relative_error < 1e-6
+
+    def test_entries_cover_all_quantities(self):
+        verification = verify_table1()
+        quantities = {e.quantity for e in verification.entries}
+        assert quantities == {"phi(x)", "E[h(Y)]", "psi(y)"}
+
+    def test_render_contains_families(self):
+        text = verify_table1().render()
+        assert "Step function" in text
+        assert "psi(y)" in text
