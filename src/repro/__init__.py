@@ -65,6 +65,7 @@ from .protocols import (
     sqrt_protocol,
     uni_protocol,
 )
+from .faults import FaultEvent, FaultSchedule
 from .sim import Simulation, SimulationConfig, SimulationResult, simulate
 from .utility import (
     DelayUtility,
@@ -114,6 +115,9 @@ __all__ = [
     "prop_protocol",
     "dom_protocol",
     "opt_protocol",
+    # fault injection
+    "FaultEvent",
+    "FaultSchedule",
     # simulator
     "Simulation",
     "SimulationConfig",

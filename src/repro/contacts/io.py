@@ -15,6 +15,7 @@ Both round-trip exactly through :class:`~repro.contacts.trace.ContactTrace`.
 from __future__ import annotations
 
 import json
+import math
 import os
 from typing import Dict, Union
 
@@ -34,6 +35,52 @@ __all__ = [
 PathLike = Union[str, "os.PathLike[str]"]
 
 
+def _parse_event(
+    path: PathLike, line_number: int, t_raw: object, a_raw: object, b_raw: object
+) -> tuple:
+    """Validate one contact record; all failures are TraceFormatError.
+
+    Guards corrupt files: non-numeric fields, non-finite or negative
+    times, and negative node ids all get a clear, located message rather
+    than a bare ``ValueError`` bubbling out of ``float()``/``int()``.
+    (Upper-bound id checks need ``n_nodes`` and happen in the loaders.)
+    """
+    try:
+        t = float(t_raw)  # type: ignore[arg-type]
+        a = int(a_raw)  # type: ignore[arg-type]
+        b = int(b_raw)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise TraceFormatError(
+            f"{path}:{line_number}: non-numeric contact record "
+            f"({t_raw!r}, {a_raw!r}, {b_raw!r})"
+        ) from None
+    if float(a_raw) != a or float(b_raw) != b:  # type: ignore[arg-type]
+        raise TraceFormatError(
+            f"{path}:{line_number}: non-integer node id in "
+            f"({a_raw!r}, {b_raw!r})"
+        )
+    if not math.isfinite(t) or t < 0:
+        raise TraceFormatError(
+            f"{path}:{line_number}: contact time must be finite and >= 0, "
+            f"got {t!r}"
+        )
+    if a < 0 or b < 0:
+        raise TraceFormatError(
+            f"{path}:{line_number}: negative node id in ({a}, {b})"
+        )
+    return t, a, b
+
+
+def _check_node_range(
+    path: PathLike, line_number: int, a: int, b: int, n_nodes: int
+) -> None:
+    if a >= n_nodes or b >= n_nodes:
+        raise TraceFormatError(
+            f"{path}:{line_number}: node id {max(a, b)} out of range for "
+            f"n_nodes={n_nodes}"
+        )
+
+
 def save_csv(trace: ContactTrace, path: PathLike) -> None:
     """Write *trace* to a CSV file with metadata header comments."""
     with open(path, "w", encoding="utf-8") as handle:
@@ -45,13 +92,16 @@ def save_csv(trace: ContactTrace, path: PathLike) -> None:
 
 
 def load_csv(path: PathLike) -> ContactTrace:
-    """Read a trace written by :func:`save_csv`."""
+    """Read a trace written by :func:`save_csv`.
+
+    Corrupt rows — non-numeric fields, non-finite times, negative or
+    out-of-range node ids — raise :class:`TraceFormatError` with the
+    offending line number.
+    """
     metadata: Dict[str, str] = {}
-    times = []
-    node_a = []
-    node_b = []
+    rows = []
     with open(path, "r", encoding="utf-8") as handle:
-        for raw in handle:
+        for line_number, raw in enumerate(handle, start=1):
             line = raw.strip()
             if not line:
                 continue
@@ -65,20 +115,33 @@ def load_csv(path: PathLike) -> ContactTrace:
                 continue  # column header
             fields = line.split(",")
             if len(fields) != 3:
-                raise TraceFormatError(f"malformed CSV row: {line!r}")
-            times.append(float(fields[0]))
-            node_a.append(int(fields[1]))
-            node_b.append(int(fields[2]))
+                raise TraceFormatError(
+                    f"{path}:{line_number}: malformed CSV row: {line!r}"
+                )
+            rows.append(
+                (line_number,)
+                + _parse_event(path, line_number, *fields)
+            )
     if "n_nodes" not in metadata or "duration" not in metadata:
         raise TraceFormatError(
             "CSV trace must carry '# n_nodes=' and '# duration=' headers"
         )
+    try:
+        n_nodes = int(metadata["n_nodes"])
+        duration = float(metadata["duration"])
+    except ValueError:
+        raise TraceFormatError(
+            f"{path}: non-numeric n_nodes/duration headers "
+            f"({metadata['n_nodes']!r}, {metadata['duration']!r})"
+        ) from None
+    for line_number, _, a, b in rows:
+        _check_node_range(path, line_number, a, b, n_nodes)
     return ContactTrace(
-        times=np.asarray(times, dtype=float),
-        node_a=np.asarray(node_a, dtype=np.int64),
-        node_b=np.asarray(node_b, dtype=np.int64),
-        n_nodes=int(metadata["n_nodes"]),
-        duration=float(metadata["duration"]),
+        times=np.asarray([r[1] for r in rows], dtype=float),
+        node_a=np.asarray([r[2] for r in rows], dtype=np.int64),
+        node_b=np.asarray([r[3] for r in rows], dtype=np.int64),
+        n_nodes=n_nodes,
+        duration=duration,
     )
 
 
@@ -176,32 +239,61 @@ def save_jsonl(trace: ContactTrace, path: PathLike) -> None:
 
 
 def load_jsonl(path: PathLike) -> ContactTrace:
-    """Read a trace written by :func:`save_jsonl`."""
+    """Read a trace written by :func:`save_jsonl`.
+
+    Corrupt lines — invalid JSON, wrong arity, non-numeric fields,
+    non-finite times, negative or out-of-range node ids — raise
+    :class:`TraceFormatError` with the offending line number.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         first = handle.readline()
         if not first:
             raise TraceFormatError("empty JSONL trace file")
-        header = json.loads(first)
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as error:
+            raise TraceFormatError(
+                f"{path}:1: invalid JSON header: {error}"
+            ) from None
         if (
             not isinstance(header, dict)
             or header.get("format") != "repro-contact-trace"
         ):
             raise TraceFormatError("missing repro-contact-trace header")
+        try:
+            n_nodes = int(header["n_nodes"])
+            duration = float(header["duration"])
+        except (KeyError, TypeError, ValueError):
+            raise TraceFormatError(
+                f"{path}:1: header must carry numeric n_nodes and duration"
+            ) from None
         times = []
         node_a = []
         node_b = []
-        for raw in handle:
+        for line_number, raw in enumerate(handle, start=2):
             line = raw.strip()
             if not line:
                 continue
-            t, a, b = json.loads(line)
-            times.append(float(t))
-            node_a.append(int(a))
-            node_b.append(int(b))
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: invalid JSON: {error}"
+                ) from None
+            if not isinstance(record, (list, tuple)) or len(record) != 3:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: expected a [t, a, b] triple, "
+                    f"got {record!r}"
+                )
+            t, a, b = _parse_event(path, line_number, *record)
+            _check_node_range(path, line_number, a, b, n_nodes)
+            times.append(t)
+            node_a.append(a)
+            node_b.append(b)
     return ContactTrace(
         times=np.asarray(times, dtype=float),
         node_a=np.asarray(node_a, dtype=np.int64),
         node_b=np.asarray(node_b, dtype=np.int64),
-        n_nodes=int(header["n_nodes"]),
-        duration=float(header["duration"]),
+        n_nodes=n_nodes,
+        duration=duration,
     )

@@ -1,0 +1,194 @@
+"""JSON checkpointing for long multi-trial comparison sweeps.
+
+A :class:`ComparisonCheckpoint` persists every completed
+``(trial, protocol)`` simulation of :func:`repro.experiments.run_comparison`
+to a single JSON file, written atomically after each run.  Interrupting a
+sweep (crash, preemption, Ctrl-C) and re-invoking it with the same
+checkpoint path resumes exactly where it stopped: completed runs are
+loaded back as full :class:`~repro.sim.metrics.SimulationResult` objects
+(all floats round-trip through JSON exactly, so the resumed sweep's
+statistics are bit-identical to an uninterrupted run's).
+
+The file carries the sweep's identity (base seed, trial count, protocol
+names); opening a checkpoint written by a different sweep raises
+:class:`~repro.errors.ConfigurationError` instead of silently mixing
+incompatible results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sim.metrics import SimulationResult
+
+__all__ = [
+    "ComparisonCheckpoint",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_FORMAT = "repro-comparison-checkpoint"
+_VERSION = 1
+
+#: SimulationResult fields holding integer arrays (the rest are float).
+_INT_ARRAY_FIELDS = frozenset(
+    {
+        "window_fulfillments",
+        "snapshot_counts",
+        "snapshot_mandates",
+        "snapshot_tracked",
+        "final_counts",
+    }
+)
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """Convert a :class:`SimulationResult` to a JSON-serializable dict."""
+    payload: Dict[str, Any] = {}
+    for spec in dataclasses.fields(SimulationResult):
+        value = getattr(result, spec.name)
+        payload[spec.name] = (
+            value.tolist() if isinstance(value, np.ndarray) else value
+        )
+    return payload
+
+
+def result_from_dict(payload: Dict[str, Any]) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from :func:`result_to_dict`.
+
+    Unknown keys are ignored (forward compatibility); missing keys fall
+    back to the dataclass defaults where they exist.
+    """
+    kwargs: Dict[str, Any] = {}
+    n_items: Optional[int] = None
+    final = payload.get("final_counts")
+    if isinstance(final, list):
+        n_items = len(final)
+    for spec in dataclasses.fields(SimulationResult):
+        if spec.name not in payload:
+            continue
+        value = payload[spec.name]
+        if isinstance(value, list):
+            dtype = np.int64 if spec.name in _INT_ARRAY_FIELDS else float
+            array = np.asarray(value, dtype=dtype)
+            if (
+                spec.name == "snapshot_counts"
+                and array.size == 0
+                and n_items is not None
+            ):
+                array = array.reshape(0, n_items)
+            value = array
+        kwargs[spec.name] = value
+    return SimulationResult(**kwargs)
+
+
+class ComparisonCheckpoint:
+    """Incremental store of completed ``(trial, protocol)`` results."""
+
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        base_seed: int,
+        n_trials: int,
+        protocols: Sequence[str],
+    ) -> None:
+        self.path = path
+        self.base_seed = int(base_seed)
+        self.n_trials = int(n_trials)
+        self.protocols = sorted(protocols)
+        self._completed: Dict[str, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        path: PathLike,
+        *,
+        base_seed: int,
+        n_trials: int,
+        protocols: Sequence[str],
+    ) -> "ComparisonCheckpoint":
+        """Load *path* if it exists (validating identity) or start fresh."""
+        checkpoint = cls(
+            path, base_seed=base_seed, n_trials=n_trials, protocols=protocols
+        )
+        if not os.path.exists(path):
+            return checkpoint
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise ConfigurationError(
+                f"unreadable checkpoint {path}: {error}"
+            ) from error
+        if (
+            not isinstance(data, dict)
+            or data.get("format") != _FORMAT
+            or data.get("version") != _VERSION
+        ):
+            raise ConfigurationError(
+                f"{path} is not a version-{_VERSION} comparison checkpoint"
+            )
+        for key, expected in (
+            ("base_seed", checkpoint.base_seed),
+            ("n_trials", checkpoint.n_trials),
+            ("protocols", checkpoint.protocols),
+        ):
+            if data.get(key) != expected:
+                raise ConfigurationError(
+                    f"checkpoint {path} was written by a different sweep: "
+                    f"{key} is {data.get(key)!r}, expected {expected!r}"
+                )
+        completed = data.get("completed", {})
+        if not isinstance(completed, dict):
+            raise ConfigurationError(f"corrupt 'completed' map in {path}")
+        checkpoint._completed = completed
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(trial: int, protocol: str) -> str:
+        return f"{trial}:{protocol}"
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    def has(self, trial: int, protocol: str) -> bool:
+        return self._key(trial, protocol) in self._completed
+
+    def get(self, trial: int, protocol: str) -> SimulationResult:
+        return result_from_dict(self._completed[self._key(trial, protocol)])
+
+    def record(
+        self, trial: int, protocol: str, result: SimulationResult
+    ) -> None:
+        """Store one completed run and persist the file atomically."""
+        self._completed[self._key(trial, protocol)] = result_to_dict(result)
+        self.save()
+
+    def save(self) -> None:
+        payload = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "base_seed": self.base_seed,
+            "n_trials": self.n_trials,
+            "protocols": self.protocols,
+            "completed": self._completed,
+        }
+        tmp_path = f"{os.fspath(self.path)}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, self.path)

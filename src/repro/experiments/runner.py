@@ -5,24 +5,46 @@ percentile intervals; every algorithm within a trial shares the same
 contact trace and request arrivals (paired comparison).  This module
 provides exactly that machinery, independent of which scenario or figure
 is being reproduced.
+
+Robustness features (all opt-in, defaults preserve the original
+behavior):
+
+* *fault injection* — a :class:`~repro.faults.FaultSchedule` (or a
+  per-trial factory) shared by every protocol in a trial, so paired
+  comparisons stay paired under churn;
+* *per-trial fault isolation* — ``on_error`` decides what a failing
+  protocol factory or simulation does to the sweep: ``"raise"``
+  (propagate, the historical behavior), ``"skip"`` (record the failure
+  and keep going), or ``"retry"`` (re-attempt with capped exponential
+  backoff, then skip);
+* *partial results* — :class:`ComparisonResult` reports per-run
+  :class:`TrialFailure` records alongside the statistics of whatever
+  succeeded;
+* *checkpoint/resume* — ``checkpoint_path`` persists every completed
+  run to JSON (atomically, see :mod:`repro.experiments.checkpoint`), so
+  an interrupted sweep resumes instead of restarting.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..contacts import ContactTrace
 from ..demand import DemandModel, RequestSchedule, generate_requests
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SimulationError
+from ..faults import FaultSchedule
 from ..protocols.base import ReplicationProtocol
 from ..sim import SimulationConfig, SimulationResult, simulate
 from ..types import FloatArray
+from .checkpoint import ComparisonCheckpoint, PathLike
 
 __all__ = [
     "TrialInputs",
+    "TrialFailure",
     "AlgorithmStats",
     "ComparisonResult",
     "run_comparison",
@@ -32,6 +54,9 @@ __all__ = [
 #: A protocol factory: given the trial's trace and request schedule,
 #: build a fresh protocol instance (heterogeneous OPT needs the trace).
 ProtocolFactory = Callable[[ContactTrace, RequestSchedule], ReplicationProtocol]
+
+#: Faults for a sweep: one shared schedule, or a per-trial factory.
+FaultsLike = Union[FaultSchedule, Callable[[int], FaultSchedule]]
 
 
 @dataclass(frozen=True)
@@ -43,21 +68,58 @@ class TrialInputs:
     sim_seed: int
 
 
+@dataclass(frozen=True)
+class TrialFailure:
+    """One ``(trial, protocol)`` run that failed after all attempts."""
+
+    trial: int
+    protocol: str
+    error: str
+    attempts: int
+
+
 def percentile_interval(
     values: Sequence[float], lower: float = 5.0, upper: float = 95.0
 ) -> Tuple[float, float]:
     """The paper's 5%/95% confidence band over trial values."""
     arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError(
+            "percentile_interval needs at least one value (every trial "
+            "failed or was filtered out?)"
+        )
+    if np.isnan(arr).all():
+        raise ConfigurationError(
+            "percentile_interval got all-NaN values; upstream runs "
+            "produced no finite gain rates"
+        )
     return float(np.percentile(arr, lower)), float(np.percentile(arr, upper))
 
 
 @dataclass(frozen=True)
 class AlgorithmStats:
-    """Per-algorithm aggregate over trials."""
+    """Per-algorithm aggregate over (successful) trials."""
 
     name: str
     gain_rates: FloatArray
     results: Tuple[SimulationResult, ...]
+
+    def __post_init__(self) -> None:
+        rates = np.asarray(self.gain_rates, dtype=float)
+        if rates.size == 0:
+            raise ConfigurationError(
+                f"AlgorithmStats({self.name!r}) needs at least one trial "
+                "result"
+            )
+        if np.isnan(rates).all():
+            raise ConfigurationError(
+                f"AlgorithmStats({self.name!r}) got all-NaN gain rates"
+            )
+        object.__setattr__(self, "gain_rates", rates)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.gain_rates)
 
     @property
     def mean_gain_rate(self) -> float:
@@ -70,13 +132,26 @@ class AlgorithmStats:
 
 @dataclass(frozen=True)
 class ComparisonResult:
-    """All algorithms' stats plus normalized losses vs. the baseline."""
+    """All algorithms' stats plus normalized losses vs. the baseline.
+
+    ``failures`` lists every ``(trial, protocol)`` run that did not
+    complete (only possible with ``on_error="skip"``/``"retry"``);
+    algorithms whose runs *all* failed are absent from ``stats``.
+    """
 
     stats: Dict[str, AlgorithmStats]
     baseline: str
+    failures: Tuple[TrialFailure, ...] = ()
+    n_trials: int = 0
+
+    @property
+    def n_failures(self) -> int:
+        return len(self.failures)
 
     def normalized_loss(self, name: str) -> float:
         """The paper's ``(U - U_opt) / |U_opt|`` in percent (<= 0 usually)."""
+        if self.baseline not in self.stats or name not in self.stats:
+            return float("nan")
         reference = self.stats[self.baseline].mean_gain_rate
         if reference == 0:
             return float("nan")
@@ -106,11 +181,20 @@ class ComparisonResult:
                     f"{self.normalized_loss(stats.name):+.2f}%",
                 ]
             )
-        return render_table(
+        table = render_table(
             ["algorithm", "utility/min", "5-95%", "vs " + self.baseline],
             rows,
             title=title,
         )
+        if not self.failures:
+            return table
+        lines = [table, "", f"failed runs ({self.n_failures}):"]
+        lines.extend(
+            f"  trial {f.trial} {f.protocol}: {f.error} "
+            f"({f.attempts} attempt{'s' if f.attempts != 1 else ''})"
+            for f in self.failures
+        )
+        return "\n".join(lines)
 
 
 def run_comparison(
@@ -123,6 +207,12 @@ def run_comparison(
     base_seed: int = 0,
     baseline: str = "OPT",
     n_clients: Optional[int] = None,
+    faults: Optional[FaultsLike] = None,
+    on_error: str = "raise",
+    max_retries: int = 2,
+    retry_backoff: float = 0.1,
+    max_backoff: float = 5.0,
+    checkpoint_path: Optional[PathLike] = None,
 ) -> ComparisonResult:
     """Run every protocol on *n_trials* shared trace/request realizations.
 
@@ -137,6 +227,21 @@ def run_comparison(
         be built per trial.
     baseline:
         The protocol whose mean gain rate anchors normalized losses.
+    faults:
+        Optional fault injection: a :class:`~repro.faults.FaultSchedule`
+        applied to every trial, or a callable ``trial -> FaultSchedule``
+        for per-trial variation.  Every protocol within a trial sees the
+        same faults (the comparison stays paired).
+    on_error:
+        ``"raise"`` propagates the first failure (historical behavior);
+        ``"skip"`` records it and continues; ``"retry"`` re-attempts up
+        to *max_retries* times with exponential backoff (*retry_backoff*
+        doubling per attempt, capped at *max_backoff* seconds), then
+        records the failure and continues.
+    checkpoint_path:
+        When given, every completed run is persisted there as JSON and
+        already-completed runs are loaded instead of re-simulated, so an
+        interrupted sweep resumes with identical statistics.
     """
     if n_trials <= 0:
         raise ConfigurationError(f"n_trials must be > 0, got {n_trials}")
@@ -144,31 +249,100 @@ def run_comparison(
         raise ConfigurationError(
             f"baseline {baseline!r} missing from protocols {sorted(protocols)}"
         )
+    if on_error not in ("raise", "skip", "retry"):
+        raise ConfigurationError(
+            f"on_error must be 'raise', 'skip', or 'retry', got {on_error!r}"
+        )
+    if max_retries < 0:
+        raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
+    if retry_backoff < 0 or max_backoff < 0:
+        raise ConfigurationError("backoff delays must be >= 0")
+
+    checkpoint = (
+        ComparisonCheckpoint.open(
+            checkpoint_path,
+            base_seed=base_seed,
+            n_trials=n_trials,
+            protocols=list(protocols),
+        )
+        if checkpoint_path is not None
+        else None
+    )
+    attempts_per_run = 1 + (max_retries if on_error == "retry" else 0)
     collected: Dict[str, List[SimulationResult]] = {
         name: [] for name in protocols
     }
+    failures: List[TrialFailure] = []
     seed_seq = np.random.SeedSequence(base_seed)
     for trial in range(n_trials):
+        # Seeds are drawn unconditionally so resumed and fresh sweeps
+        # walk the identical seed stream.
         trace_seed, request_seed, sim_seed = (
             int(s.generate_state(1)[0])
             for s in seed_seq.spawn(3)
         )
+        pending = [
+            name
+            for name in protocols
+            if checkpoint is None or not checkpoint.has(trial, name)
+        ]
+        if checkpoint is not None:
+            for name in protocols:
+                if checkpoint.has(trial, name):
+                    collected[name].append(checkpoint.get(trial, name))
+        if not pending:
+            continue
         trace = trace_factory(trace_seed)
         clients = n_clients or trace.n_nodes
         requests = generate_requests(
             demand, clients, trace.duration, seed=request_seed
         )
         inputs = TrialInputs(trace, requests, sim_seed)
-        for name, factory in protocols.items():
-            protocol = factory(inputs.trace, inputs.requests)
-            result = simulate(
-                inputs.trace,
-                inputs.requests,
-                config,
-                protocol,
-                seed=inputs.sim_seed,
-            )
+        trial_faults = faults(trial) if callable(faults) else faults
+        for name in pending:
+            factory = protocols[name]
+            result: Optional[SimulationResult] = None
+            last_error: Optional[BaseException] = None
+            for attempt in range(attempts_per_run):
+                if attempt:
+                    delay = min(
+                        retry_backoff * (2.0 ** (attempt - 1)), max_backoff
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+                try:
+                    protocol = factory(inputs.trace, inputs.requests)
+                    result = simulate(
+                        inputs.trace,
+                        inputs.requests,
+                        config,
+                        protocol,
+                        seed=inputs.sim_seed,
+                        faults=trial_faults,
+                    )
+                    break
+                except Exception as error:
+                    if on_error == "raise":
+                        raise
+                    last_error = error
+            if result is None:
+                failures.append(
+                    TrialFailure(
+                        trial=trial,
+                        protocol=name,
+                        error=f"{type(last_error).__name__}: {last_error}",
+                        attempts=attempts_per_run,
+                    )
+                )
+                continue
             collected[name].append(result)
+            if checkpoint is not None:
+                checkpoint.record(trial, name, result)
+    if not any(collected.values()):
+        raise SimulationError(
+            f"every run failed across {n_trials} trial(s); "
+            f"first failure: {failures[0].protocol}: {failures[0].error}"
+        )
     stats = {
         name: AlgorithmStats(
             name=name,
@@ -176,5 +350,11 @@ def run_comparison(
             results=tuple(results),
         )
         for name, results in collected.items()
+        if results
     }
-    return ComparisonResult(stats=stats, baseline=baseline)
+    return ComparisonResult(
+        stats=stats,
+        baseline=baseline,
+        failures=tuple(failures),
+        n_trials=n_trials,
+    )

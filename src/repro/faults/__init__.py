@@ -1,0 +1,9 @@
+"""Fault injection: node churn, replica loss, and contact drops.
+
+See :mod:`repro.faults.schedule` for the event model and
+``docs/fault_injection.md`` for the experiment guide.
+"""
+
+from .schedule import FAULT_KINDS, FaultEvent, FaultSchedule
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultSchedule"]

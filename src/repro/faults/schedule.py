@@ -1,0 +1,318 @@
+"""Timed fault events and the schedules that generate them.
+
+A :class:`FaultSchedule` is a seeded, immutable, time-sorted sequence of
+:class:`FaultEvent` objects plus two run-wide fault parameters (the
+probabilistic contact-drop rate and the sticky-replica loss policy).  The
+engine merges the schedule into its event loop as a third stream next to
+contacts and requests, so faults interleave with ordinary events at exact
+times and the whole run stays deterministic: the same schedule (same
+seed) against the same trace, requests, and simulation seed produces an
+identical :class:`~repro.sim.metrics.SimulationResult`.
+
+Schedules compose: ``churn + losses`` merges two schedules into one,
+which is how an experiment combines, say, a background replica-loss
+process with a mass crash wave.
+
+Three event kinds model the failure modes of an opportunistic network:
+
+``crash``
+    The node goes offline (its contacts and requests are skipped) and —
+    with ``wipe_cache`` — its cached replicas are destroyed, modelling a
+    device reset.  Whether the node's *sticky* replica survives the wipe
+    is the schedule's explicit ``sticky_survives`` policy: with ``True``
+    (default) the paper's no-extinction guarantee is preserved; with
+    ``False`` items can go extinct, which is exactly the regime where
+    reactive schemes (QCR) and static allocations (OPT) diverge.  With
+    ``lose_mandates`` any pending QCR mandates at the node vanish too.
+``recover``
+    The node comes back online with whatever cache contents survived.
+``replica_loss``
+    One replica disappears (bit-rot, storage failure).  The target may
+    be pinned to a ``(node, item)`` pair or left unresolved, in which
+    case the engine picks a uniformly random non-sticky replica using
+    the schedule's runtime RNG.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import SeedLike
+
+__all__ = ["FaultEvent", "FaultSchedule", "FAULT_KINDS"]
+
+#: The recognized event kinds.
+FAULT_KINDS = ("crash", "recover", "replica_loss")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault.
+
+    Attributes
+    ----------
+    time:
+        When the fault fires (simulation time).  Events at the same time
+        as a contact or request are applied *before* it.
+    kind:
+        One of :data:`FAULT_KINDS`.
+    node:
+        The affected node id; required for ``crash``/``recover``,
+        optional for ``replica_loss`` (``None`` = random holder).
+    item:
+        For ``replica_loss`` only: the item to lose (``None`` = random
+        non-sticky replica at the resolved node).
+    wipe_cache:
+        ``crash`` only: destroy the node's cached replicas.
+    lose_mandates:
+        ``crash`` only: drop the node's pending QCR mandates.
+    """
+
+    time: float
+    kind: str
+    node: Optional[int] = None
+    item: Optional[int] = None
+    wipe_cache: bool = True
+    lose_mandates: bool = True
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time) or self.time < 0:
+            raise ConfigurationError(
+                f"fault time must be finite and >= 0, got {self.time}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.kind in ("crash", "recover") and self.node is None:
+            raise ConfigurationError(f"{self.kind!r} event needs a node id")
+        if self.node is not None and self.node < 0:
+            raise ConfigurationError(f"fault node id must be >= 0, got {self.node}")
+        if self.item is not None and self.item < 0:
+            raise ConfigurationError(f"fault item id must be >= 0, got {self.item}")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, composable schedule of fault events.
+
+    Attributes
+    ----------
+    events:
+        The fault events; stored sorted by time (stable order for ties).
+    drop_prob:
+        Probability that any individual contact silently fails (the two
+        nodes meet but the exchange does not complete).  Drawn from the
+        schedule's runtime RNG, so it never perturbs the simulation's
+        own randomness stream.
+    sticky_survives:
+        Whether sticky replicas survive cache wipes (see module docs).
+    seed:
+        Seed of the runtime RNG used for contact drops and random
+        replica-loss resolution.  Fixed default keeps unseeded schedules
+        deterministic.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    drop_prob: float = 0.0
+    sticky_survives: bool = True
+    seed: SeedLike = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_prob < 1.0:
+            raise ConfigurationError(
+                f"drop_prob must be in [0, 1), got {self.drop_prob}"
+            )
+        ordered = tuple(
+            sorted(self.events, key=lambda event: event.time)
+        )
+        object.__setattr__(self, "events", ordered)
+
+    # ------------------------------------------------------------------
+    # inspection / composition
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def runtime_rng(self) -> np.random.Generator:
+        """A fresh RNG for the schedule's runtime randomness."""
+        return np.random.default_rng(self.seed)
+
+    def merge(self, other: "FaultSchedule") -> "FaultSchedule":
+        """Combine two schedules into one.
+
+        Events are pooled and re-sorted; drop probabilities compose as
+        independent failure processes (``1 - (1-p)(1-q)``); the sticky
+        policies must agree (the policy is global, so a silent pick
+        would hide a modelling decision); the left operand's seed wins.
+        """
+        if self.sticky_survives != other.sticky_survives:
+            raise ConfigurationError(
+                "cannot merge schedules with conflicting sticky_survives"
+            )
+        return FaultSchedule(
+            events=self.events + other.events,
+            drop_prob=1.0 - (1.0 - self.drop_prob) * (1.0 - other.drop_prob),
+            sticky_survives=self.sticky_survives,
+            seed=self.seed,
+        )
+
+    def __add__(self, other: "FaultSchedule") -> "FaultSchedule":
+        return self.merge(other)
+
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def crash_wave(
+        cls,
+        time: float,
+        nodes: Iterable[int],
+        *,
+        recover_at: Optional[float] = None,
+        wipe_cache: bool = True,
+        lose_mandates: bool = True,
+        sticky_survives: bool = True,
+        drop_prob: float = 0.0,
+        seed: SeedLike = 0,
+    ) -> "FaultSchedule":
+        """Crash every node in *nodes* at *time*; optionally recover all.
+
+        The mass-failure scenario of the robustness benchmarks: a
+        correlated outage (power loss, venue evacuation) takes a whole
+        set of devices down at once.
+        """
+        node_list = sorted(set(int(n) for n in nodes))
+        if not node_list:
+            raise ConfigurationError("crash_wave needs at least one node")
+        if recover_at is not None and recover_at <= time:
+            raise ConfigurationError(
+                f"recover_at ({recover_at}) must be after the crash ({time})"
+            )
+        events = [
+            FaultEvent(
+                time=time,
+                kind="crash",
+                node=node,
+                wipe_cache=wipe_cache,
+                lose_mandates=lose_mandates,
+            )
+            for node in node_list
+        ]
+        if recover_at is not None:
+            events.extend(
+                FaultEvent(time=recover_at, kind="recover", node=node)
+                for node in node_list
+            )
+        return cls(
+            events=tuple(events),
+            drop_prob=drop_prob,
+            sticky_survives=sticky_survives,
+            seed=seed,
+        )
+
+    @classmethod
+    def node_churn(
+        cls,
+        n_nodes: int,
+        *,
+        crash_rate: float,
+        mean_downtime: float,
+        duration: float,
+        seed: SeedLike = 0,
+        nodes: Optional[Sequence[int]] = None,
+        wipe_cache: bool = True,
+        lose_mandates: bool = True,
+        sticky_survives: bool = True,
+        drop_prob: float = 0.0,
+    ) -> "FaultSchedule":
+        """Memoryless per-node churn over ``[0, duration]``.
+
+        Each node alternates exponential up-times (rate *crash_rate*)
+        and exponential down-times (mean *mean_downtime*), the standard
+        ON/OFF churn model of P2P availability studies.  Fully
+        determined by *seed*.
+        """
+        if n_nodes <= 0:
+            raise ConfigurationError(f"n_nodes must be > 0, got {n_nodes}")
+        if crash_rate <= 0:
+            raise ConfigurationError(f"crash_rate must be > 0, got {crash_rate}")
+        if mean_downtime <= 0:
+            raise ConfigurationError(
+                f"mean_downtime must be > 0, got {mean_downtime}"
+            )
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration}")
+        pool = (
+            range(n_nodes)
+            if nodes is None
+            else sorted(set(int(n) for n in nodes))
+        )
+        rng = np.random.default_rng(seed)
+        events = []
+        for node in pool:
+            if not 0 <= node < n_nodes:
+                raise ConfigurationError(f"churn node id {node} out of range")
+            t = float(rng.exponential(1.0 / crash_rate))
+            while t < duration:
+                events.append(
+                    FaultEvent(
+                        time=t,
+                        kind="crash",
+                        node=node,
+                        wipe_cache=wipe_cache,
+                        lose_mandates=lose_mandates,
+                    )
+                )
+                t += float(rng.exponential(mean_downtime))
+                if t >= duration:
+                    break
+                events.append(FaultEvent(time=t, kind="recover", node=node))
+                t += float(rng.exponential(1.0 / crash_rate))
+        return cls(
+            events=tuple(events),
+            drop_prob=drop_prob,
+            sticky_survives=sticky_survives,
+            seed=seed,
+        )
+
+    @classmethod
+    def replica_loss(
+        cls,
+        *,
+        rate: float,
+        duration: float,
+        seed: SeedLike = 0,
+        sticky_survives: bool = True,
+        drop_prob: float = 0.0,
+    ) -> "FaultSchedule":
+        """Poisson-timed random replica losses over ``[0, duration]``.
+
+        Each event destroys one uniformly random non-sticky replica
+        somewhere in the network (resolved at execution time, so losses
+        track the *current* allocation).
+        """
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {rate}")
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration}")
+        rng = np.random.default_rng(seed)
+        events = []
+        t = float(rng.exponential(1.0 / rate))
+        while t < duration:
+            events.append(FaultEvent(time=t, kind="replica_loss"))
+            t += float(rng.exponential(1.0 / rate))
+        return cls(
+            events=tuple(events),
+            drop_prob=drop_prob,
+            sticky_survives=sticky_survives,
+            seed=seed,
+        )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -83,12 +84,28 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"unknown unfulfilled_policy {self.unfulfilled_policy!r}"
             )
-        if self.record_interval is not None and self.record_interval <= 0:
-            raise ConfigurationError("record_interval must be > 0 when set")
-        if self.request_timeout is not None and self.request_timeout <= 0:
-            raise ConfigurationError("request_timeout must be > 0 when set")
-        if self.window_length <= 0:
-            raise ConfigurationError("window_length must be > 0")
+        # record_interval <= 0 would spin Simulation.run's snapshot loop
+        # (``next_snapshot += record_interval`` never advances) and NaN
+        # compares False against everything, so both are rejected here
+        # rather than hanging or silently disabling snapshots.
+        if self.record_interval is not None and not (
+            math.isfinite(self.record_interval) and self.record_interval > 0
+        ):
+            raise ConfigurationError(
+                f"record_interval must be finite and > 0 when set, "
+                f"got {self.record_interval}"
+            )
+        if self.request_timeout is not None and not (
+            math.isfinite(self.request_timeout) and self.request_timeout > 0
+        ):
+            raise ConfigurationError(
+                f"request_timeout must be finite and > 0 when set, "
+                f"got {self.request_timeout}"
+            )
+        if not (math.isfinite(self.window_length) and self.window_length > 0):
+            raise ConfigurationError(
+                f"window_length must be finite and > 0, got {self.window_length}"
+            )
         for collection_name in ("servers", "clients"):
             value = getattr(self, collection_name)
             if value is not None:

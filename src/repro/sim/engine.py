@@ -29,6 +29,7 @@ import numpy as np
 from ..contacts import ContactTrace
 from ..demand import RequestSchedule
 from ..errors import ConfigurationError, SimulationError
+from ..faults import FaultEvent, FaultSchedule
 from ..protocols.base import ReplicationProtocol
 from ..types import IntArray, SeedLike, as_rng
 from .config import SimulationConfig
@@ -39,7 +40,16 @@ __all__ = ["Simulation", "simulate"]
 
 
 class Simulation:
-    """One simulation run binding trace, demand, config, and protocol."""
+    """One simulation run binding trace, demand, config, and protocol.
+
+    *faults*, when given, is merged into the event loop as a third
+    stream alongside contacts and requests (see :mod:`repro.faults`):
+    offline nodes neither exchange content nor generate requests, cache
+    wipes and replica losses go through :meth:`remove_copy` so replica
+    accounting stays consistent, and all fault randomness comes from the
+    schedule's own RNG — a run with ``faults=None`` is bit-identical to
+    one before fault injection existed.
+    """
 
     def __init__(
         self,
@@ -48,6 +58,7 @@ class Simulation:
         config: SimulationConfig,
         protocol: ReplicationProtocol,
         seed: SeedLike = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         if requests.duration > trace.duration + 1e-9:
             raise ConfigurationError(
@@ -58,6 +69,24 @@ class Simulation:
         self.config = config
         self.protocol = protocol
         self.rng = as_rng(seed)
+        self.faults = faults
+        if faults is not None:
+            for event in faults.events:
+                if event.node is not None and event.node >= trace.n_nodes:
+                    raise ConfigurationError(
+                        f"fault event node {event.node} out of range "
+                        f"for a {trace.n_nodes}-node trace"
+                    )
+                if event.item is not None and event.item >= config.n_items:
+                    raise ConfigurationError(
+                        f"fault event item {event.item} out of range "
+                        f"for a {config.n_items}-item catalog"
+                    )
+            self._fault_rng = faults.runtime_rng()
+            self._drop_prob = faults.drop_prob
+        else:
+            self._fault_rng = None
+            self._drop_prob = 0.0
 
         n_nodes = trace.n_nodes
         self.server_ids = config.server_ids(n_nodes)
@@ -210,20 +239,39 @@ class Simulation:
         request_items = self.requests.items.tolist()
         request_nodes = self.requests.nodes.tolist()
 
+        # Faults form a third event stream; events past the horizon
+        # never fire.  At equal times faults apply first (a node that
+        # crashes at t is already offline for a contact at t), then
+        # requests before contacts (the pre-existing tie rule).
+        fault_events: List[FaultEvent] = (
+            [e for e in self.faults.events if e.time <= self.trace.duration]
+            if self.faults is not None
+            else []
+        )
+        fault_times = [e.time for e in fault_events]
+
         record_interval = self.config.record_interval
         next_snapshot = 0.0 if record_interval is not None else math.inf
 
-        ci, qi = 0, 0
+        ci, qi, fi = 0, 0, 0
         n_contacts, n_requests = len(contact_times), len(request_times)
-        while ci < n_contacts or qi < n_requests:
-            take_request = qi < n_requests and (
-                ci >= n_contacts or request_times[qi] <= contact_times[ci]
+        n_faults = len(fault_events)
+        while ci < n_contacts or qi < n_requests or fi < n_faults:
+            t_request = request_times[qi] if qi < n_requests else math.inf
+            t_contact = contact_times[ci] if ci < n_contacts else math.inf
+            t_fault = fault_times[fi] if fi < n_faults else math.inf
+            take_fault = t_fault <= t_request and t_fault <= t_contact
+            take_request = not take_fault and t_request <= t_contact
+            t = t_fault if take_fault else (
+                t_request if take_request else t_contact
             )
-            t = request_times[qi] if take_request else contact_times[ci]
             while t >= next_snapshot:
                 self._take_snapshot(next_snapshot)
                 next_snapshot += record_interval  # type: ignore[operator]
-            if take_request:
+            if take_fault:
+                self._apply_fault(t, fault_events[fi])
+                fi += 1
+            elif take_request:
                 self._handle_request(
                     t, request_items[qi], request_nodes[qi]
                 )
@@ -242,6 +290,10 @@ class Simulation:
     # ------------------------------------------------------------------
     def _handle_request(self, t: float, item: int, node_id: int) -> None:
         node = self.nodes[node_id]
+        if not node.online:
+            # The device is down; its user generates no request.
+            self.metrics.n_requests_offline += 1
+            return
         self.metrics.record_generated()
         if node.is_server and node.cache is not None and item in node.cache:
             if self.config.self_request_policy == "skip":
@@ -262,6 +314,13 @@ class Simulation:
     def _handle_contact(self, t: float, a: int, b: int) -> None:
         node_a = self.nodes[a]
         node_b = self.nodes[b]
+        if not (node_a.online and node_b.online):
+            self.metrics.n_contacts_blocked += 1
+            return
+        if self._drop_prob > 0.0 and self._fault_rng is not None:
+            if self._fault_rng.random() < self._drop_prob:
+                self.metrics.n_contacts_dropped += 1
+                return
         self._exchange(t, node_a, node_b)
         self._exchange(t, node_b, node_a)
         self.protocol.after_contact(self, t, node_a, node_b)
@@ -335,6 +394,95 @@ class Simulation:
                 del node.outstanding[item]
 
     # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def _apply_fault(self, t: float, event: FaultEvent) -> None:
+        if event.kind == "crash":
+            self._crash_node(t, event)
+        elif event.kind == "recover":
+            self._recover_node(t, event)
+        else:  # "replica_loss"
+            self._lose_replica(t, event)
+
+    def _crash_node(self, t: float, event: FaultEvent) -> None:
+        node = self.nodes[event.node]  # type: ignore[index]
+        if not node.online:
+            return  # already down; crash is idempotent
+        node.online = False
+        self.metrics.record_crash(t, node.node_id)
+        if node.outstanding:
+            self.metrics.n_requests_lost += node.n_outstanding()
+            node.outstanding.clear()
+        if event.lose_mandates and node.mandates:
+            self.metrics.n_mandates_lost += sum(node.mandates.values())
+            node.mandates.clear()
+        if event.wipe_cache and node.cache is not None and len(node.cache):
+            assert self.faults is not None
+            count_before = int(self.counts.sum())
+            cache = node.cache
+            lost = 0
+            if not self.faults.sticky_survives and cache.sticky is not None:
+                item = cache.unpin()
+                if item is not None and self.sticky_owner is not None:
+                    # The network-wide no-extinction guarantee is gone
+                    # for this item; mandate routing stops favoring the
+                    # (now nonexistent) sticky node.
+                    self.sticky_owner[item] = -1
+            for item in sorted(cache.items()):
+                if self.remove_copy(node, item):
+                    lost += 1
+            self.metrics.record_replica_loss(t, lost, count_before)
+
+    def _recover_node(self, t: float, event: FaultEvent) -> None:
+        node = self.nodes[event.node]  # type: ignore[index]
+        if node.online:
+            return
+        node.online = True
+        self.metrics.record_recovery(t, node.node_id)
+
+    def _lose_replica(self, t: float, event: FaultEvent) -> None:
+        count_before = int(self.counts.sum())
+        if event.node is not None:
+            node = self.nodes[event.node]
+            item = event.item
+            if item is None:
+                item = self._pick_lossy_item(node)
+                if item is None:
+                    return
+            if self.remove_copy(node, item):
+                self.metrics.record_replica_loss(t, 1, count_before)
+            return
+        # Unresolved loss: destroy a uniformly random non-sticky
+        # replica anywhere in the network (schedule RNG, sorted
+        # candidate order — fully deterministic per schedule seed).
+        rng = self._fault_rng
+        assert rng is not None
+        candidates = [
+            (node, item)
+            for node in self.nodes
+            if node.cache is not None
+            for item in sorted(node.cache.items())
+            if item != node.cache.sticky
+        ]
+        if not candidates:
+            return
+        node, item = candidates[int(rng.integers(len(candidates)))]
+        if self.remove_copy(node, item):
+            self.metrics.record_replica_loss(t, 1, count_before)
+
+    def _pick_lossy_item(self, node: NodeState) -> Optional[int]:
+        """A random non-sticky cached item of *node*, or ``None``."""
+        cache = node.cache
+        if cache is None:
+            return None
+        rng = self._fault_rng
+        assert rng is not None
+        pool = [i for i in sorted(cache.items()) if i != cache.sticky]
+        if not pool:
+            return None
+        return pool[int(rng.integers(len(pool)))]
+
+    # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
     def _take_snapshot(self, t: float) -> None:
@@ -366,6 +514,9 @@ def simulate(
     config: SimulationConfig,
     protocol: ReplicationProtocol,
     seed: SeedLike = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulation` and run it."""
-    return Simulation(trace, requests, config, protocol, seed=seed).run()
+    return Simulation(
+        trace, requests, config, protocol, seed=seed, faults=faults
+    ).run()

@@ -34,7 +34,15 @@ class Request:
 class NodeState:
     """Mutable state of one node during a simulation."""
 
-    __slots__ = ("node_id", "is_server", "is_client", "cache", "outstanding", "mandates")
+    __slots__ = (
+        "node_id",
+        "is_server",
+        "is_client",
+        "online",
+        "cache",
+        "outstanding",
+        "mandates",
+    )
 
     def __init__(
         self,
@@ -47,6 +55,8 @@ class NodeState:
         self.node_id = node_id
         self.is_server = is_server
         self.is_client = is_client
+        #: Fault-injection state: offline nodes skip contacts and requests.
+        self.online = True
         self.cache: Optional[Cache] = Cache(capacity) if is_server else None
         #: item -> outstanding requests for that item.
         self.outstanding: Dict[int, List[Request]] = {}

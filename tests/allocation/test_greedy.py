@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 from repro.allocation import greedy_homogeneous, homogeneous_welfare
 from repro.demand import DemandModel
 from repro.errors import ConfigurationError
-from repro.utility import ExponentialUtility, PowerUtility, StepUtility, power_family
+from repro.utility import ExponentialUtility, PowerUtility, StepUtility
 
 
 def brute_force(demand, utility, mu, n_servers, budget, **kwargs):

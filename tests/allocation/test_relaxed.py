@@ -8,7 +8,6 @@ import pytest
 from repro.allocation import (
     balance_report,
     balance_values,
-    power_allocation_exponent,
     power_law_counts,
     solve_relaxed,
 )

@@ -10,7 +10,6 @@ is exactly Theorem 1, and the reason the greedy OPT baseline carries a
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

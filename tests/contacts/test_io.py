@@ -102,3 +102,106 @@ class TestJsonl:
         save_csv(trace, csv_path)
         save_jsonl(trace, jsonl_path)
         assert_traces_equal(load_csv(csv_path), load_jsonl(jsonl_path))
+
+
+def _corrupt_line(path, line_number: int, replacement: str) -> None:
+    """Replace one line of a written fixture with corrupt content."""
+    lines = path.read_text().splitlines()
+    lines[line_number - 1] = replacement
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestCorruptCsv:
+    """A valid fixture with one corrupted row must fail with location info."""
+
+    @pytest.fixture
+    def path(self, trace, tmp_path):
+        p = tmp_path / "trace.csv"
+        save_csv(trace, p)
+        return p  # rows are lines 4-7 (after two headers + column row)
+
+    @pytest.mark.parametrize(
+        "row, match",
+        [
+            ("oops,0,1", "non-numeric"),
+            ("1.0,zero,1", "non-numeric"),
+            ("1.0,0,", "non-numeric"),
+            ("nan,0,1", "finite"),
+            ("inf,0,1", "finite"),
+            ("-1.0,0,1", "finite"),
+            ("1.0,-1,1", "negative node id"),
+            ("1.0,0,-2", "negative node id"),
+            ("1.0,4,1", "out of range"),
+            ("1.0,0,99", "out of range"),
+        ],
+    )
+    def test_corrupt_row_rejected(self, path, row, match):
+        _corrupt_line(path, 5, row)
+        with pytest.raises(TraceFormatError, match=match):
+            load_csv(path)
+
+    def test_error_names_offending_line(self, path):
+        _corrupt_line(path, 6, "bad,0,1")
+        with pytest.raises(TraceFormatError, match=r":6:"):
+            load_csv(path)
+
+    def test_non_numeric_metadata_rejected(self, path):
+        _corrupt_line(path, 1, "# n_nodes=many")
+        with pytest.raises(TraceFormatError, match="n_nodes"):
+            load_csv(path)
+
+    def test_uncorrupted_fixture_still_loads(self, trace, path):
+        assert_traces_equal(trace, load_csv(path))
+
+
+class TestCorruptJsonl:
+    """A valid fixture with one corrupted line must fail with location info."""
+
+    @pytest.fixture
+    def path(self, trace, tmp_path):
+        p = tmp_path / "trace.jsonl"
+        save_jsonl(trace, p)
+        return p  # records are lines 2-5 (after the header object)
+
+    @pytest.mark.parametrize(
+        "line, match",
+        [
+            ("[1.0, 0", "invalid JSON"),
+            ('{"t": 1.0}', "triple"),
+            ("[1.0, 0, 1, 2]", "triple"),
+            ('["one", 0, 1]', "non-numeric"),
+            ("[1.0, null, 1]", "non-numeric"),
+            ("[NaN, 0, 1]", "finite"),
+            ("[-0.5, 0, 1]", "finite"),
+            ("[1.0, 1.5, 2]", "non-integer node id"),
+            ("[1.0, -3, 1]", "negative node id"),
+            ("[1.0, 0, 4]", "out of range"),
+        ],
+    )
+    def test_corrupt_record_rejected(self, path, line, match):
+        _corrupt_line(path, 3, line)
+        with pytest.raises(TraceFormatError, match=match):
+            load_jsonl(path)
+
+    def test_error_names_offending_line(self, path):
+        _corrupt_line(path, 4, "not json")
+        with pytest.raises(TraceFormatError, match=r":4:"):
+            load_jsonl(path)
+
+    def test_corrupt_header_rejected(self, path):
+        _corrupt_line(path, 1, "{broken")
+        with pytest.raises(TraceFormatError, match="invalid JSON header"):
+            load_jsonl(path)
+
+    def test_non_numeric_header_fields_rejected(self, path):
+        _corrupt_line(
+            path,
+            1,
+            '{"format": "repro-contact-trace", "version": 1,'
+            ' "n_nodes": "lots", "duration": 10.0}',
+        )
+        with pytest.raises(TraceFormatError, match="numeric n_nodes"):
+            load_jsonl(path)
+
+    def test_uncorrupted_fixture_still_loads(self, trace, path):
+        assert_traces_equal(trace, load_jsonl(path))

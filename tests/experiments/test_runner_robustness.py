@@ -1,0 +1,278 @@
+"""Fault-tolerant sweeps: on_error policies, checkpoints, stat guards."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.contacts import homogeneous_poisson_trace
+from repro.demand import DemandModel
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments import (
+    AlgorithmStats,
+    ComparisonCheckpoint,
+    percentile_interval,
+    result_from_dict,
+    result_to_dict,
+    run_comparison,
+)
+from repro.faults import FaultSchedule
+from repro.protocols import prop_protocol, uni_protocol
+from repro.sim import SimulationConfig
+from repro.utility import StepUtility
+
+N, I, RHO = 8, 6, 2
+DURATION = 150.0
+
+
+def trace_factory(seed):
+    return homogeneous_poisson_trace(N, 0.1, DURATION, seed=seed)
+
+
+def make_protocols(demand):
+    return {
+        "OPT": lambda tr, rq: prop_protocol(demand, tr.n_nodes, RHO),
+        "UNI": lambda tr, rq: uni_protocol(demand, tr.n_nodes, RHO),
+    }
+
+
+@pytest.fixture
+def setup():
+    demand = DemandModel.pareto(I, omega=1.0, total_rate=2.0)
+    config = SimulationConfig(n_items=I, rho=RHO, utility=StepUtility(5.0))
+    return demand, config
+
+
+def sweep(demand, config, protocols, **kwargs):
+    kwargs.setdefault("n_trials", 3)
+    kwargs.setdefault("base_seed", 1)
+    return run_comparison(
+        trace_factory=trace_factory,
+        demand=demand,
+        config=config,
+        protocols=protocols,
+        **kwargs,
+    )
+
+
+class TestOnErrorPolicies:
+    def test_raise_is_default(self, setup):
+        demand, config = setup
+        protocols = make_protocols(demand)
+        protocols["BAD"] = lambda tr, rq: (_ for _ in ()).throw(
+            RuntimeError("boom")
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            sweep(demand, config, protocols)
+
+    def test_skip_reports_partial_results(self, setup):
+        demand, config = setup
+        calls = {"n": 0}
+
+        def flaky(tr, rq):
+            calls["n"] += 1
+            if calls["n"] == 2:  # fail exactly on trial 1
+                raise RuntimeError("boom")
+            return uni_protocol(demand, tr.n_nodes, RHO)
+
+        protocols = make_protocols(demand)
+        protocols["FLAKY"] = flaky
+        result = sweep(demand, config, protocols, on_error="skip")
+        assert result.n_trials == 3
+        assert result.stats["OPT"].n_trials == 3
+        assert result.stats["FLAKY"].n_trials == 2
+        (failure,) = result.failures
+        assert failure.trial == 1
+        assert failure.protocol == "FLAKY"
+        assert failure.error == "RuntimeError: boom"
+        assert failure.attempts == 1
+        assert "failed runs (1):" in result.render()
+
+    def test_skip_drops_fully_failed_protocol(self, setup):
+        demand, config = setup
+        protocols = make_protocols(demand)
+        protocols["BAD"] = lambda tr, rq: (_ for _ in ()).throw(
+            RuntimeError("boom")
+        )
+        result = sweep(demand, config, protocols, on_error="skip")
+        assert "BAD" not in result.stats
+        assert result.n_failures == 3
+        assert np.isnan(result.normalized_loss("BAD"))
+
+    def test_retry_recovers_transient_failures(self, setup):
+        demand, config = setup
+        attempts = {"n": 0}
+
+        def flaky(tr, rq):
+            attempts["n"] += 1
+            if attempts["n"] % 2 == 1:  # every first attempt fails
+                raise RuntimeError("transient")
+            return uni_protocol(demand, tr.n_nodes, RHO)
+
+        protocols = {"OPT": make_protocols(demand)["OPT"], "FLAKY": flaky}
+        result = sweep(
+            demand, config, protocols,
+            on_error="retry", retry_backoff=0.0,
+        )
+        assert not result.failures
+        assert result.stats["FLAKY"].n_trials == 3
+
+    def test_retry_gives_up_after_max_retries(self, setup):
+        demand, config = setup
+        protocols = make_protocols(demand)
+        protocols["BAD"] = lambda tr, rq: (_ for _ in ()).throw(
+            RuntimeError("persistent")
+        )
+        result = sweep(
+            demand, config, protocols,
+            n_trials=1, on_error="retry", max_retries=2, retry_backoff=0.0,
+        )
+        (failure,) = result.failures
+        assert failure.attempts == 3  # 1 initial + 2 retries
+
+    def test_every_run_failing_raises(self, setup):
+        demand, config = setup
+        protocols = {
+            "OPT": lambda tr, rq: (_ for _ in ()).throw(RuntimeError("boom"))
+        }
+        with pytest.raises(SimulationError, match="every run failed"):
+            sweep(demand, config, protocols, on_error="skip")
+
+    def test_invalid_policy_rejected(self, setup):
+        demand, config = setup
+        with pytest.raises(ConfigurationError, match="on_error"):
+            sweep(demand, config, make_protocols(demand), on_error="ignore")
+
+
+class TestFaultsThreading:
+    def test_shared_schedule_applies_to_every_run(self, setup):
+        demand, config = setup
+        faults = FaultSchedule.crash_wave(
+            DURATION / 2, [0, 1], wipe_cache=False
+        )
+        result = sweep(demand, config, make_protocols(demand), faults=faults)
+        for stats in result.stats.values():
+            assert all(r.n_crashes == 2 for r in stats.results)
+
+    def test_per_trial_factory(self, setup):
+        demand, config = setup
+        result = sweep(
+            demand,
+            config,
+            make_protocols(demand),
+            faults=lambda trial: FaultSchedule.crash_wave(
+                DURATION / 2, range(trial + 1), wipe_cache=False
+            ),
+        )
+        crashes = [r.n_crashes for r in result.stats["UNI"].results]
+        assert crashes == [1, 2, 3]
+
+
+class TestCheckpoint:
+    def test_result_round_trips_exactly(self, setup):
+        demand, config = setup
+        result = sweep(
+            demand,
+            config,
+            make_protocols(demand),
+            n_trials=1,
+            faults=FaultSchedule.crash_wave(50.0, [0], recover_at=60.0),
+        )
+        original = result.stats["UNI"].results[0]
+        rebuilt = result_from_dict(result_to_dict(original))
+        for spec in dataclasses.fields(original):
+            x, y = getattr(original, spec.name), getattr(rebuilt, spec.name)
+            if isinstance(x, np.ndarray):
+                assert np.array_equal(x, y), spec.name
+                assert x.dtype == y.dtype, spec.name
+            elif isinstance(x, float) and np.isnan(x):
+                assert np.isnan(y), spec.name
+            else:
+                assert x == y, spec.name
+
+    def test_interrupted_sweep_resumes_identically(self, setup, tmp_path):
+        demand, config = setup
+        path = tmp_path / "sweep.json"
+        uninterrupted = sweep(demand, config, make_protocols(demand))
+
+        calls = {"n": 0}
+
+        def dying_uni(tr, rq):
+            calls["n"] += 1
+            if calls["n"] >= 2:  # die on the second trial
+                raise KeyboardInterrupt
+            return uni_protocol(demand, tr.n_nodes, RHO)
+
+        protocols = make_protocols(demand)
+        protocols["UNI"] = dying_uni
+        with pytest.raises(KeyboardInterrupt):
+            sweep(demand, config, protocols, checkpoint_path=path)
+        assert path.exists()
+
+        resumed = sweep(
+            demand, config, make_protocols(demand), checkpoint_path=path
+        )
+        for name in ("OPT", "UNI"):
+            assert np.array_equal(
+                resumed.stats[name].gain_rates,
+                uninterrupted.stats[name].gain_rates,
+            )
+
+    def test_completed_sweep_is_not_resimulated(self, setup, tmp_path):
+        demand, config = setup
+        path = tmp_path / "sweep.json"
+        first = sweep(demand, config, make_protocols(demand),
+                      checkpoint_path=path)
+
+        def exploding(tr, rq):
+            raise AssertionError("should have been loaded from checkpoint")
+
+        protocols = {"OPT": exploding, "UNI": exploding}
+        reloaded = sweep(demand, config, protocols, checkpoint_path=path)
+        assert np.array_equal(
+            reloaded.stats["UNI"].gain_rates, first.stats["UNI"].gain_rates
+        )
+
+    def test_mismatched_sweep_identity_rejected(self, setup, tmp_path):
+        demand, config = setup
+        path = tmp_path / "sweep.json"
+        sweep(demand, config, make_protocols(demand), checkpoint_path=path)
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            sweep(
+                demand, config, make_protocols(demand),
+                base_seed=99, checkpoint_path=path,
+            )
+
+    def test_corrupt_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            ComparisonCheckpoint.open(
+                path, base_seed=0, n_trials=1, protocols=["OPT"]
+            )
+
+
+class TestStatGuards:
+    """Satellite: empty / all-NaN inputs fail loudly, not cryptically."""
+
+    def test_percentile_interval_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one value"):
+            percentile_interval([])
+
+    def test_percentile_interval_all_nan_rejected(self):
+        with pytest.raises(ConfigurationError, match="all-NaN"):
+            percentile_interval([float("nan"), float("nan")])
+
+    def test_algorithm_stats_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one trial"):
+            AlgorithmStats(name="X", gain_rates=np.zeros(0), results=())
+
+    def test_algorithm_stats_all_nan_rejected(self):
+        with pytest.raises(ConfigurationError, match="all-NaN"):
+            AlgorithmStats(
+                name="X",
+                gain_rates=np.array([float("nan")]),
+                results=(),
+            )

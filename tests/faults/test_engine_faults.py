@@ -1,0 +1,265 @@
+"""Engine-level fault injection: determinism, offline semantics, wipes.
+
+The acceptance bar for the fault subsystem is bit-level determinism: the
+same ``FaultSchedule`` (same seed) against the same trace, requests, and
+simulation seed must produce an identical ``SimulationResult``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.contacts import homogeneous_poisson_trace
+from repro.demand import DemandModel, generate_requests
+from repro.errors import ConfigurationError
+from repro.faults import FaultEvent, FaultSchedule
+from repro.protocols import QCR, uni_protocol
+from repro.sim import Simulation, SimulationConfig, simulate
+from repro.utility import StepUtility
+
+N_NODES = 12
+N_ITEMS = 8
+DURATION = 400.0
+
+
+def scenario(seed=0, **config_overrides):
+    demand = DemandModel.pareto(N_ITEMS, total_rate=2.0)
+    trace = homogeneous_poisson_trace(N_NODES, 0.08, DURATION, seed=seed)
+    requests = generate_requests(demand, N_NODES, DURATION, seed=seed + 1)
+    defaults = dict(
+        n_items=N_ITEMS,
+        rho=2,
+        utility=StepUtility(10.0),
+        record_interval=25.0,
+    )
+    defaults.update(config_overrides)
+    config = SimulationConfig(**defaults)
+    return demand, trace, requests, config
+
+
+def run_qcr(faults, seed=0, **config_overrides):
+    _, trace, requests, config = scenario(seed, **config_overrides)
+    protocol = QCR(config.utility, 0.1)
+    return simulate(
+        trace, requests, config, protocol, seed=seed + 2, faults=faults
+    )
+
+
+def assert_results_identical(a, b):
+    """Field-by-field bitwise equality of two SimulationResults."""
+    for f in dataclasses.fields(a):
+        x, y = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(x, np.ndarray):
+            assert np.array_equal(x, y), f.name
+        elif x is None:
+            assert y is None, f.name
+        elif isinstance(x, float) and np.isnan(x):
+            assert np.isnan(y), f.name
+        else:
+            assert x == y, f.name
+
+
+class TestDeterminism:
+    def test_seeded_churn_is_fully_deterministic(self):
+        faults = FaultSchedule.node_churn(
+            N_NODES,
+            crash_rate=0.005,
+            mean_downtime=40.0,
+            duration=DURATION,
+            seed=9,
+        ) + FaultSchedule.replica_loss(rate=0.02, duration=DURATION, seed=9)
+        a = run_qcr(faults)
+        b = run_qcr(faults)
+        assert a.n_crashes > 0 and a.n_replicas_lost > 0
+        assert_results_identical(a, b)
+
+    def test_drop_prob_is_deterministic(self):
+        faults = FaultSchedule(drop_prob=0.3, seed=13)
+        a = run_qcr(faults)
+        b = run_qcr(faults)
+        assert a.n_contacts_dropped > 0
+        assert_results_identical(a, b)
+
+    def test_empty_schedule_matches_fault_free_run(self):
+        """faults=FaultSchedule() must be bit-identical to faults=None."""
+        baseline = run_qcr(None)
+        with_empty = run_qcr(FaultSchedule())
+        assert_results_identical(baseline, with_empty)
+        assert baseline.n_crashes == 0
+        assert baseline.total_downtime == 0.0
+
+    def test_fault_seed_changes_outcome(self):
+        a = run_qcr(FaultSchedule(drop_prob=0.3, seed=1))
+        b = run_qcr(FaultSchedule(drop_prob=0.3, seed=2))
+        assert a.n_contacts_dropped != b.n_contacts_dropped
+
+
+class TestOfflineSemantics:
+    def test_permanent_crash_blocks_requests_and_contacts(self):
+        faults = FaultSchedule.crash_wave(
+            DURATION / 4, range(N_NODES // 2), wipe_cache=False
+        )
+        result = run_qcr(faults)
+        assert result.n_crashes == N_NODES // 2
+        assert result.n_recoveries == 0
+        assert result.n_requests_offline > 0
+        assert result.n_contacts_blocked > 0
+        # Open crash intervals are closed at the horizon.
+        expected = (N_NODES // 2) * (DURATION - DURATION / 4)
+        assert result.total_downtime == pytest.approx(expected)
+
+    def test_recovery_restores_participation(self):
+        crash_at, recover_at = 100.0, 150.0
+        faults = FaultSchedule.crash_wave(
+            crash_at, [0, 1, 2], recover_at=recover_at, wipe_cache=False
+        )
+        result = run_qcr(faults)
+        assert result.n_crashes == 3
+        assert result.n_recoveries == 3
+        assert result.total_downtime == pytest.approx(3 * 50.0)
+
+    def test_offline_requests_not_counted_as_generated(self):
+        faults = FaultSchedule.crash_wave(0.0, range(N_NODES), wipe_cache=False)
+        result = run_qcr(faults)
+        # Every node is down for the whole run: nothing is generated.
+        assert result.n_generated == 0
+        assert result.n_fulfilled == 0
+        assert result.n_requests_offline > 0
+
+    def test_crash_drops_outstanding_requests(self):
+        faults = FaultSchedule.crash_wave(
+            DURATION / 2, range(N_NODES), wipe_cache=False
+        )
+        result = run_qcr(faults)
+        baseline = run_qcr(None)
+        assert result.n_requests_lost > 0
+        # Lost requests can never be counted unfulfilled at the horizon.
+        assert result.n_unfulfilled < baseline.n_unfulfilled
+
+
+class TestCacheWipe:
+    def test_wipe_destroys_non_sticky_replicas(self):
+        faults = FaultSchedule.crash_wave(100.0, range(N_NODES))
+        result = run_qcr(faults)
+        assert result.n_replicas_lost > 0
+        # Sticky replicas survive by default: no item goes extinct.
+        post = np.searchsorted(result.snapshot_times, 100.0, side="right")
+        assert (result.snapshot_counts[post] >= 1).all()
+
+    def test_sticky_loss_policy_allows_extinction(self):
+        faults = FaultSchedule.crash_wave(
+            100.0, range(N_NODES), sticky_survives=False
+        )
+        result = run_qcr(faults)
+        # Every node crashed and wipes now destroy sticky replicas too:
+        # the whole catalog is momentarily extinct.
+        post = np.searchsorted(result.snapshot_times, 100.0, side="right")
+        assert result.snapshot_counts[post].sum() == 0
+
+    def test_wipe_can_be_disabled(self):
+        faults = FaultSchedule.crash_wave(
+            100.0, range(N_NODES), wipe_cache=False
+        )
+        result = run_qcr(faults)
+        assert result.n_replicas_lost == 0
+
+    def test_crash_clears_mandates(self):
+        _, trace, requests, config = scenario()
+        sim = Simulation(
+            trace,
+            requests,
+            config,
+            QCR(config.utility, 0.1),
+            seed=2,
+            faults=FaultSchedule.crash_wave(1.0, [0]),
+        )
+        sim.nodes[0].mandates.update({3: 2, 5: 1})
+        sim._apply_fault(1.0, sim.faults.events[0])
+        assert not sim.nodes[0].mandates
+        assert sim.metrics.n_mandates_lost == 3
+
+    def test_crash_is_idempotent(self):
+        _, trace, requests, config = scenario()
+        faults = FaultSchedule(
+            events=(
+                FaultEvent(time=1.0, kind="crash", node=0),
+                FaultEvent(time=2.0, kind="crash", node=0),
+            )
+        )
+        sim = Simulation(
+            trace, requests, config, QCR(config.utility, 0.1),
+            seed=2, faults=faults,
+        )
+        result = sim.run()
+        assert result.n_crashes == 1
+
+
+class TestReplicaLossEvents:
+    def test_targeted_loss(self):
+        _, trace, requests, config = scenario()
+        sim = Simulation(
+            trace, requests, config, uni_protocol(
+                DemandModel.pareto(N_ITEMS, total_rate=2.0), N_NODES, 2
+            ),
+            seed=2,
+            faults=FaultSchedule(
+                events=(FaultEvent(time=1.0, kind="replica_loss", node=0),)
+            ),
+        )
+        before = int(sim.counts.sum())
+        sim._apply_fault(1.0, sim.faults.events[0])
+        assert int(sim.counts.sum()) == before - 1
+        assert sim.metrics.n_replicas_lost == 1
+
+    def test_random_losses_never_touch_sticky(self):
+        faults = FaultSchedule.replica_loss(rate=0.5, duration=DURATION, seed=3)
+        result = run_qcr(faults)
+        assert result.n_replicas_lost > 0
+        assert (result.snapshot_counts >= 1).all(axis=1).all()
+
+    def test_recovery_times_measured(self):
+        faults = FaultSchedule.crash_wave(
+            100.0, range(N_NODES // 2), recover_at=140.0
+        )
+        result = run_qcr(faults)
+        assert result.n_replicas_lost > 0
+        assert len(result.recovery_times) >= 1
+        assert (result.recovery_times > 0).all()
+        robustness = result.robustness_summary()
+        assert robustness["n_loss_episodes_recovered"] == len(
+            result.recovery_times
+        )
+
+
+class TestValidation:
+    def test_out_of_range_fault_node_rejected(self):
+        _, trace, requests, config = scenario()
+        faults = FaultSchedule.crash_wave(1.0, [N_NODES])
+        with pytest.raises(ConfigurationError, match="out of range"):
+            Simulation(
+                trace, requests, config, QCR(config.utility, 0.1),
+                seed=2, faults=faults,
+            )
+
+    def test_out_of_range_fault_item_rejected(self):
+        _, trace, requests, config = scenario()
+        faults = FaultSchedule(
+            events=(
+                FaultEvent(
+                    time=1.0, kind="replica_loss", node=0, item=N_ITEMS
+                ),
+            )
+        )
+        with pytest.raises(ConfigurationError, match="out of range"):
+            Simulation(
+                trace, requests, config, QCR(config.utility, 0.1),
+                seed=2, faults=faults,
+            )
+
+    def test_events_past_horizon_ignored(self):
+        faults = FaultSchedule.crash_wave(DURATION * 2, [0], wipe_cache=False)
+        result = run_qcr(faults)
+        assert result.n_crashes == 0

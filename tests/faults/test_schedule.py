@@ -1,0 +1,194 @@
+"""Tests for FaultEvent / FaultSchedule construction and composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FAULT_KINDS, FaultEvent, FaultSchedule
+
+
+class TestFaultEvent:
+    def test_kinds_exported(self):
+        assert FAULT_KINDS == ("crash", "recover", "replica_loss")
+
+    @pytest.mark.parametrize("time", [-1.0, float("nan"), float("inf")])
+    def test_bad_time_rejected(self, time):
+        with pytest.raises(ConfigurationError, match="finite"):
+            FaultEvent(time=time, kind="crash", node=0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultEvent(time=1.0, kind="meltdown", node=0)
+
+    @pytest.mark.parametrize("kind", ["crash", "recover"])
+    def test_node_required(self, kind):
+        with pytest.raises(ConfigurationError, match="needs a node"):
+            FaultEvent(time=1.0, kind=kind)
+
+    def test_replica_loss_node_optional(self):
+        event = FaultEvent(time=1.0, kind="replica_loss")
+        assert event.node is None and event.item is None
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ConfigurationError, match="node id"):
+            FaultEvent(time=1.0, kind="crash", node=-1)
+        with pytest.raises(ConfigurationError, match="item id"):
+            FaultEvent(time=1.0, kind="replica_loss", node=0, item=-2)
+
+
+class TestFaultSchedule:
+    def test_events_sorted_by_time(self):
+        schedule = FaultSchedule(
+            events=(
+                FaultEvent(time=5.0, kind="recover", node=0),
+                FaultEvent(time=1.0, kind="crash", node=0),
+                FaultEvent(time=3.0, kind="replica_loss"),
+            )
+        )
+        assert [e.time for e in schedule] == [1.0, 3.0, 5.0]
+        assert len(schedule) == 3
+
+    @pytest.mark.parametrize("p", [-0.1, 1.0, 1.5])
+    def test_bad_drop_prob_rejected(self, p):
+        with pytest.raises(ConfigurationError, match="drop_prob"):
+            FaultSchedule(drop_prob=p)
+
+    def test_runtime_rng_deterministic(self):
+        schedule = FaultSchedule(seed=42)
+        a = schedule.runtime_rng().random(5)
+        b = schedule.runtime_rng().random(5)
+        assert (a == b).all()
+
+    def test_merge_pools_and_sorts_events(self):
+        left = FaultSchedule.crash_wave(10.0, [0, 1], drop_prob=0.1)
+        right = FaultSchedule(
+            events=(FaultEvent(time=2.0, kind="replica_loss"),),
+            drop_prob=0.2,
+        )
+        merged = left + right
+        assert [e.time for e in merged] == [2.0, 10.0, 10.0]
+        # Independent drop processes compose: 1 - 0.9 * 0.8.
+        assert merged.drop_prob == pytest.approx(0.28)
+        assert merged.seed == left.seed
+
+    def test_merge_conflicting_sticky_policy_rejected(self):
+        left = FaultSchedule(sticky_survives=True)
+        right = FaultSchedule(sticky_survives=False)
+        with pytest.raises(ConfigurationError, match="sticky_survives"):
+            left.merge(right)
+
+
+class TestCrashWave:
+    def test_crash_and_recover_events(self):
+        wave = FaultSchedule.crash_wave(10.0, [2, 0, 1], recover_at=20.0)
+        crashes = [e for e in wave if e.kind == "crash"]
+        recoveries = [e for e in wave if e.kind == "recover"]
+        assert [e.node for e in crashes] == [0, 1, 2]
+        assert all(e.time == 10.0 for e in crashes)
+        assert [e.node for e in recoveries] == [0, 1, 2]
+        assert all(e.time == 20.0 for e in recoveries)
+
+    def test_no_recovery_by_default(self):
+        wave = FaultSchedule.crash_wave(10.0, [0])
+        assert all(e.kind == "crash" for e in wave)
+
+    def test_duplicate_nodes_collapsed(self):
+        wave = FaultSchedule.crash_wave(10.0, [1, 1, 1])
+        assert len(wave) == 1
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one node"):
+            FaultSchedule.crash_wave(10.0, [])
+
+    def test_recover_before_crash_rejected(self):
+        with pytest.raises(ConfigurationError, match="recover_at"):
+            FaultSchedule.crash_wave(10.0, [0], recover_at=10.0)
+
+    def test_flags_propagated(self):
+        wave = FaultSchedule.crash_wave(
+            5.0, [0], wipe_cache=False, lose_mandates=False,
+            sticky_survives=False, drop_prob=0.25, seed=7,
+        )
+        (event,) = wave.events
+        assert not event.wipe_cache and not event.lose_mandates
+        assert not wave.sticky_survives
+        assert wave.drop_prob == 0.25
+        assert wave.seed == 7
+
+
+class TestNodeChurn:
+    def test_deterministic(self):
+        a = FaultSchedule.node_churn(
+            10, crash_rate=0.01, mean_downtime=50.0, duration=1000.0, seed=3
+        )
+        b = FaultSchedule.node_churn(
+            10, crash_rate=0.01, mean_downtime=50.0, duration=1000.0, seed=3
+        )
+        assert a.events == b.events
+
+    def test_seed_changes_events(self):
+        a = FaultSchedule.node_churn(
+            10, crash_rate=0.01, mean_downtime=50.0, duration=1000.0, seed=3
+        )
+        b = FaultSchedule.node_churn(
+            10, crash_rate=0.01, mean_downtime=50.0, duration=1000.0, seed=4
+        )
+        assert a.events != b.events
+
+    def test_alternating_per_node(self):
+        churn = FaultSchedule.node_churn(
+            5, crash_rate=0.05, mean_downtime=20.0, duration=500.0, seed=1
+        )
+        assert len(churn) > 0
+        for node in range(5):
+            kinds = [e.kind for e in churn if e.node == node]
+            # Strict crash/recover alternation, starting with a crash.
+            for k, kind in enumerate(kinds):
+                assert kind == ("crash" if k % 2 == 0 else "recover")
+
+    def test_events_within_horizon(self):
+        churn = FaultSchedule.node_churn(
+            5, crash_rate=0.05, mean_downtime=20.0, duration=500.0, seed=2
+        )
+        assert all(0 <= e.time < 500.0 for e in churn)
+
+    def test_node_subset(self):
+        churn = FaultSchedule.node_churn(
+            10, crash_rate=0.05, mean_downtime=20.0, duration=500.0,
+            seed=1, nodes=[7, 3],
+        )
+        assert {e.node for e in churn} <= {3, 7}
+
+    def test_validation(self):
+        kwargs = dict(crash_rate=0.05, mean_downtime=20.0, duration=500.0)
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.node_churn(0, **kwargs)
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.node_churn(5, **{**kwargs, "crash_rate": 0.0})
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.node_churn(5, **{**kwargs, "mean_downtime": -1.0})
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.node_churn(5, **{**kwargs, "duration": 0.0})
+        with pytest.raises(ConfigurationError, match="out of range"):
+            FaultSchedule.node_churn(5, nodes=[9], **kwargs)
+
+
+class TestReplicaLoss:
+    def test_poisson_events_in_horizon(self):
+        losses = FaultSchedule.replica_loss(rate=0.1, duration=400.0, seed=5)
+        assert len(losses) > 10  # ~40 expected
+        assert all(e.kind == "replica_loss" for e in losses)
+        assert all(e.node is None and e.item is None for e in losses)
+        assert all(0 <= e.time < 400.0 for e in losses)
+
+    def test_deterministic(self):
+        a = FaultSchedule.replica_loss(rate=0.1, duration=400.0, seed=5)
+        b = FaultSchedule.replica_loss(rate=0.1, duration=400.0, seed=5)
+        assert a.events == b.events
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.replica_loss(rate=0.0, duration=400.0)
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.replica_loss(rate=0.1, duration=0.0)

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 import pytest
 
@@ -12,7 +10,7 @@ from repro.demand import RequestSchedule
 from repro.errors import ConfigurationError
 from repro.protocols import QCR, QCRConfig
 from repro.sim import Simulation, SimulationConfig
-from repro.utility import NegLogUtility, PowerUtility, StepUtility
+from repro.utility import PowerUtility, StepUtility
 
 
 def trace_of(events, n_nodes=4, duration=100.0):

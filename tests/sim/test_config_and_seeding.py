@@ -54,6 +54,50 @@ class TestConfig:
             config(track_items=(99,))
 
 
+class TestSnapshotLoopGuards:
+    """Regression: record_interval <= 0 (or NaN) must be rejected.
+
+    ``record_interval=0`` would make ``Simulation.run``'s snapshot loop
+    (``while t >= next_snapshot: next_snapshot += record_interval``)
+    spin forever; NaN compares False against everything and would
+    silently disable snapshots.  Both must fail fast at config time.
+    """
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_record_interval_rejected(self, value):
+        with pytest.raises(ConfigurationError, match="record_interval"):
+            config(record_interval=value)
+
+    @pytest.mark.parametrize("value", [0.0, -3.0, float("nan"), float("inf")])
+    def test_bad_window_length_rejected(self, value):
+        with pytest.raises(ConfigurationError, match="window_length"):
+            config(window_length=value)
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_request_timeout_rejected(self, value):
+        with pytest.raises(ConfigurationError, match="request_timeout"):
+            config(request_timeout=value)
+
+    def test_tiny_positive_interval_terminates(self):
+        """A legal (small) interval runs to completion — no spin."""
+        from repro.contacts import homogeneous_poisson_trace
+        from repro.demand import DemandModel, generate_requests
+        from repro.protocols import uni_protocol
+        from repro.sim import simulate
+
+        demand = DemandModel.pareto(4, total_rate=1.0)
+        trace = homogeneous_poisson_trace(6, 0.1, 20.0, seed=1)
+        requests = generate_requests(demand, 6, 20.0, seed=2)
+        result = simulate(
+            trace,
+            requests,
+            config(n_items=4, rho=2, record_interval=0.5),
+            uni_protocol(demand, 6, 2),
+            seed=3,
+        )
+        assert len(result.snapshot_times) == 41  # t = 0, 0.5, ..., 20
+
+
 class TestSticky:
     def test_each_item_assigned(self):
         owners = assign_sticky(10, np.arange(5), rho=3, seed=1)

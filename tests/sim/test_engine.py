@@ -6,8 +6,6 @@ schedules so every gain and counter value can be verified by hand.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 import pytest
 

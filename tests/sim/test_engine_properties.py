@@ -7,8 +7,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.contacts import ContactTrace, bernoulli_slot_trace, homogeneous_poisson_trace
-from repro.demand import DemandModel, RequestSchedule, generate_requests
+from repro.contacts import bernoulli_slot_trace, homogeneous_poisson_trace
+from repro.demand import DemandModel, generate_requests
 from repro.protocols import QCR, PassiveReplication, QCRConfig, uni_protocol
 from repro.sim import Simulation, SimulationConfig, simulate
 from repro.utility import StepUtility

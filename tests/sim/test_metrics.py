@@ -7,7 +7,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.sim.metrics import MetricsCollector, SimulationResult
+from repro.sim.metrics import MetricsCollector
 
 
 def make_collector(**overrides):

@@ -1,0 +1,153 @@
+"""Direct unit tests for Simulation.insert_copy / remove_copy accounting.
+
+The global replica-count vector ``sim.counts`` must mirror the union of
+all server caches at all times — every code path (insertion, eviction,
+pinned-slot refusal, removal) has to keep the two in sync, because QCR's
+reaction function and the metrics snapshots both read ``counts``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contacts import homogeneous_poisson_trace
+from repro.demand import DemandModel, generate_requests
+from repro.protocols import QCR
+from repro.sim import Simulation, SimulationConfig
+from repro.utility import StepUtility
+
+
+def build_sim(n_items=6, rho=2, n_nodes=8, servers=None, seed=4):
+    demand = DemandModel.pareto(n_items, total_rate=1.0)
+    trace = homogeneous_poisson_trace(n_nodes, 0.1, 100.0, seed=2)
+    requests = generate_requests(demand, n_nodes, 100.0, seed=3)
+    config = SimulationConfig(
+        n_items=n_items, rho=rho, utility=StepUtility(5.0), servers=servers
+    )
+    return Simulation(
+        trace, requests, config, QCR(config.utility, 0.1), seed=seed
+    )
+
+
+def counts_from_caches(sim) -> np.ndarray:
+    """Recompute the replica counts by scanning every cache."""
+    counts = np.zeros(sim.config.n_items, dtype=np.int64)
+    for node in sim.nodes:
+        if node.cache is not None:
+            for item in node.cache:
+                counts[item] += 1
+    return counts
+
+
+@pytest.fixture
+def sim():
+    return build_sim()
+
+
+class TestInsertCopy:
+    def test_insert_into_free_slot_increments_count(self, sim):
+        node = next(n for n in sim.nodes if n.cache is not None)
+        evictable = next(i for i in node.cache if i != node.cache.sticky)
+        assert sim.remove_copy(node, evictable)  # open a slot
+        missing = next(i for i in range(6) if i not in node.cache)
+        before = sim.counts.copy()
+        assert sim.insert_copy(node, missing)
+        assert sim.counts[missing] == before[missing] + 1
+        assert sim.counts.sum() == before.sum() + 1
+        np.testing.assert_array_equal(sim.counts, counts_from_caches(sim))
+
+    def test_insert_into_full_cache_accounts_eviction(self, sim):
+        node = next(n for n in sim.nodes if n.cache is not None)
+        assert node.cache.is_full
+        missing = next(i for i in range(6) if i not in node.cache)
+        before = sim.counts.copy()
+        held_before = node.cache.items()
+        assert sim.insert_copy(node, missing)
+        (victim,) = held_before - node.cache.items()
+        assert sim.counts[missing] == before[missing] + 1
+        assert sim.counts[victim] == before[victim] - 1
+        assert sim.counts.sum() == before.sum()  # one in, one out
+        np.testing.assert_array_equal(sim.counts, counts_from_caches(sim))
+
+    def test_insert_present_item_is_a_noop(self, sim):
+        node = next(n for n in sim.nodes if n.cache is not None)
+        held = next(iter(node.cache))
+        before = sim.counts.copy()
+        assert not sim.insert_copy(node, held)
+        np.testing.assert_array_equal(sim.counts, before)
+
+    def test_insert_at_non_server_refused(self):
+        sim = build_sim(servers=(0, 1, 2, 3))
+        client = sim.nodes[7]
+        assert client.cache is None
+        before = sim.counts.copy()
+        assert not sim.insert_copy(client, 0)
+        np.testing.assert_array_equal(sim.counts, before)
+
+    def test_all_slots_pinned_refused(self):
+        # rho=1 makes the sticky replica the whole cache: insertion must
+        # be refused and the counts untouched.
+        sim = build_sim(n_items=4, rho=1, seed=5)
+        node = next(
+            n for n in sim.nodes
+            if n.cache is not None and n.cache.sticky is not None
+        )
+        assert node.cache.is_full and len(node.cache) == 1
+        missing = next(i for i in range(4) if i not in node.cache)
+        before = sim.counts.copy()
+        assert not sim.insert_copy(node, missing)
+        assert missing not in node.cache
+        np.testing.assert_array_equal(sim.counts, before)
+        np.testing.assert_array_equal(sim.counts, counts_from_caches(sim))
+
+
+class TestRemoveCopy:
+    def test_remove_decrements_count(self, sim):
+        node = next(
+            n for n in sim.nodes
+            if n.cache is not None
+            and any(i != n.cache.sticky for i in n.cache)
+        )
+        item = next(i for i in node.cache if i != node.cache.sticky)
+        before = sim.counts.copy()
+        assert sim.remove_copy(node, item)
+        assert sim.counts[item] == before[item] - 1
+        np.testing.assert_array_equal(sim.counts, counts_from_caches(sim))
+
+    def test_remove_sticky_refused(self, sim):
+        node = next(
+            n for n in sim.nodes
+            if n.cache is not None and n.cache.sticky is not None
+        )
+        sticky = node.cache.sticky
+        before = sim.counts.copy()
+        assert not sim.remove_copy(node, sticky)
+        assert sticky in node.cache
+        np.testing.assert_array_equal(sim.counts, before)
+
+    def test_remove_absent_refused(self, sim):
+        node = next(n for n in sim.nodes if n.cache is not None)
+        missing = next(i for i in range(6) if i not in node.cache)
+        before = sim.counts.copy()
+        assert not sim.remove_copy(node, missing)
+        np.testing.assert_array_equal(sim.counts, before)
+
+
+class TestCountConsistency:
+    def test_random_op_sequence_stays_consistent(self):
+        """Hammer insert/remove randomly; counts always match the caches."""
+        sim = build_sim(n_items=10, rho=3, n_nodes=10, seed=11)
+        rng = np.random.default_rng(12)
+        servers = [n for n in sim.nodes if n.cache is not None]
+        for _ in range(300):
+            node = servers[int(rng.integers(len(servers)))]
+            item = int(rng.integers(10))
+            if rng.random() < 0.5:
+                sim.insert_copy(node, item)
+            else:
+                sim.remove_copy(node, item)
+            assert (sim.counts >= 0).all()
+        np.testing.assert_array_equal(sim.counts, counts_from_caches(sim))
+        # Sticky replicas can never disappear.
+        assert (sim.counts > 0).all()

@@ -13,15 +13,13 @@ Each test is a miniature of one evaluation finding:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.allocation import greedy_homogeneous, homogeneous_welfare
+from repro.allocation import greedy_homogeneous
 from repro.contacts import homogeneous_poisson_trace
 from repro.demand import DemandModel, generate_requests
 from repro.protocols import (
     QCR,
-    QCRConfig,
     dom_protocol,
     opt_protocol,
     prop_protocol,

@@ -7,8 +7,6 @@ numerical verification of the paper's Table 1.
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro.utility.base import DelayUtility

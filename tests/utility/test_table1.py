@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments import verify_table1
 from repro.utility import table1_rows
 from repro.utility.exponential import ExponentialUtility
