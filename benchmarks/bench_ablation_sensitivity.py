@@ -28,6 +28,7 @@ def run_ablation(profile):
             n_trials=profile.n_trials,
             base_seed=881 + rho,
             include=("OPT", "QCR", "UNI"),
+            n_workers=profile.n_workers,
         )
         losses = comparison.losses()
         rows.append(
@@ -42,6 +43,7 @@ def run_ablation(profile):
             n_trials=profile.n_trials,
             base_seed=891 + int(10 * omega),
             include=("OPT", "QCR", "UNI"),
+            n_workers=profile.n_workers,
         )
         losses = comparison.losses()
         rows.append(

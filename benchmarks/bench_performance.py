@@ -11,6 +11,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+pytest.importorskip(
+    "pytest_benchmark",
+    reason="statistical timing needs the [bench] extra (pytest-benchmark)",
+)
+
 from repro.allocation import (
     HeterogeneousProblem,
     greedy_heterogeneous,

@@ -15,6 +15,9 @@ Subcommands:
 ``repro churn``
     Run a crash-wave robustness scenario (QCR vs static OPT under fault
     injection) and print recovery metrics plus a replica-count timeline.
+``repro bench``
+    Time the simulation engine against its frozen pre-optimization
+    baseline and a serial vs. parallel sweep; write ``BENCH_speed.json``.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ from .demand import DemandModel, generate_requests
 from .errors import ConfigurationError, ReproError
 from .faults import FaultSchedule
 from .experiments import (
+    BENCH_FILENAME,
     current_profile,
     figure1,
     figure2,
@@ -44,7 +48,9 @@ from .experiments import (
     figure4,
     figure5,
     figure6,
+    render_speed_report,
     render_table,
+    run_speed_benchmark,
     verify_table1,
 )
 from .experiments.scenarios import (
@@ -94,16 +100,29 @@ def _add_utility_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     profile = current_profile()
+    workers = args.workers if args.workers is not None else profile.n_workers
     builders = {
         1: lambda: figure1(),
         2: lambda: figure2(),
-        3: lambda: figure3(profile),
-        4: lambda: figure4(profile),
-        5: lambda: figure5(profile),
-        6: lambda: figure6(profile),
+        3: lambda: figure3(profile, n_workers=workers),
+        4: lambda: figure4(profile, n_workers=workers),
+        5: lambda: figure5(profile, n_workers=workers),
+        6: lambda: figure6(profile, n_workers=workers),
     }
     result = builders[args.number]()
     print(result.render())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    report = run_speed_benchmark(
+        quick=args.quick,
+        n_workers=args.workers,
+        repeats=args.repeats,
+        output=args.output,
+    )
+    print(render_speed_report(report))
+    print(f"\nwrote {args.output}")
     return 0
 
 
@@ -297,6 +316,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("number", type=int, choices=range(1, 7))
+    fig.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "process-pool width for simulation sweeps (default: "
+            "REPRO_BENCH_WORKERS or serial); results are bit-identical"
+        ),
+    )
     fig.set_defaults(func=_cmd_figure)
 
     tbl = sub.add_parser("table1", help="print and verify Table 1")
@@ -381,6 +409,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="replica-count snapshot cadence (default: 100)",
     )
     churn.set_defaults(func=_cmd_churn)
+
+    bench = sub.add_parser(
+        "bench", help="time the engine and the parallel runner"
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced horizons/trials for CI smoke runs",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="process-pool width for the parallel sweep (default: 4)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="engine timing repeats, best-of (default: 1 quick, 3 full)",
+    )
+    bench.add_argument(
+        "--output",
+        default=BENCH_FILENAME,
+        help=f"report path (default: {BENCH_FILENAME})",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     alloc = sub.add_parser("allocate", help="print the optimal allocation")
     _add_utility_arguments(alloc)

@@ -17,6 +17,7 @@ from .figures import (
     figure6,
     recommended_timeout,
 )
+from .benchmark import BENCH_FILENAME, render_speed_report, run_speed_benchmark
 from .checkpoint import ComparisonCheckpoint, result_from_dict, result_to_dict
 from .profiles import EffortProfile, current_profile
 from .reporting import render_loss_sweep, render_table
@@ -77,4 +78,7 @@ __all__ = [
     "Table1Verification",
     "render_table",
     "render_loss_sweep",
+    "run_speed_benchmark",
+    "render_speed_report",
+    "BENCH_FILENAME",
 ]

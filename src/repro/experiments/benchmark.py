@@ -1,0 +1,240 @@
+"""The ``repro bench`` speed harness: measured, tracked performance.
+
+Two measurements, both written to ``BENCH_speed.json`` at the repo root
+so the perf trajectory is tracked across PRs:
+
+* **engine throughput** — one simulation run (events processed per
+  second) on the optimized :class:`~repro.sim.engine.Simulation` versus
+  the frozen pre-optimization baseline
+  (:class:`~repro.sim._reference.ReferenceSimulation`), for a hook-free
+  static protocol and for QCR.  Both engines must produce bit-identical
+  results; the speedup is their wall-clock ratio.
+* **parallel sweep** — a small :func:`~repro.experiments.run_comparison`
+  sweep run serially and with ``n_workers`` processes; the statistics
+  must be bit-identical and the speedup is the wall-clock ratio.  On a
+  single-core container the parallel run cannot beat serial — the
+  recorded ``cpu_count`` says how to read the number.
+
+Timing numbers are noisy by nature; consumers (CI's perf-smoke job)
+should fail on *crashes or identity violations*, never on timings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..demand import generate_requests
+from ..sim._reference import ReferenceSimulation
+from ..sim.engine import Simulation
+from ..utility import StepUtility
+from .checkpoint import result_to_dict
+from .reporting import render_table
+from .runner import run_comparison
+from .scenarios import Scenario, homogeneous_scenario, standard_protocols
+
+__all__ = [
+    "run_speed_benchmark",
+    "render_speed_report",
+    "BENCH_FILENAME",
+]
+
+BENCH_FILENAME = "BENCH_speed.json"
+_FORMAT = "repro-speed-benchmark"
+_VERSION = 1
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _results_identical(a, b) -> bool:
+    """Exact (bit-level) equality of two SimulationResults."""
+    da, db = result_to_dict(a), result_to_dict(b)
+    return da == db
+
+
+def _time_run(build: Callable[[], Simulation], repeats: int) -> Tuple[float, Any]:
+    """Best-of-*repeats* wall time of one ``Simulation.run()``."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        sim = build()
+        start = time.perf_counter()
+        result = sim.run()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def _bench_engine_case(
+    scenario: Scenario,
+    protocol_name: str,
+    *,
+    seed: int,
+    repeats: int,
+) -> Dict[str, Any]:
+    """Time optimized vs. reference engine on one (scenario, protocol)."""
+    factories = standard_protocols(scenario, include=(protocol_name,))
+    trace = scenario.trace_factory(seed)
+    requests = generate_requests(
+        scenario.demand, trace.n_nodes, trace.duration, seed=seed + 1
+    )
+    n_events = len(trace.times) + len(requests.times)
+
+    def build(cls) -> Simulation:
+        protocol = factories[protocol_name](trace, requests)
+        return cls(
+            trace, requests, scenario.config, protocol, seed=seed + 2
+        )
+
+    ref_seconds, ref_result = _time_run(
+        lambda: build(ReferenceSimulation), repeats
+    )
+    opt_seconds, opt_result = _time_run(lambda: build(Simulation), repeats)
+    return {
+        "protocol": protocol_name,
+        "n_events": n_events,
+        "reference_seconds": ref_seconds,
+        "optimized_seconds": opt_seconds,
+        "reference_events_per_sec": n_events / ref_seconds,
+        "optimized_events_per_sec": n_events / opt_seconds,
+        "speedup": ref_seconds / opt_seconds,
+        "bit_identical": _results_identical(ref_result, opt_result),
+    }
+
+
+def _bench_parallel_sweep(
+    scenario: Scenario,
+    *,
+    n_trials: int,
+    n_workers: int,
+    base_seed: int,
+) -> Dict[str, Any]:
+    """Time a run_comparison sweep serially vs. on a worker pool."""
+    protocols = standard_protocols(scenario, include=("OPT", "QCR", "SQRT"))
+    kwargs = dict(
+        trace_factory=scenario.trace_factory,
+        demand=scenario.demand,
+        config=scenario.config,
+        protocols=protocols,
+        n_trials=n_trials,
+        base_seed=base_seed,
+        baseline="OPT",
+    )
+    start = time.perf_counter()
+    serial = run_comparison(**kwargs)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_comparison(**kwargs, n_workers=n_workers)
+    parallel_seconds = time.perf_counter() - start
+    identical = set(serial.stats) == set(parallel.stats) and all(
+        np.array_equal(
+            serial.stats[name].gain_rates, parallel.stats[name].gain_rates
+        )
+        for name in serial.stats
+    )
+    return {
+        "n_trials": n_trials,
+        "n_workers": n_workers,
+        "n_runs": n_trials * len(protocols),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "bit_identical": identical,
+    }
+
+
+def run_speed_benchmark(
+    *,
+    quick: bool = False,
+    n_workers: int = 4,
+    repeats: Optional[int] = None,
+    output: Optional[PathLike] = BENCH_FILENAME,
+) -> Dict[str, Any]:
+    """Run the full speed harness and (optionally) write *output*.
+
+    ``quick`` shrinks horizons and trial counts for CI smoke runs; the
+    structure of the report is identical at both scales.
+    """
+    if repeats is None:
+        repeats = 1 if quick else 3
+    duration = 400.0 if quick else 2000.0
+    sweep_duration = 200.0 if quick else 600.0
+    n_trials = 4 if quick else 8
+
+    utility = StepUtility(10.0)
+    engine_scenario = homogeneous_scenario(
+        utility, duration=duration, record_interval=None
+    )
+    cases = [
+        _bench_engine_case(
+            engine_scenario, name, seed=11, repeats=repeats
+        )
+        for name in ("OPT", "QCR")
+    ]
+    sweep_scenario = homogeneous_scenario(
+        utility, duration=sweep_duration, record_interval=None
+    )
+    parallel = _bench_parallel_sweep(
+        sweep_scenario,
+        n_trials=n_trials,
+        n_workers=n_workers,
+        base_seed=17,
+    )
+    report: Dict[str, Any] = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "scale": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "engine": {
+            "cases": cases,
+            "min_speedup": min(case["speedup"] for case in cases),
+        },
+        "parallel": parallel,
+    }
+    if output is not None:
+        tmp_path = f"{os.fspath(output)}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp_path, output)
+    return report
+
+
+def render_speed_report(report: Dict[str, Any]) -> str:
+    """An aligned text summary of a :func:`run_speed_benchmark` report."""
+    engine_rows = [
+        [
+            case["protocol"],
+            f"{case['reference_events_per_sec']:,.0f}",
+            f"{case['optimized_events_per_sec']:,.0f}",
+            f"{case['speedup']:.2f}x",
+            "yes" if case["bit_identical"] else "NO",
+        ]
+        for case in report["engine"]["cases"]
+    ]
+    engine_table = render_table(
+        ["protocol", "ref ev/s", "opt ev/s", "speedup", "bit-identical"],
+        engine_rows,
+        title=f"engine throughput ({report['scale']} scale)",
+    )
+    par = report["parallel"]
+    parallel_table = render_table(
+        ["metric", "value"],
+        [
+            ["runs", par["n_runs"]],
+            ["workers", par["n_workers"]],
+            ["serial", f"{par['serial_seconds']:.2f}s"],
+            ["parallel", f"{par['parallel_seconds']:.2f}s"],
+            ["speedup", f"{par['speedup']:.2f}x"],
+            ["bit-identical", "yes" if par["bit_identical"] else "NO"],
+            ["cpu count", report["cpu_count"]],
+        ],
+        title="parallel sweep",
+    )
+    return engine_table + "\n\n" + parallel_table

@@ -145,6 +145,7 @@ def _sweep(
     include: Sequence[str] = _STANDARD_SUITE,
     title: str,
     x_label: str,
+    n_workers: Optional[int] = None,
 ) -> SweepPanel:
     losses: Dict[str, List[float]] = {name: [] for name in include}
     for index, x in enumerate(x_values):
@@ -154,6 +155,7 @@ def _sweep(
             n_trials=n_trials,
             base_seed=base_seed + index,
             include=include,
+            n_workers=n_workers,
         )
         for name in include:
             losses[name].append(comparison.normalized_loss(name))
@@ -300,6 +302,7 @@ def figure3(
     alpha: float = 0.0,
     total_demand: float = 8.0,
     base_seed: int = 303,
+    n_workers: Optional[int] = None,
 ) -> Figure3Result:
     """Reproduce Figure 3 (homogeneous contacts, power ``alpha = 0``).
 
@@ -308,6 +311,8 @@ def figure3(
     divergence — are clearly visible within the horizon.
     """
     profile = profile or current_profile()
+    if n_workers is None:
+        n_workers = profile.n_workers
     utility = power_family(alpha)
     scenario = homogeneous_scenario(
         utility,
@@ -328,6 +333,7 @@ def figure3(
         n_trials=profile.n_trials,
         base_seed=base_seed,
         baseline="OPT",
+        n_workers=n_workers,
     )
 
     def first(name: str) -> SimulationResult:
@@ -428,10 +434,15 @@ class Figure4Result:
 
 
 def figure4(
-    profile: Optional[EffortProfile] = None, *, base_seed: int = 404
+    profile: Optional[EffortProfile] = None,
+    *,
+    base_seed: int = 404,
+    n_workers: Optional[int] = None,
 ) -> Figure4Result:
     """Reproduce Figure 4 (homogeneous contacts)."""
     profile = profile or current_profile()
+    if n_workers is None:
+        n_workers = profile.n_workers
 
     def power_scenario(alpha: float) -> Scenario:
         return homogeneous_scenario(
@@ -456,6 +467,7 @@ def figure4(
         base_seed=base_seed,
         title="Figure 4 (left) — homogeneous, power delay-utility",
         x_label="alpha",
+        n_workers=n_workers,
     )
     step_panel = _sweep(
         step_scenario,
@@ -464,6 +476,7 @@ def figure4(
         base_seed=base_seed + 1000,
         title="Figure 4 (right) — homogeneous, step delay-utility",
         x_label="tau",
+        n_workers=n_workers,
     )
     return Figure4Result(power_panel=power_panel, step_panel=step_panel)
 
@@ -492,6 +505,7 @@ def figure5(
     *,
     time_panel_tau: float = 60.0,
     base_seed: int = 505,
+    n_workers: Optional[int] = None,
 ) -> Figure5Result:
     """Reproduce Figure 5 (conference trace, step delay-utility).
 
@@ -499,6 +513,8 @@ def figure5(
     visible; the sweeps use the profile's ``tau`` grid.
     """
     profile = profile or current_profile()
+    if n_workers is None:
+        n_workers = profile.n_workers
 
     def scenario_for(variant: str, tau: float) -> Scenario:
         scenario = conference_scenario(
@@ -524,6 +540,7 @@ def figure5(
         n_trials=profile.n_trials,
         base_seed=base_seed,
         baseline="OPT",
+        n_workers=n_workers,
     )
     reference = comparison.stats["QCR"].results[0]
     window_times = (
@@ -551,6 +568,7 @@ def figure5(
         base_seed=base_seed + 1000,
         title="Figure 5(b) — loss vs tau (actual trace)",
         x_label="tau",
+        n_workers=n_workers,
     )
     synthesized_panel = _sweep(
         lambda tau: scenario_for("synthesized", tau),
@@ -559,6 +577,7 @@ def figure5(
         base_seed=base_seed + 2000,
         title="Figure 5(c) — loss vs tau (synthesized memoryless trace)",
         x_label="tau",
+        n_workers=n_workers,
     )
     return Figure5Result(
         utility_over_time=time_panel,
@@ -587,10 +606,15 @@ class Figure6Result:
 
 
 def figure6(
-    profile: Optional[EffortProfile] = None, *, base_seed: int = 606
+    profile: Optional[EffortProfile] = None,
+    *,
+    base_seed: int = 606,
+    n_workers: Optional[int] = None,
 ) -> Figure6Result:
     """Reproduce Figure 6 (vehicular trace, three utility families)."""
     profile = profile or current_profile()
+    if n_workers is None:
+        n_workers = profile.n_workers
 
     def scenario_for(utility: DelayUtility) -> Scenario:
         scenario = vehicular_scenario(utility, record_interval=None)
@@ -607,6 +631,7 @@ def figure6(
         base_seed=base_seed,
         title="Figure 6(a) — vehicular, power delay-utility",
         x_label="alpha",
+        n_workers=n_workers,
     )
     step_panel = _sweep(
         lambda tau: scenario_for(StepUtility(tau)),
@@ -615,6 +640,7 @@ def figure6(
         base_seed=base_seed + 1000,
         title="Figure 6(b) — vehicular, step delay-utility",
         x_label="tau",
+        n_workers=n_workers,
     )
     exponential_panel = _sweep(
         lambda nu: scenario_for(ExponentialUtility(nu)),
@@ -623,6 +649,7 @@ def figure6(
         base_seed=base_seed + 2000,
         title="Figure 6(c) — vehicular, exponential delay-utility",
         x_label="nu",
+        n_workers=n_workers,
     )
     return Figure6Result(
         power_panel=power_panel,

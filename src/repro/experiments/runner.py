@@ -22,14 +22,33 @@ behavior):
   succeeded;
 * *checkpoint/resume* — ``checkpoint_path`` persists every completed
   run to JSON (atomically, see :mod:`repro.experiments.checkpoint`), so
-  an interrupted sweep resumes instead of restarting.
+  an interrupted sweep resumes instead of restarting;
+* *parallel execution* — ``n_workers`` fans the ``(trial, protocol)``
+  work units out over a process pool.  Per-run seeds are derived from
+  the same :class:`numpy.random.SeedSequence` walk as the serial path,
+  so parallel results are **bit-identical** to serial ones; workers
+  return completed runs and the parent process owns the checkpoint
+  file, so checkpoint/resume and the ``on_error`` policies compose
+  unchanged.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+import warnings
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -197,6 +216,207 @@ class ComparisonResult:
         return "\n".join(lines)
 
 
+def _derive_trial_seeds(
+    base_seed: int, n_trials: int
+) -> List[Tuple[int, int, int]]:
+    """The per-trial (trace, request, sim) seed triples.
+
+    Seeds are drawn unconditionally for every trial — and identically in
+    the serial, parallel, and resumed paths — so all of them walk the
+    exact same :class:`numpy.random.SeedSequence` child stream.
+    """
+    seed_seq = np.random.SeedSequence(base_seed)
+    return [
+        tuple(int(s.generate_state(1)[0]) for s in seed_seq.spawn(3))
+        for _ in range(n_trials)
+    ]
+
+
+def _build_trial_inputs(
+    trace_factory: Callable[[int], ContactTrace],
+    demand: DemandModel,
+    n_clients: Optional[int],
+    seeds: Tuple[int, int, int],
+) -> TrialInputs:
+    """Realize one trial's shared trace and request schedule."""
+    trace_seed, request_seed, sim_seed = seeds
+    trace = trace_factory(trace_seed)
+    clients = n_clients or trace.n_nodes
+    requests = generate_requests(
+        demand, clients, trace.duration, seed=request_seed
+    )
+    return TrialInputs(trace, requests, sim_seed)
+
+
+def _execute_run(
+    factory: ProtocolFactory,
+    inputs: TrialInputs,
+    config: SimulationConfig,
+    trial_faults: Optional[FaultSchedule],
+    *,
+    attempts_per_run: int,
+    on_error: str,
+    retry_backoff: float,
+    max_backoff: float,
+) -> Tuple[Optional[SimulationResult], Optional[str]]:
+    """One (trial, protocol) run with the retry/skip policy applied.
+
+    Returns ``(result, None)`` on success and ``(None, error string)``
+    after all attempts failed; with ``on_error="raise"`` the first
+    failure propagates (identical in workers and in the serial loop).
+    """
+    result: Optional[SimulationResult] = None
+    last_error: Optional[BaseException] = None
+    for attempt in range(attempts_per_run):
+        if attempt:
+            delay = min(retry_backoff * (2.0 ** (attempt - 1)), max_backoff)
+            if delay > 0:
+                time.sleep(delay)
+        try:
+            protocol = factory(inputs.trace, inputs.requests)
+            result = simulate(
+                inputs.trace,
+                inputs.requests,
+                config,
+                protocol,
+                seed=inputs.sim_seed,
+                faults=trial_faults,
+            )
+            break
+        except Exception as error:
+            if on_error == "raise":
+                raise
+            last_error = error
+    if result is not None:
+        return result, None
+    return None, f"{type(last_error).__name__}: {last_error}"
+
+
+#: Fork-inherited state for pooled workers.  Set by ``run_comparison``
+#: immediately before the pool is created and cleared afterwards; the
+#: forked children inherit it by memory copy, so the trace factories and
+#: protocol factories (typically closures) never need to be pickled.
+_WORKER_CONTEXT: Optional[Dict[str, Any]] = None
+
+#: One (trial, protocol, trace seed, request seed, sim seed) work unit.
+_WorkUnit = Tuple[int, str, int, int, int]
+
+
+def _pool_run(
+    unit: _WorkUnit,
+) -> Tuple[int, str, Optional[SimulationResult], Optional[str]]:
+    """Execute one work unit inside a pooled worker process."""
+    context = _WORKER_CONTEXT
+    if context is None:  # pragma: no cover - defensive
+        raise SimulationError(
+            "worker context missing; the pool must be created with the "
+            "fork start method by run_comparison"
+        )
+    trial, name, trace_seed, request_seed, sim_seed = unit
+    inputs_by_trial: Dict[int, TrialInputs] = context["inputs_by_trial"]
+    inputs = inputs_by_trial.get(trial)
+    if inputs is None:
+        # First unit of this trial in this worker: realize the shared
+        # randomness once and reuse it for the trial's other protocols.
+        inputs = _build_trial_inputs(
+            context["trace_factory"],
+            context["demand"],
+            context["n_clients"],
+            (trace_seed, request_seed, sim_seed),
+        )
+        inputs_by_trial[trial] = inputs
+    faults = context["faults"]
+    trial_faults = faults(trial) if callable(faults) else faults
+    result, error = _execute_run(
+        context["protocols"][name],
+        inputs,
+        context["config"],
+        trial_faults,
+        attempts_per_run=context["attempts_per_run"],
+        on_error=context["on_error"],
+        retry_backoff=context["retry_backoff"],
+        max_backoff=context["max_backoff"],
+    )
+    return trial, name, result, error
+
+
+def _run_units_parallel(
+    units: List[_WorkUnit],
+    results_map: Dict[Tuple[int, str], SimulationResult],
+    failures_map: Dict[Tuple[int, str], "TrialFailure"],
+    checkpoint: Optional[ComparisonCheckpoint],
+    *,
+    n_workers: int,
+    trace_factory: Callable[[int], ContactTrace],
+    demand: DemandModel,
+    config: SimulationConfig,
+    protocols: Dict[str, ProtocolFactory],
+    n_clients: Optional[int],
+    faults: Optional[FaultsLike],
+    on_error: str,
+    attempts_per_run: int,
+    retry_backoff: float,
+    max_backoff: float,
+) -> None:
+    """Fan *units* out over a fork pool; the parent owns the checkpoint.
+
+    Workers inherit the factories through fork (no pickling of
+    closures); only the small work-unit tuples and the completed
+    :class:`~repro.sim.metrics.SimulationResult` objects cross the
+    process boundary.  Completed runs are checkpointed by the parent as
+    they arrive, so an interrupted parallel sweep resumes exactly like a
+    serial one.
+    """
+    global _WORKER_CONTEXT
+    context = {
+        "trace_factory": trace_factory,
+        "demand": demand,
+        "config": config,
+        "protocols": protocols,
+        "n_clients": n_clients,
+        "faults": faults,
+        "on_error": on_error,
+        "attempts_per_run": attempts_per_run,
+        "retry_backoff": retry_backoff,
+        "max_backoff": max_backoff,
+        "inputs_by_trial": {},
+    }
+    mp_context = multiprocessing.get_context("fork")
+    _WORKER_CONTEXT = context
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(n_workers, len(units)), mp_context=mp_context
+        ) as pool:
+            futures = {pool.submit(_pool_run, unit): unit for unit in units}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_EXCEPTION)
+                for future in done:
+                    # Worker exceptions only escape _execute_run under
+                    # on_error="raise"; propagate the first one observed
+                    # and drop the rest of the sweep, like the serial
+                    # path aborting mid-walk.
+                    try:
+                        trial, name, result, error = future.result()
+                    except BaseException:
+                        for pending in remaining:
+                            pending.cancel()
+                        raise
+                    if result is None:
+                        failures_map[(trial, name)] = TrialFailure(
+                            trial=trial,
+                            protocol=name,
+                            error=error or "unknown error",
+                            attempts=attempts_per_run,
+                        )
+                        continue
+                    results_map[(trial, name)] = result
+                    if checkpoint is not None:
+                        checkpoint.record(trial, name, result)
+    finally:
+        _WORKER_CONTEXT = None
+
+
 def run_comparison(
     *,
     trace_factory: Callable[[int], ContactTrace],
@@ -213,6 +433,7 @@ def run_comparison(
     retry_backoff: float = 0.1,
     max_backoff: float = 5.0,
     checkpoint_path: Optional[PathLike] = None,
+    n_workers: Optional[int] = None,
 ) -> ComparisonResult:
     """Run every protocol on *n_trials* shared trace/request realizations.
 
@@ -242,6 +463,16 @@ def run_comparison(
         When given, every completed run is persisted there as JSON and
         already-completed runs are loaded instead of re-simulated, so an
         interrupted sweep resumes with identical statistics.
+    n_workers:
+        ``None``/``1`` runs serially (the historical behavior).  With
+        ``k > 1`` the pending ``(trial, protocol)`` runs execute on a
+        ``k``-process pool (fork start method); per-run seeds come from
+        the identical seed walk, so the resulting statistics are
+        bit-identical to a serial sweep.  Requires a platform with the
+        ``fork`` start method (falls back to serial with a warning
+        otherwise).  With ``on_error="raise"`` the first observed worker
+        failure propagates, which — unlike the serial path — is not
+        necessarily the earliest failing trial.
     """
     if n_trials <= 0:
         raise ConfigurationError(f"n_trials must be > 0, got {n_trials}")
@@ -257,6 +488,8 @@ def run_comparison(
         raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
     if retry_backoff < 0 or max_backoff < 0:
         raise ConfigurationError("backoff delays must be >= 0")
+    if n_workers is not None and n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
 
     checkpoint = (
         ComparisonCheckpoint.open(
@@ -269,75 +502,96 @@ def run_comparison(
         else None
     )
     attempts_per_run = 1 + (max_retries if on_error == "retry" else 0)
+    trial_seeds = _derive_trial_seeds(base_seed, n_trials)
+
+    parallel = n_workers is not None and n_workers > 1
+    if parallel and "fork" not in multiprocessing.get_all_start_methods():
+        warnings.warn(
+            "n_workers > 1 needs the 'fork' start method; running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        parallel = False
+
+    #: (trial, protocol) -> completed result / failure, assembled into
+    #: trial-major order at the end (identical to the serial walk).
+    results_map: Dict[Tuple[int, str], SimulationResult] = {}
+    failures_map: Dict[Tuple[int, str], TrialFailure] = {}
+    if checkpoint is not None:
+        for trial in range(n_trials):
+            for name in protocols:
+                if checkpoint.has(trial, name):
+                    results_map[(trial, name)] = checkpoint.get(trial, name)
+    pending_units: List[_WorkUnit] = [
+        (trial, name, *trial_seeds[trial])
+        for trial in range(n_trials)
+        for name in protocols
+        if (trial, name) not in results_map
+    ]
+
+    if parallel and pending_units:
+        _run_units_parallel(
+            pending_units,
+            results_map,
+            failures_map,
+            checkpoint,
+            n_workers=n_workers,  # type: ignore[arg-type]
+            trace_factory=trace_factory,
+            demand=demand,
+            config=config,
+            protocols=protocols,
+            n_clients=n_clients,
+            faults=faults,
+            on_error=on_error,
+            attempts_per_run=attempts_per_run,
+            retry_backoff=retry_backoff,
+            max_backoff=max_backoff,
+        )
+    else:
+        inputs: Optional[TrialInputs] = None
+        current_trial = -1
+        for unit in pending_units:
+            trial, name = unit[0], unit[1]
+            if trial != current_trial:
+                inputs = _build_trial_inputs(
+                    trace_factory, demand, n_clients, unit[2:]
+                )
+                current_trial = trial
+            assert inputs is not None
+            trial_faults = faults(trial) if callable(faults) else faults
+            result, error = _execute_run(
+                protocols[name],
+                inputs,
+                config,
+                trial_faults,
+                attempts_per_run=attempts_per_run,
+                on_error=on_error,
+                retry_backoff=retry_backoff,
+                max_backoff=max_backoff,
+            )
+            if result is None:
+                failures_map[(trial, name)] = TrialFailure(
+                    trial=trial,
+                    protocol=name,
+                    error=error or "unknown error",
+                    attempts=attempts_per_run,
+                )
+                continue
+            results_map[(trial, name)] = result
+            if checkpoint is not None:
+                checkpoint.record(trial, name, result)
+
     collected: Dict[str, List[SimulationResult]] = {
         name: [] for name in protocols
     }
     failures: List[TrialFailure] = []
-    seed_seq = np.random.SeedSequence(base_seed)
     for trial in range(n_trials):
-        # Seeds are drawn unconditionally so resumed and fresh sweeps
-        # walk the identical seed stream.
-        trace_seed, request_seed, sim_seed = (
-            int(s.generate_state(1)[0])
-            for s in seed_seq.spawn(3)
-        )
-        pending = [
-            name
-            for name in protocols
-            if checkpoint is None or not checkpoint.has(trial, name)
-        ]
-        if checkpoint is not None:
-            for name in protocols:
-                if checkpoint.has(trial, name):
-                    collected[name].append(checkpoint.get(trial, name))
-        if not pending:
-            continue
-        trace = trace_factory(trace_seed)
-        clients = n_clients or trace.n_nodes
-        requests = generate_requests(
-            demand, clients, trace.duration, seed=request_seed
-        )
-        inputs = TrialInputs(trace, requests, sim_seed)
-        trial_faults = faults(trial) if callable(faults) else faults
-        for name in pending:
-            factory = protocols[name]
-            result: Optional[SimulationResult] = None
-            last_error: Optional[BaseException] = None
-            for attempt in range(attempts_per_run):
-                if attempt:
-                    delay = min(
-                        retry_backoff * (2.0 ** (attempt - 1)), max_backoff
-                    )
-                    if delay > 0:
-                        time.sleep(delay)
-                try:
-                    protocol = factory(inputs.trace, inputs.requests)
-                    result = simulate(
-                        inputs.trace,
-                        inputs.requests,
-                        config,
-                        protocol,
-                        seed=inputs.sim_seed,
-                        faults=trial_faults,
-                    )
-                    break
-                except Exception as error:
-                    if on_error == "raise":
-                        raise
-                    last_error = error
-            if result is None:
-                failures.append(
-                    TrialFailure(
-                        trial=trial,
-                        protocol=name,
-                        error=f"{type(last_error).__name__}: {last_error}",
-                        attempts=attempts_per_run,
-                    )
-                )
-                continue
-            collected[name].append(result)
-            if checkpoint is not None:
-                checkpoint.record(trial, name, result)
+        for name in protocols:
+            key = (trial, name)
+            if key in results_map:
+                collected[name].append(results_map[key])
+            elif key in failures_map:
+                failures.append(failures_map[key])
     if not any(collected.values()):
         raise SimulationError(
             f"every run failed across {n_trials} trial(s); "

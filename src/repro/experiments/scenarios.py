@@ -374,8 +374,14 @@ def run_scenario(
     base_seed: int = 0,
     include: Sequence[str] = ("OPT", "QCR", "SQRT", "PROP", "UNI", "DOM"),
     qcr_config: Optional[QCRConfig] = None,
+    n_workers: Optional[int] = None,
 ) -> ComparisonResult:
-    """Run the standard comparison on *scenario*."""
+    """Run the standard comparison on *scenario*.
+
+    *n_workers* > 1 distributes the (trial, protocol) runs over a
+    process pool with bit-identical statistics (see
+    :func:`repro.experiments.runner.run_comparison`).
+    """
     return run_comparison(
         trace_factory=scenario.trace_factory,
         demand=scenario.demand,
@@ -386,4 +392,5 @@ def run_scenario(
         n_trials=n_trials,
         base_seed=base_seed,
         baseline="OPT" if "OPT" in include else include[0],
+        n_workers=n_workers,
     )

@@ -26,6 +26,14 @@ from typing import List, Optional
 
 import numpy as np
 
+#: Kind codes of the pre-merged event stream.  The numeric order *is*
+#: the documented same-time tie rule: faults apply first (a node that
+#: crashes at t is already offline for a contact at t), then requests,
+#: then contacts.
+EVENT_FAULT = 0
+EVENT_REQUEST = 1
+EVENT_CONTACT = 2
+
 from ..contacts import ContactTrace
 from ..demand import RequestSchedule
 from ..errors import ConfigurationError, SimulationError
@@ -128,6 +136,74 @@ class Simulation:
             raise SimulationError(
                 f"protocol {protocol.name!r} did not set an initial allocation"
             )
+
+        # Hot-path constants, resolved once per run instead of per event.
+        utility = config.utility
+        self._utility = utility
+        self._h0 = utility.h0
+        self._timeout = config.request_timeout
+        self._skip_self = config.self_request_policy == "skip"
+        gain_never = utility.gain_never
+        self._abandoned_gain = gain_never
+        self._credit_abandoned = (
+            math.isfinite(gain_never) and gain_never != 0.0
+        )
+        # Protocols that never override the contact/fulfill hooks (static
+        # allocations, passive replication) let the engine skip the hook
+        # dispatch — and, when neither endpoint has outstanding requests,
+        # the whole exchange.
+        cls = type(protocol)
+        self._hook_free_contact = (
+            cls.after_contact is ReplicationProtocol.after_contact
+        )
+        self._hook_free_fulfill = (
+            cls.on_fulfill is ReplicationProtocol.on_fulfill
+        )
+        self._build_event_stream()
+
+    def _build_event_stream(self) -> None:
+        """Merge contacts, requests, and faults into one sorted stream.
+
+        Each stream arrives individually time-sorted; a single stable
+        ``np.lexsort`` on ``(time, kind)`` interleaves them while
+        preserving the fault -> request -> contact same-time tie rule
+        (kind codes are ordered that way) and the original order within
+        each stream.  Built once per simulation so ``run()`` does no
+        per-call array conversion.
+        """
+        trace = self.trace
+        requests = self.requests
+        horizon = trace.duration
+        fault_events: List[FaultEvent] = (
+            [e for e in self.faults.events if e.time <= horizon]
+            if self.faults is not None
+            else []
+        )
+        n_f, n_q, n_c = len(fault_events), len(requests.times), len(trace.times)
+        total = n_f + n_q + n_c
+        times = np.empty(total, dtype=np.float64)
+        times[:n_f] = [e.time for e in fault_events]
+        times[n_f : n_f + n_q] = requests.times
+        times[n_f + n_q :] = trace.times
+        kinds = np.empty(total, dtype=np.int64)
+        kinds[:n_f] = EVENT_FAULT
+        kinds[n_f : n_f + n_q] = EVENT_REQUEST
+        kinds[n_f + n_q :] = EVENT_CONTACT
+        # First/second payload slot per kind: fault index / unused,
+        # request item / requesting node, contact endpoints a / b.
+        arg_a = np.zeros(total, dtype=np.int64)
+        arg_a[:n_f] = np.arange(n_f)
+        arg_a[n_f : n_f + n_q] = requests.items
+        arg_a[n_f + n_q :] = trace.node_a
+        arg_b = np.zeros(total, dtype=np.int64)
+        arg_b[n_f : n_f + n_q] = requests.nodes
+        arg_b[n_f + n_q :] = trace.node_b
+        order = np.lexsort((kinds, times))
+        self._event_times: List[float] = times[order].tolist()
+        self._event_kinds: List[int] = kinds[order].tolist()
+        self._event_a: List[int] = arg_a[order].tolist()
+        self._event_b: List[int] = arg_b[order].tolist()
+        self._fault_events = fault_events
 
     # ------------------------------------------------------------------
     # state manipulation (protocol-facing API)
@@ -232,53 +308,27 @@ class Simulation:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Process all events and return the collected metrics."""
-        contact_times = self.trace.times.tolist()
-        contact_a = self.trace.node_a.tolist()
-        contact_b = self.trace.node_b.tolist()
-        request_times = self.requests.times.tolist()
-        request_items = self.requests.items.tolist()
-        request_nodes = self.requests.nodes.tolist()
-
-        # Faults form a third event stream; events past the horizon
-        # never fire.  At equal times faults apply first (a node that
-        # crashes at t is already offline for a contact at t), then
-        # requests before contacts (the pre-existing tie rule).
-        fault_events: List[FaultEvent] = (
-            [e for e in self.faults.events if e.time <= self.trace.duration]
-            if self.faults is not None
-            else []
-        )
-        fault_times = [e.time for e in fault_events]
-
+        times = self._event_times
+        kinds = self._event_kinds
+        args_a = self._event_a
+        args_b = self._event_b
+        fault_events = self._fault_events
         record_interval = self.config.record_interval
         next_snapshot = 0.0 if record_interval is not None else math.inf
-
-        ci, qi, fi = 0, 0, 0
-        n_contacts, n_requests = len(contact_times), len(request_times)
-        n_faults = len(fault_events)
-        while ci < n_contacts or qi < n_requests or fi < n_faults:
-            t_request = request_times[qi] if qi < n_requests else math.inf
-            t_contact = contact_times[ci] if ci < n_contacts else math.inf
-            t_fault = fault_times[fi] if fi < n_faults else math.inf
-            take_fault = t_fault <= t_request and t_fault <= t_contact
-            take_request = not take_fault and t_request <= t_contact
-            t = t_fault if take_fault else (
-                t_request if take_request else t_contact
-            )
+        handle_contact = self._handle_contact
+        handle_request = self._handle_request
+        for k in range(len(times)):
+            t = times[k]
             while t >= next_snapshot:
                 self._take_snapshot(next_snapshot)
                 next_snapshot += record_interval  # type: ignore[operator]
-            if take_fault:
-                self._apply_fault(t, fault_events[fi])
-                fi += 1
-            elif take_request:
-                self._handle_request(
-                    t, request_items[qi], request_nodes[qi]
-                )
-                qi += 1
+            kind = kinds[k]
+            if kind == EVENT_CONTACT:
+                handle_contact(t, args_a[k], args_b[k])
+            elif kind == EVENT_REQUEST:
+                handle_request(t, args_a[k], args_b[k])
             else:
-                self._handle_contact(t, contact_a[ci], contact_b[ci])
-                ci += 1
+                self._apply_fault(t, fault_events[args_a[k]])
         while next_snapshot <= self.trace.duration:
             self._take_snapshot(next_snapshot)
             next_snapshot += record_interval  # type: ignore[operator]
@@ -296,10 +346,10 @@ class Simulation:
             return
         self.metrics.record_generated()
         if node.is_server and node.cache is not None and item in node.cache:
-            if self.config.self_request_policy == "skip":
+            if self._skip_self:
                 self.metrics.record_skipped_self()
                 return
-            h0 = self.config.utility.h0
+            h0 = self._h0
             if not math.isfinite(h0):
                 raise SimulationError(
                     f"{self.config.utility.name} has h(0+) = inf and node "
@@ -312,8 +362,9 @@ class Simulation:
         node.add_request(Request(item, node_id, t))
 
     def _handle_contact(self, t: float, a: int, b: int) -> None:
-        node_a = self.nodes[a]
-        node_b = self.nodes[b]
+        nodes = self.nodes
+        node_a = nodes[a]
+        node_b = nodes[b]
         if not (node_a.online and node_b.online):
             self.metrics.n_contacts_blocked += 1
             return
@@ -321,9 +372,18 @@ class Simulation:
             if self._fault_rng.random() < self._drop_prob:
                 self.metrics.n_contacts_dropped += 1
                 return
+        if (
+            self._hook_free_contact
+            and not node_a.outstanding
+            and not node_b.outstanding
+        ):
+            # Nothing to query in either direction and the protocol has
+            # no contact hook: the meeting is a no-op.
+            return
         self._exchange(t, node_a, node_b)
         self._exchange(t, node_b, node_a)
-        self.protocol.after_contact(self, t, node_a, node_b)
+        if not self._hook_free_contact:
+            self.protocol.after_contact(self, t, node_a, node_b)
 
     def _exchange(
         self, t: float, requester: NodeState, provider: NodeState
@@ -334,14 +394,12 @@ class Simulation:
         outstanding = requester.outstanding
         if not outstanding:
             return
-        timeout = self.config.request_timeout
+        timeout = self._timeout
         if timeout is not None:
             self._expire_requests(requester, t - timeout)
             if not outstanding:
                 return
-        provider_cache = provider.cache
-        assert provider_cache is not None
-        utility = self.config.utility
+        provider_cache = provider.cache  # non-None: provider is a server
         fulfilled = None
         for item, request_list in outstanding.items():
             for request in request_list:
@@ -353,24 +411,30 @@ class Simulation:
                     fulfilled.append(item)
         if fulfilled is None:
             return
+        utility = self._utility
+        h0 = self._h0
+        isfinite = math.isfinite
+        record_fulfillment = self.metrics.record_fulfillment
+        notify = not self._hook_free_fulfill
+        on_fulfill = self.protocol.on_fulfill
         for item in fulfilled:
             for request in outstanding.pop(item):
                 delay = t - request.created_at
-                gain = float(utility(delay)) if delay > 0 else utility.h0
-                if not math.isfinite(gain):
+                gain = float(utility(delay)) if delay > 0 else h0
+                if not isfinite(gain):
                     # Measure-zero tie between a request and a contact at
                     # the same instant under an unbounded utility.
                     gain = 0.0
-                self.metrics.record_fulfillment(t, delay, gain)
-                self.protocol.on_fulfill(
-                    self, t, requester, provider, item, request.counter
-                )
+                record_fulfillment(t, delay, gain)
+                if notify:
+                    on_fulfill(
+                        self, t, requester, provider, item, request.counter
+                    )
 
     def _expire_requests(self, node: NodeState, deadline: float) -> None:
         """Drop outstanding requests created before *deadline*."""
-        utility = self.config.utility
-        abandoned_gain = utility.gain_never
-        credit = math.isfinite(abandoned_gain) and abandoned_gain != 0.0
+        abandoned_gain = self._abandoned_gain
+        credit = self._credit_abandoned
         stale_items = None
         for item, request_list in node.outstanding.items():
             if any(r.created_at < deadline for r in request_list):

@@ -41,9 +41,27 @@ class MetricsCollector:
         self.window_fulfillments = np.zeros(max(n_windows, 1), dtype=np.int64)
 
         self.snapshot_times: List[float] = []
-        self.snapshot_counts: List[IntArray] = []
         self.snapshot_mandates: List[IntArray] = []
-        self.snapshot_tracked: List[IntArray] = []
+        # Snapshot counts go into a preallocated (n_snapshots, n_items)
+        # buffer instead of one fresh array copy per snapshot; capacity
+        # follows from the snapshot cadence (with slack for float drift
+        # in the caller's accumulating schedule) and grows on demand.
+        if record_interval is not None and record_interval > 0:
+            capacity = int(duration / record_interval) + 2
+        else:
+            capacity = 0
+        self._n_snapshots = 0
+        self._counts_buf: IntArray = np.empty(
+            (capacity, n_items), dtype=np.int64
+        )
+        self._track_idx = (
+            np.asarray(track_items, dtype=np.int64) if track_items else None
+        )
+        self._tracked_buf: Optional[IntArray] = (
+            np.empty((capacity, len(track_items)), dtype=np.int64)
+            if track_items
+            else None
+        )
 
         # Fault-injection accounting (all zero on fault-free runs).
         self.n_crashes = 0
@@ -94,20 +112,48 @@ class MetricsCollector:
         window = min(int(t / self.window_length), len(self.window_gains) - 1)
         self.window_gains[window] += gain
 
+    @property
+    def snapshot_counts(self) -> IntArray:
+        """Replica-count snapshots recorded so far, one row per snapshot."""
+        return self._counts_buf[: self._n_snapshots]
+
+    @property
+    def snapshot_tracked(self) -> Optional[IntArray]:
+        """Tracked-item snapshot rows, or ``None`` without tracking."""
+        if self._tracked_buf is None:
+            return None
+        return self._tracked_buf[: self._n_snapshots]
+
+    def _grow_snapshot_buffers(self) -> None:
+        new_capacity = max(4, 2 * len(self._counts_buf))
+        counts_buf = np.empty((new_capacity, self.n_items), dtype=np.int64)
+        counts_buf[: self._n_snapshots] = self._counts_buf[: self._n_snapshots]
+        self._counts_buf = counts_buf
+        if self._tracked_buf is not None:
+            tracked_buf = np.empty(
+                (new_capacity, self._tracked_buf.shape[1]), dtype=np.int64
+            )
+            tracked_buf[: self._n_snapshots] = self._tracked_buf[
+                : self._n_snapshots
+            ]
+            self._tracked_buf = tracked_buf
+
     def record_snapshot(
         self,
         t: float,
         counts: IntArray,
         mandates: Optional[IntArray],
     ) -> None:
+        index = self._n_snapshots
+        if index >= len(self._counts_buf):
+            self._grow_snapshot_buffers()
         self.snapshot_times.append(t)
-        self.snapshot_counts.append(counts.copy())
+        self._counts_buf[index] = counts
+        if self._tracked_buf is not None:
+            self._tracked_buf[index] = counts[self._track_idx]
+        self._n_snapshots = index + 1
         if mandates is not None:
             self.snapshot_mandates.append(mandates.copy())
-        if self.track_items:
-            self.snapshot_tracked.append(
-                counts[np.asarray(self.track_items)].copy()
-            )
         if self._pending_recoveries:
             total = int(counts.sum())
             unresolved = []
@@ -188,8 +234,8 @@ class MetricsCollector:
             window_fulfillments=self.window_fulfillments,
             snapshot_times=np.asarray(self.snapshot_times),
             snapshot_counts=(
-                np.asarray(self.snapshot_counts)
-                if self.snapshot_counts
+                self._counts_buf[: self._n_snapshots].copy()
+                if self._n_snapshots
                 else np.zeros((0, self.n_items), dtype=np.int64)
             ),
             snapshot_mandates=(
@@ -198,8 +244,8 @@ class MetricsCollector:
                 else None
             ),
             snapshot_tracked=(
-                np.asarray(self.snapshot_tracked)
-                if self.snapshot_tracked
+                self._tracked_buf[: self._n_snapshots].copy()
+                if self._tracked_buf is not None and self._n_snapshots
                 else None
             ),
             final_counts=final_counts.copy(),

@@ -21,9 +21,6 @@ class Request:
         #: Number of (server) meetings since creation — the QCR query count.
         self.counter = 0
 
-    def age(self, now: float) -> float:
-        return now - self.created_at
-
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Request(item={self.item}, node={self.node}, "
@@ -68,10 +65,6 @@ class NodeState:
 
     def add_request(self, request: Request) -> None:
         self.outstanding.setdefault(request.item, []).append(request)
-
-    def pop_requests(self, item: int) -> List[Request]:
-        """Remove and return all outstanding requests for *item*."""
-        return self.outstanding.pop(item, [])
 
     def n_outstanding(self) -> int:
         return sum(len(reqs) for reqs in self.outstanding.values())

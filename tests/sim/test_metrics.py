@@ -60,6 +60,37 @@ class TestCollector:
         counts[0] = 99
         assert collector.snapshot_counts[0][0] == 1
 
+    def test_preallocated_buffer_values_unchanged(self):
+        # The snapshot store is a preallocated 2-D buffer; recorded
+        # values must be exactly what a list of copies would have held.
+        collector = make_collector()
+        expected = []
+        rng = np.random.default_rng(7)
+        for k in range(5):
+            counts = rng.integers(0, 10, size=4)
+            expected.append(counts.copy())
+            collector.record_snapshot(25.0 * k, counts, None)
+        assert np.array_equal(collector.snapshot_counts, np.stack(expected))
+        tracked = np.stack(expected)[:, [0, 2]]
+        assert np.array_equal(collector.snapshot_tracked, tracked)
+        result = collector.build_result(expected[-1], n_unfulfilled=0)
+        assert np.array_equal(result.snapshot_counts, np.stack(expected))
+        assert np.array_equal(result.snapshot_tracked, tracked)
+
+    def test_buffer_grows_past_expected_capacity(self):
+        # duration/record_interval predicts 100/25 + 2 = 6 snapshots;
+        # recording far more must transparently grow the buffer.
+        collector = make_collector()
+        n = 50
+        for k in range(n):
+            collector.record_snapshot(
+                2.0 * k, np.array([k, 0, k, 0]), np.array([k, 0, 0, 0])
+            )
+        assert collector.snapshot_counts.shape == (n, 4)
+        assert collector.snapshot_counts[:, 0].tolist() == list(range(n))
+        assert collector.snapshot_tracked[:, 0].tolist() == list(range(n))
+        assert len(collector.snapshot_mandates) == n
+
     def test_empty_run(self):
         collector = make_collector()
         result = collector.build_result(np.zeros(4, dtype=np.int64), 0)

@@ -1,0 +1,24 @@
+"""Pin the NodeState/Request surface: dead helpers stay dead.
+
+``NodeState.pop_requests`` and ``Request.age`` were removed as unused;
+nothing in the hot path or the protocol API needs them.  These tests
+fail if someone reintroduces them without a caller.
+"""
+
+from __future__ import annotations
+
+from repro.sim.node import NodeState, Request
+
+
+def test_removed_helpers_stay_removed():
+    assert not hasattr(NodeState, "pop_requests")
+    assert not hasattr(Request, "age")
+
+
+def test_outstanding_request_lifecycle():
+    node = NodeState(0, is_server=True, is_client=True, capacity=2)
+    node.add_request(Request(item=3, node=0, created_at=1.0))
+    node.add_request(Request(item=3, node=0, created_at=2.0))
+    assert node.n_outstanding() == 2
+    assert [r.created_at for r in node.outstanding[3]] == [1.0, 2.0]
+    assert all(r.counter == 0 for r in node.outstanding[3])
