@@ -18,14 +18,18 @@ longer than ``1/rate_floor`` are indistinguishable.  ``0`` disables it.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
 from ..demand import DemandModel, validate_profile
 from ..errors import AllocationError, ConfigurationError
-from ..types import FloatArray, IntArray
+from ..types import ArrayLike, FloatArray, IntArray
 from ..utility import DelayUtility
+
+#: ``G(x)``: per-request expected gain, scalar-in-scalar-out and
+#: array-in-array-out (see :func:`item_gain_function`).
+GainFunction = Callable[[ArrayLike], Union[float, FloatArray]]
 
 __all__ = [
     "homogeneous_welfare",
@@ -54,7 +58,7 @@ def item_gain_function(
     *,
     pure_p2p: bool = False,
     n_clients: Optional[int] = None,
-):
+) -> GainFunction:
     """Return ``G(x)``: per-request expected gain with ``x`` replicas.
 
     Dedicated-node case (Eq. 3): ``G(x) = E[h(Y)]`` with ``Y ~ Exp(mu*x)``.
@@ -68,10 +72,10 @@ def item_gain_function(
         raise ConfigurationError(f"mu must be > 0, got {mu}")
     if not pure_p2p:
 
-        def gain(x):
+        def gain(x: ArrayLike) -> FloatArray:
             return utility.expected_gains(np.atleast_1d(np.asarray(x, float)) * mu)
 
-        def gain_scalar_or_array(x):
+        def gain_scalar_or_array(x: ArrayLike) -> Union[float, FloatArray]:
             result = gain(x)
             return float(result[0]) if np.ndim(x) == 0 else result
 
@@ -87,7 +91,7 @@ def item_gain_function(
     h0 = utility.h0
     n = n_clients
 
-    def gain_pure(x):
+    def gain_pure(x: ArrayLike) -> Union[float, FloatArray]:
         x_arr = np.atleast_1d(np.asarray(x, float))
         remote = utility.expected_gains(x_arr * mu)
         result = (x_arr / n) * h0 + (1.0 - x_arr / n) * remote

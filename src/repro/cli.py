@@ -18,6 +18,9 @@ Subcommands:
 ``repro bench``
     Time the simulation engine against its frozen pre-optimization
     baseline and a serial vs. parallel sweep; write ``BENCH_speed.json``.
+``repro lint``
+    Run the repo's custom static-analysis rules (determinism,
+    sim-invariants, fork safety — see docs/static_analysis.md).
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ from .contacts import homogeneous_poisson_trace
 from .demand import DemandModel, generate_requests
 from .errors import ConfigurationError, ReproError
 from .faults import FaultSchedule
+from .lint.cli import add_lint_arguments, cmd_lint
 from .experiments import (
     BENCH_FILENAME,
     current_profile,
@@ -436,6 +440,12 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"report path (default: {BENCH_FILENAME})",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    lint = sub.add_parser(
+        "lint", help="run the repo-specific static-analysis rules"
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
 
     alloc = sub.add_parser("allocate", help="print the optimal allocation")
     _add_utility_arguments(alloc)

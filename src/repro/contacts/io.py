@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import math
 import os
-from typing import Dict, Union
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
@@ -37,7 +37,7 @@ PathLike = Union[str, "os.PathLike[str]"]
 
 def _parse_event(
     path: PathLike, line_number: int, t_raw: object, a_raw: object, b_raw: object
-) -> tuple:
+) -> Tuple[float, int, int]:
     """Validate one contact record; all failures are TraceFormatError.
 
     Guards corrupt files: non-numeric fields, non-finite or negative
@@ -49,7 +49,7 @@ def _parse_event(
         t = float(t_raw)  # type: ignore[arg-type]
         a = int(a_raw)  # type: ignore[arg-type]
         b = int(b_raw)  # type: ignore[arg-type]
-    except (TypeError, ValueError):
+    except (TypeError, ValueError, OverflowError):
         raise TraceFormatError(
             f"{path}:{line_number}: non-numeric contact record "
             f"({t_raw!r}, {a_raw!r}, {b_raw!r})"
@@ -99,7 +99,7 @@ def load_csv(path: PathLike) -> ContactTrace:
     offending line number.
     """
     metadata: Dict[str, str] = {}
-    rows = []
+    rows: List[Tuple[int, float, int, int]] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, raw in enumerate(handle, start=1):
             line = raw.strip()
@@ -169,10 +169,10 @@ def load_interval_format(
     """
     if time_scale <= 0:
         raise TraceFormatError(f"time_scale must be > 0, got {time_scale}")
-    raw_a = []
-    raw_b = []
-    starts = []
-    ends = []
+    raw_a: List[int] = []
+    raw_b: List[int] = []
+    starts: List[float] = []
+    ends: List[float] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, raw in enumerate(handle, start=1):
             line = raw.strip()
@@ -267,9 +267,9 @@ def load_jsonl(path: PathLike) -> ContactTrace:
             raise TraceFormatError(
                 f"{path}:1: header must carry numeric n_nodes and duration"
             ) from None
-        times = []
-        node_a = []
-        node_b = []
+        times: List[float] = []
+        node_a: List[int] = []
+        node_b: List[int] = []
         for line_number, raw in enumerate(handle, start=2):
             line = raw.strip()
             if not line:

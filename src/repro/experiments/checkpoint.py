@@ -153,6 +153,14 @@ class ComparisonCheckpoint:
         completed = data.get("completed", {})
         if not isinstance(completed, dict):
             raise ConfigurationError(f"corrupt 'completed' map in {path}")
+        for key, payload in completed.items():
+            # Entry-level validation: a truncated/hand-edited file must
+            # fail here with a clear message, not later inside get()
+            # with a bare TypeError.
+            if not isinstance(key, str) or not isinstance(payload, dict):
+                raise ConfigurationError(
+                    f"corrupt checkpoint entry {key!r} in {path}"
+                )
         checkpoint._completed = completed
         return checkpoint
 

@@ -1,0 +1,32 @@
+"""repro-lint: repo-specific static analysis for the reproduction.
+
+The reproduction's correctness claims — bit-identical seeded runs and
+paper-faithful welfare numbers — depend on conventions no general
+linter checks: all randomness seeded and threaded explicitly, no wall
+clock in simulation logic, protocols mutating caches only through the
+engine API, the stable fault -> request -> contact event merge, tolerant
+float comparisons in the welfare math, no shared mutable state, no
+swallowed loader errors, and fork-safe parallel work units.  This
+package turns those conventions into machine-checked rules (``RPL001``…)
+with a plugin registry, inline suppressions, and text/JSON reporting.
+
+Run it as ``repro lint [paths]``; see docs/static_analysis.md for the
+rule catalog.
+"""
+
+from __future__ import annotations
+
+from .findings import Finding
+from .registry import FileContext, Rule, all_rules, register
+from .runner import LintReport, lint_source, run_lint
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "LintReport",
+    "all_rules",
+    "register",
+    "run_lint",
+    "lint_source",
+]

@@ -1,0 +1,48 @@
+"""Finding record produced by lint rules.
+
+A finding pins one violation to a source location and carries the rule
+code (``RPL001``…), a human-readable message, and a fix hint.  Findings
+sort by (file, line, column, code) so reports are stable across runs —
+the linter itself must be deterministic, for obvious reasons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str = ""
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col: CODE message``."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form used by ``--format json``."""
+        return {
+            "file": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "hint": self.hint,
+        }

@@ -1,0 +1,27 @@
+"""Rule plugins.
+
+Importing this package registers every built-in rule; add a module here
+and import it below to ship a new rule (see docs/static_analysis.md).
+"""
+
+from . import (  # noqa: F401  (imported for their @register side effect)
+    broad_except,
+    determinism,
+    event_order,
+    float_compare,
+    fork_safety,
+    mutable_defaults,
+    protocol_purity,
+    wallclock,
+)
+
+__all__ = [
+    "broad_except",
+    "determinism",
+    "event_order",
+    "float_compare",
+    "fork_safety",
+    "mutable_defaults",
+    "protocol_purity",
+    "wallclock",
+]

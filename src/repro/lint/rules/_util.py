@@ -1,0 +1,49 @@
+"""Shared AST helpers for rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+__all__ = [
+    "dotted_name",
+    "call_name",
+    "iter_calls",
+    "is_name_constant",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Resolve a ``Name``/``Attribute`` chain to ``a.b.c``, else ``None``."""
+    parts = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """The dotted name of a call's callee, when statically resolvable."""
+    return dotted_name(call.func)
+
+
+def iter_calls(tree: ast.AST) -> Iterator[Tuple[ast.Call, Optional[str]]]:
+    """Every call in *tree* paired with its dotted callee name."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node, call_name(node)
+
+
+def is_name_constant(node: ast.AST, *names: str) -> bool:
+    """True when *node* is a bare name or attribute tail in *names*.
+
+    Matches both ``Exception`` and e.g. ``builtins.Exception``.
+    """
+    dotted = dotted_name(node)
+    if dotted is None:
+        return False
+    return dotted in names or dotted.rsplit(".", 1)[-1] in names

@@ -1,0 +1,71 @@
+"""RPL002 — no wall-clock time in simulation logic.
+
+Simulated time is event time; reading the host clock inside the library
+makes results depend on machine load and breaks replay (the reference-
+equivalence tests compare event-by-event).  Timing is legitimate only in
+the benchmark harness: the ``benchmarks/`` tree and the runner's timing
+shim ``experiments/benchmark.py`` are exempt by path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import FileContext, Rule, register
+from ._util import iter_calls
+
+__all__ = ["WallClockRule"]
+
+#: Callee names that read the host clock.  ``time.sleep`` is absent on
+#: purpose: the retry backoff waits, it never *reads* time.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "date.today",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    code = "RPL002"
+    name = "no-wall-clock"
+    summary = (
+        "simulation logic must be driven by event time, never the host "
+        "clock (exempt: benchmarks/, experiments/benchmark.py)"
+    )
+    hint = (
+        "use the simulation's event time; wall-clock timing belongs in "
+        "benchmarks/ or the experiments/benchmark.py shim"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.in_directory("benchmarks") or ctx.parts[:1] == ("benchmarks",):
+            return False
+        return not ctx.matches("experiments", "benchmark.py")
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for call, name in iter_calls(tree):
+            if name in _CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"'{name}' reads the host clock; results become "
+                    "machine- and load-dependent",
+                )

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
@@ -162,7 +162,7 @@ class QCR(ReplicationProtocol):
         self.name = "QCR" if config.mandate_routing else "QCRWOM"
         self._pure: bool = False  # resolved at initialize()
         #: Per-node observed contact counts (adaptive_mu state).
-        self._contact_counts: dict = {}
+        self._contact_counts: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # protocol hooks
@@ -304,7 +304,7 @@ class QCR(ReplicationProtocol):
         if not owner.mandates:
             return
         budget = self.config.max_replications_per_contact
-        executed = None
+        executed: Optional[List[int]] = None
         for item, count in owner.mandates.items():
             if budget is not None and budget <= 0:
                 break

@@ -31,7 +31,7 @@ from ..allocation import (
 )
 from ..demand import DemandModel
 from ..errors import ConfigurationError
-from ..types import IntArray
+from ..types import FloatArray, IntArray
 from ..utility import DelayUtility
 from .base import ReplicationProtocol
 
@@ -85,7 +85,9 @@ class StaticAllocation(ReplicationProtocol):
         sim.set_initial_allocation(allocation)
 
 
-def _quantized(fractional, budget: int, n_servers: int) -> IntArray:
+def _quantized(
+    fractional: FloatArray, budget: int, n_servers: int
+) -> IntArray:
     return quantize_counts(fractional, budget, n_servers)
 
 

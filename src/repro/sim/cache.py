@@ -8,7 +8,7 @@ evicted (so no item can be lost to stochastic extinction).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set
+from typing import Iterable, Iterator, List, Optional, Set
 
 import numpy as np
 
@@ -53,7 +53,7 @@ class Cache:
     def __len__(self) -> int:
         return len(self._items)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(self._items)
 
     @property

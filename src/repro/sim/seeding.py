@@ -13,7 +13,7 @@ remaining slots.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -62,7 +62,7 @@ def seed_allocation(
     seed: SeedLike = None,
     *,
     sticky_owner: Optional[IntArray] = None,
-) -> tuple:
+) -> Tuple[IntArray, IntArray]:
     """Build an initial allocation: sticky copies plus random fill.
 
     Returns ``(allocation, sticky_owner)`` where *allocation* is a binary

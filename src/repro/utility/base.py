@@ -236,6 +236,9 @@ class DelayUtility(ABC):
             raise UtilityDomainError(
                 f"failure probability must be in [0, 1], got {failure_prob}"
             )
+        # repro-lint: ignore[RPL005] exact domain boundary: the series
+        # degenerates only at exactly 1.0, which is representable and
+        # validated just above.
         if failure_prob == 1.0:
             return self.gain_never
         total = float(self(delta))

@@ -218,6 +218,8 @@ class TabulatedUtility(DelayUtility):
             )
         if len(times_arr) < 2:
             raise UtilityDomainError("need at least two samples")
+        # repro-lint: ignore[RPL005] input validation: the table must be
+        # anchored at exactly t=0 (callers pass the literal, not a sum).
         if times_arr[0] != 0.0:
             raise UtilityDomainError("first sample time must be 0")
         if not np.all(np.diff(times_arr) > 0):

@@ -129,6 +129,8 @@ class DifferentialMeasure:
                 value, _ = integrate.quad(
                     integrand, left, right, epsrel=rtol, limit=200
                 )
+            # repro-lint: ignore[RPL005] panel edges are constructed from
+            # the literal 0.0 above, so the sentinel compare is exact.
             elif left == 0.0 and self.singular_at_zero:
                 # quad handles endpoint singularities if told where they are.
                 value, _ = integrate.quad(

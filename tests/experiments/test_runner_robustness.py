@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import json
 
 import numpy as np
 import pytest
@@ -249,6 +250,21 @@ class TestCheckpoint:
         path = tmp_path / "broken.json"
         path.write_text("{not json")
         with pytest.raises(ConfigurationError, match="unreadable"):
+            ComparisonCheckpoint.open(
+                path, base_seed=0, n_trials=1, protocols=["OPT"]
+            )
+
+    def test_corrupt_checkpoint_entry_rejected(self, tmp_path):
+        """A damaged per-run entry fails at open(), not later in get()."""
+        path = tmp_path / "entries.json"
+        good = ComparisonCheckpoint(
+            path, base_seed=0, n_trials=1, protocols=["OPT"]
+        )
+        good.save()
+        data = json.loads(path.read_text())
+        data["completed"] = {"0:OPT": "truncated garbage"}
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigurationError, match="corrupt checkpoint entry"):
             ComparisonCheckpoint.open(
                 path, base_seed=0, n_trials=1, protocols=["OPT"]
             )

@@ -1,0 +1,17 @@
+"""RPL005 true positives: exact float equality and NaN comparison."""
+
+import math
+
+import numpy as np
+
+
+def check(welfare, gain):
+    if welfare == 0.3:
+        return True
+    if gain != -1.5:
+        return False
+    if welfare == np.nan:
+        return True
+    if gain == float("nan"):
+        return True
+    return math.isnan(welfare)

@@ -1,0 +1,11 @@
+"""RPL005 clean pass: tolerant comparisons and proper NaN checks."""
+
+import math
+
+
+def check(welfare, gain, count):
+    if math.isclose(welfare, 0.3, abs_tol=1e-12):
+        return True
+    if count == 3:  # integer compare is exact and fine
+        return False
+    return math.isnan(gain)

@@ -1,0 +1,18 @@
+"""RPL003 clean pass: replicas via the engine API, own mandate state."""
+
+
+class PolitePlacement:
+    name = "POLITE"
+
+    def initialize(self, sim):
+        self._seen = 0
+
+    def on_fulfill(self, sim, t, requester, provider, item, counter):
+        if requester.is_server and not requester.has_item(item):
+            sim.insert_copy(requester, item)
+        requester.mandates[item] = requester.mandates.get(item, 0) + 1
+
+    def after_contact(self, sim, t, a, b):
+        self._seen += 1
+        if a.has_item(0):
+            sim.insert_copy(b, 0)

@@ -1,0 +1,15 @@
+"""RPL001 true positives: unseeded / global-state randomness."""
+
+import random
+from random import shuffle
+
+import numpy as np
+
+
+def roll():
+    np.random.seed(42)
+    value = np.random.random()
+    rng = np.random.default_rng()
+    deck = [1, 2, 3]
+    shuffle(deck)
+    return value + random.random() + rng.random() + deck[0]

@@ -1,0 +1,10 @@
+"""RPL001 clean pass: seeded, explicitly threaded Generators."""
+
+import numpy as np
+
+
+def roll(seed):
+    rng = np.random.default_rng(seed)
+    children = np.random.SeedSequence(seed).spawn(2)
+    other = np.random.default_rng(children[0])
+    return rng.random() + other.random()

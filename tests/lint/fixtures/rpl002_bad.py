@@ -1,0 +1,11 @@
+"""RPL002 true positives: wall-clock reads in library code."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()
+    elapsed = time.perf_counter()
+    today = datetime.now()
+    return started, elapsed, today

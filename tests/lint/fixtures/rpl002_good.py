@@ -1,0 +1,8 @@
+"""RPL002 clean pass: event-time driven logic; sleep is not a clock read."""
+
+import time
+
+
+def backoff(t, delay):
+    time.sleep(delay)
+    return t + delay

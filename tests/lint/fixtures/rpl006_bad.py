@@ -1,0 +1,22 @@
+"""RPL006 true positives: shared mutable defaults and class attributes."""
+
+import numpy as np
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, counts={}, *, tags=set()):
+    counts[key] = counts.get(key, 0) + 1
+    return counts, tags
+
+
+def fill(values=np.zeros(3)):
+    return values
+
+
+class SweepConfig:
+    protocols = ["OPT", "QCR"]
+    overrides = {}

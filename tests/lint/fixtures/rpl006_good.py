@@ -1,0 +1,19 @@
+"""RPL006 clean pass: None defaults, field factories, immutables."""
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, List, Optional
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+@dataclass
+class SweepConfig:
+    protocols: ClassVar[List[str]] = ["OPT", "QCR"]
+    names: tuple = ("OPT", "QCR")
+    overrides: Dict[str, float] = field(default_factory=dict)
+    label: Optional[str] = None

@@ -1,0 +1,18 @@
+"""RPL007 clean pass: specific exceptions, or broad with a re-raise."""
+
+
+def load(path, on_error):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except (OSError, ValueError):
+        return None
+
+
+def guarded(fn, on_error):
+    try:
+        return fn()
+    except Exception:
+        if on_error == "raise":
+            raise
+        return None

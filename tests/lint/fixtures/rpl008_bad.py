@@ -1,0 +1,18 @@
+"""RPL008 true positives: fork-unsafe parallel work units."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def sweep(units, seed):
+    rng = np.random.default_rng(seed)
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        lazy = [pool.submit(lambda u: u * 2, unit) for unit in units]
+        risky = pool.submit(run_one, rng)
+        shipped = pool.submit(run_one, np.random.default_rng(seed))
+    return lazy, risky, shipped
+
+
+def run_one(rng):
+    return rng.random()

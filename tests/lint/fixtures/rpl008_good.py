@@ -1,0 +1,17 @@
+"""RPL008 clean pass: pinned start method, picklable seed-driven units."""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def run_one(seed):
+    return np.random.default_rng(seed).random()
+
+
+def sweep(seeds):
+    context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=4, mp_context=context) as pool:
+        futures = [pool.submit(run_one, seed) for seed in seeds]
+    return [future.result() for future in futures]

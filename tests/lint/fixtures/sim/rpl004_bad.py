@@ -1,0 +1,11 @@
+"""RPL004 true positives: event merges that drop the stable order."""
+
+import numpy as np
+
+
+def merge_events(times, kinds):
+    order = np.argsort(times)
+    resorted = np.sort(times)
+    wrong_key = np.lexsort((times, kinds))
+    opaque = np.lexsort(list(zip(times, kinds)))
+    return order, resorted, wrong_key, opaque

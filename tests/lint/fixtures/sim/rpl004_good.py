@@ -1,0 +1,10 @@
+"""RPL004 clean pass: the sanctioned stable (kinds, times) merge."""
+
+import numpy as np
+
+
+def merge_events(times, kinds):
+    order = np.lexsort((kinds, times))
+    stable = np.argsort(times, kind="stable")
+    resorted = np.sort(times, kind="stable")
+    return order, stable, resorted

@@ -1,0 +1,8 @@
+"""Whole-file opt-out for vendored/generated code."""
+# repro-lint: skip-file
+
+import random
+
+
+def anything_goes():
+    return random.random()

@@ -1,0 +1,21 @@
+"""Suppression syntax: trailing and standalone directives."""
+
+import time
+
+
+def trailing():
+    return time.time()  # repro-lint: ignore[RPL002] test fixture, not sim logic
+
+
+def standalone():
+    # This read feeds a log label only, never simulation state.
+    # repro-lint: ignore[RPL002]
+    return time.time()
+
+
+def bare_ignore(bucket=[]):  # repro-lint: ignore
+    return bucket
+
+
+def wrong_code():
+    return time.time()  # repro-lint: ignore[RPL001] suppresses the wrong rule
