@@ -9,7 +9,11 @@ Subcommands:
 ``repro simulate``
     Run a single simulation with a chosen protocol and print metrics.
 ``repro trace``
-    Generate a synthetic trace, print its statistics, optionally save it.
+    Work with traces.  ``trace poisson|conference|vehicular`` generates
+    a synthetic contact trace; ``trace summary|filter|convert|cdf``
+    analyzes a JSONL telemetry trace recorded by
+    ``repro simulate --trace-out`` (``cdf`` compares per-item empirical
+    delay CDFs against the Lemma 1 exponential).
 ``repro allocate``
     Print the optimal allocation for a homogeneous scenario.
 ``repro churn``
@@ -26,6 +30,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -43,6 +48,16 @@ from .demand import DemandModel, generate_requests
 from .errors import ConfigurationError, ReproError
 from .faults import FaultSchedule
 from .lint.cli import add_lint_arguments, cmd_lint
+from .obs import Tracer
+from .obs.analysis import (
+    TraceFileError,
+    delay_cdf_comparison,
+    filter_events,
+    iter_events,
+    summarize_events,
+    write_events_csv,
+    write_events_jsonl,
+)
 from .experiments import (
     BENCH_FILENAME,
     current_profile,
@@ -105,13 +120,18 @@ def _add_utility_arguments(parser: argparse.ArgumentParser) -> None:
 def _cmd_figure(args: argparse.Namespace) -> int:
     profile = current_profile()
     workers = args.workers if args.workers is not None else profile.n_workers
+    sweep_kwargs = {
+        "n_workers": workers,
+        "progress": args.progress or None,
+        "profile_dir": args.profile,
+    }
     builders = {
         1: lambda: figure1(),
         2: lambda: figure2(),
-        3: lambda: figure3(profile, n_workers=workers),
-        4: lambda: figure4(profile, n_workers=workers),
-        5: lambda: figure5(profile, n_workers=workers),
-        6: lambda: figure6(profile, n_workers=workers),
+        3: lambda: figure3(profile, **sweep_kwargs),
+        4: lambda: figure4(profile, **sweep_kwargs),
+        5: lambda: figure5(profile, **sweep_kwargs),
+        6: lambda: figure6(profile, **sweep_kwargs),
     }
     result = builders[args.number]()
     print(result.render())
@@ -154,11 +174,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         scenario.demand, trace.n_nodes, trace.duration, seed=args.seed + 1
     )
     protocol = factories[args.protocol](trace, requests)
-    result = simulate(
-        trace, requests, scenario.config, protocol, seed=args.seed + 2
+    tracer = (
+        Tracer.to_jsonl(args.trace_out, meta={"protocol": args.protocol})
+        if args.trace_out
+        else None
     )
+    try:
+        result = simulate(
+            trace,
+            requests,
+            scenario.config,
+            protocol,
+            seed=args.seed + 2,
+            tracer=tracer,
+            manifest=bool(args.manifest_out),
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     rows = [[key, value] for key, value in result.summary().items()]
     print(render_table(["metric", "value"], rows, title=f"{args.protocol} run"))
+    if tracer is not None:
+        print(f"wrote {tracer.seq} trace events to {args.trace_out}")
+    if args.manifest_out:
+        with open(args.manifest_out, "w", encoding="utf-8") as handle:
+            json.dump(result.manifest, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote run manifest to {args.manifest_out}")
     return 0
 
 
@@ -179,6 +221,112 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.output:
         save_csv(trace, args.output)
         print(f"saved {len(trace)} contacts to {args.output}")
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    summary = summarize_events(iter_events(args.file, validate=args.validate))
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    rows = [[kind, count] for kind, count in summary["kind_counts"].items()]
+    title = f"{args.file}: {summary['n_events']} events"
+    if summary["protocol"]:
+        title += f" ({summary['protocol']}, t_last={summary['t_last']:g})"
+    print(render_table(["event kind", "count"], rows, title=title))
+    delay = summary["delay"]
+    if delay is not None:
+        print()
+        print(
+            render_table(
+                ["statistic", "value"],
+                [
+                    ["fulfilled", delay["count"]],
+                    ["mean delay", f"{delay['mean']:.4g}"],
+                    ["p50", f"{delay['p50']:.4g}"],
+                    ["p90", f"{delay['p90']:.4g}"],
+                    ["p99", f"{delay['p99']:.4g}"],
+                    ["max", f"{delay['max']:.4g}"],
+                ],
+                title="fulfillment delays",
+            )
+        )
+    return 0
+
+
+def _cmd_trace_filter(args: argparse.Namespace) -> int:
+    events = filter_events(
+        iter_events(args.file),
+        kinds=args.kind or None,
+        item=args.item,
+        node=args.node,
+        t_min=args.t_min,
+        t_max=args.t_max,
+    )
+    if args.output:
+        n = write_events_jsonl(events, args.output)
+        print(f"wrote {n} events to {args.output}")
+    else:
+        write_events_jsonl(events, sys.stdout)
+    return 0
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    events = iter_events(args.file)
+    if args.format == "csv":
+        n = write_events_csv(events, args.output)
+    else:
+        n = write_events_jsonl(events, args.output)
+    print(f"wrote {n} events to {args.output} ({args.format})")
+    return 0
+
+
+def _cmd_trace_cdf(args: argparse.Namespace) -> int:
+    try:
+        comparison = delay_cdf_comparison(
+            iter_events(args.file),
+            mu=args.mu,
+            items=args.item or None,
+            min_samples=args.min_samples,
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    rows = [
+        [
+            item,
+            detail["x"],
+            detail["n_samples"],
+            f"{detail['mean_delay']:.4g}",
+            f"{detail['predicted_mean_delay']:.4g}",
+            f"{detail['ks_statistic']:.4f}",
+        ]
+        for item, detail in comparison["items"].items()
+    ]
+    print(
+        render_table(
+            ["item", "x_i", "samples", "mean delay", "Lemma 1 mean", "KS"],
+            rows,
+            title=(
+                f"empirical delay CDF vs Lemma 1 Exp(mu*x_i), "
+                f"mu={args.mu:g}"
+            ),
+        )
+    )
+    if comparison["n_items_compared"]:
+        print(
+            f"\n{comparison['n_items_compared']} items compared: "
+            f"max KS {comparison['max_ks']:.4f}, "
+            f"mean KS {comparison['mean_ks']:.4f}"
+        )
+    else:
+        print("\nno item had enough fulfilled requests to compare")
+    if comparison["skipped"]:
+        print(f"skipped {len(comparison['skipped'])} items (too few samples)")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(comparison, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote full comparison to {args.output}")
     return 0
 
 
@@ -329,6 +477,17 @@ def build_parser() -> argparse.ArgumentParser:
             "REPRO_BENCH_WORKERS or serial); results are bit-identical"
         ),
     )
+    fig.add_argument(
+        "--progress",
+        action="store_true",
+        help="log live per-run sweep progress to stderr",
+    )
+    fig.add_argument(
+        "--profile",
+        metavar="DIR",
+        default=None,
+        help="dump per-worker cProfile stats (.pstats) into DIR",
+    )
     fig.set_defaults(func=_cmd_figure)
 
     tbl = sub.add_parser("table1", help="print and verify Table 1")
@@ -348,18 +507,108 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--duration", type=float, default=2000.0)
     sim.add_argument("--demand", type=float, default=TOTAL_DEMAND)
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="record request-lifecycle telemetry as JSON lines to PATH",
+    )
+    sim.add_argument(
+        "--manifest-out",
+        metavar="PATH",
+        default=None,
+        help="write the run provenance manifest as JSON to PATH",
+    )
     sim.set_defaults(func=_cmd_simulate)
 
-    trc = sub.add_parser("trace", help="generate a synthetic trace")
-    trc.add_argument(
-        "kind", choices=("poisson", "conference", "vehicular")
+    trc = sub.add_parser(
+        "trace",
+        help="generate contact traces / analyze telemetry traces",
     )
-    trc.add_argument("--nodes", type=int, default=N_NODES)
-    trc.add_argument("--mu", type=float, default=MU)
-    trc.add_argument("--duration", type=float, default=2000.0)
-    trc.add_argument("--seed", type=int, default=0)
-    trc.add_argument("--output", help="save as CSV to this path")
-    trc.set_defaults(func=_cmd_trace)
+    trc_sub = trc.add_subparsers(dest="trace_command", required=True)
+    for kind in ("poisson", "conference", "vehicular"):
+        gen = trc_sub.add_parser(
+            kind, help=f"generate a synthetic {kind} contact trace"
+        )
+        gen.add_argument("--nodes", type=int, default=N_NODES)
+        gen.add_argument("--mu", type=float, default=MU)
+        gen.add_argument("--duration", type=float, default=2000.0)
+        gen.add_argument("--seed", type=int, default=0)
+        gen.add_argument("--output", help="save as CSV to this path")
+        gen.set_defaults(func=_cmd_trace, kind=kind)
+
+    trc_summary = trc_sub.add_parser(
+        "summary", help="summarize a JSONL telemetry trace"
+    )
+    trc_summary.add_argument("file", help="JSONL trace file")
+    trc_summary.add_argument(
+        "--validate",
+        action="store_true",
+        help="check every event against the schema while reading",
+    )
+    trc_summary.add_argument(
+        "--json", action="store_true", help="print the summary as JSON"
+    )
+    trc_summary.set_defaults(func=_cmd_trace_summary)
+
+    trc_filter = trc_sub.add_parser(
+        "filter", help="select events from a JSONL telemetry trace"
+    )
+    trc_filter.add_argument("file", help="JSONL trace file")
+    trc_filter.add_argument(
+        "--kind",
+        action="append",
+        help="keep only this event kind (repeatable)",
+    )
+    trc_filter.add_argument("--item", type=int, default=None)
+    trc_filter.add_argument("--node", type=int, default=None)
+    trc_filter.add_argument("--t-min", type=float, default=None)
+    trc_filter.add_argument("--t-max", type=float, default=None)
+    trc_filter.add_argument(
+        "--output", help="write JSONL here (default: stdout)"
+    )
+    trc_filter.set_defaults(func=_cmd_trace_filter)
+
+    trc_convert = trc_sub.add_parser(
+        "convert", help="convert a JSONL telemetry trace to CSV or JSONL"
+    )
+    trc_convert.add_argument("file", help="JSONL trace file")
+    trc_convert.add_argument("output", help="destination path")
+    trc_convert.add_argument(
+        "--format", choices=("csv", "jsonl"), default="csv"
+    )
+    trc_convert.set_defaults(func=_cmd_trace_convert)
+
+    trc_cdf = trc_sub.add_parser(
+        "cdf",
+        help=(
+            "compare per-item empirical delay CDFs against the "
+            "Lemma 1 exponential Exp(mu * x_i)"
+        ),
+    )
+    trc_cdf.add_argument("file", help="JSONL trace file")
+    trc_cdf.add_argument(
+        "--mu",
+        type=float,
+        required=True,
+        help="pairwise meeting rate of the mobility model",
+    )
+    trc_cdf.add_argument(
+        "--item",
+        type=int,
+        action="append",
+        help="restrict to this item (repeatable; default: all)",
+    )
+    trc_cdf.add_argument(
+        "--min-samples",
+        type=int,
+        default=5,
+        help="skip items with fewer fulfilled requests (default: 5)",
+    )
+    trc_cdf.add_argument(
+        "--output", help="write the full comparison as JSON to this path"
+    )
+    trc_cdf.set_defaults(func=_cmd_trace_cdf)
 
     churn = sub.add_parser(
         "churn", help="run a crash-wave robustness scenario (QCR vs OPT)"
@@ -465,7 +714,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as error:
+    except (ReproError, TraceFileError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

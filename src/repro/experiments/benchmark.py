@@ -52,8 +52,14 @@ PathLike = Union[str, "os.PathLike[str]"]
 
 
 def _results_identical(a, b) -> bool:
-    """Exact (bit-level) equality of two SimulationResults."""
+    """Exact (bit-level) equality of two SimulationResults.
+
+    Manifests are provenance (they carry host timings that differ on
+    every run) and are excluded from the comparison.
+    """
     da, db = result_to_dict(a), result_to_dict(b)
+    da.pop("manifest", None)
+    db.pop("manifest", None)
     return da == db
 
 

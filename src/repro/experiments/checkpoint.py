@@ -106,6 +106,12 @@ class ComparisonCheckpoint:
         self.n_trials = int(n_trials)
         self.protocols = sorted(protocols)
         self._completed: Dict[str, Dict[str, Any]] = {}
+        #: Sweep-level provenance (config fingerprint, environment,
+        #: timings — see :mod:`repro.obs.manifest`).  Preserved verbatim
+        #: across open/save but never validated: it is metadata about a
+        #: sweep, not part of its identity, so resuming on a different
+        #: host or revision must keep working.
+        self.manifest: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -162,6 +168,9 @@ class ComparisonCheckpoint:
                     f"corrupt checkpoint entry {key!r} in {path}"
                 )
         checkpoint._completed = completed
+        manifest = data.get("manifest")
+        if isinstance(manifest, dict):
+            checkpoint.manifest = manifest
         return checkpoint
 
     # ------------------------------------------------------------------
@@ -187,8 +196,13 @@ class ComparisonCheckpoint:
         self._completed[self._key(trial, protocol)] = result_to_dict(result)
         self.save()
 
+    def set_manifest(self, manifest: Optional[Dict[str, Any]]) -> None:
+        """Attach sweep-level provenance and persist it immediately."""
+        self.manifest = manifest
+        self.save()
+
     def save(self) -> None:
-        payload = {
+        payload: Dict[str, Any] = {
             "format": _FORMAT,
             "version": _VERSION,
             "base_seed": self.base_seed,
@@ -196,6 +210,8 @@ class ComparisonCheckpoint:
             "protocols": self.protocols,
             "completed": self._completed,
         }
+        if self.manifest is not None:
+            payload["manifest"] = self.manifest
         tmp_path = f"{os.fspath(self.path)}.tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)

@@ -42,9 +42,11 @@ from ..utility import (
     StepUtility,
     power_family,
 )
+from ..obs.log import get_logger
+from .checkpoint import PathLike
 from .profiles import EffortProfile, current_profile
 from .reporting import render_loss_sweep, render_table
-from .runner import run_comparison
+from .runner import ProgressLike, run_comparison
 from .scenarios import (
     MU,
     RHO,
@@ -146,16 +148,28 @@ def _sweep(
     title: str,
     x_label: str,
     n_workers: Optional[int] = None,
+    progress: Optional[ProgressLike] = None,
+    profile_dir: Optional[PathLike] = None,
 ) -> SweepPanel:
     losses: Dict[str, List[float]] = {name: [] for name in include}
+    logger = get_logger("repro.experiments.figures")
     for index, x in enumerate(x_values):
         scenario = scenario_for(x)
+        if progress:
+            logger.info(
+                "sweep point",
+                panel=title,
+                point=f"{index + 1}/{len(x_values)}",
+                **{x_label: f"{x:g}"},
+            )
         comparison = run_scenario(
             scenario,
             n_trials=n_trials,
             base_seed=base_seed + index,
             include=include,
             n_workers=n_workers,
+            progress=progress,
+            profile_dir=profile_dir,
         )
         for name in include:
             losses[name].append(comparison.normalized_loss(name))
@@ -303,6 +317,8 @@ def figure3(
     total_demand: float = 8.0,
     base_seed: int = 303,
     n_workers: Optional[int] = None,
+    progress: Optional[ProgressLike] = None,
+    profile_dir: Optional[PathLike] = None,
 ) -> Figure3Result:
     """Reproduce Figure 3 (homogeneous contacts, power ``alpha = 0``).
 
@@ -334,6 +350,8 @@ def figure3(
         base_seed=base_seed,
         baseline="OPT",
         n_workers=n_workers,
+        progress=progress,
+        profile_dir=profile_dir,
     )
 
     def first(name: str) -> SimulationResult:
@@ -438,6 +456,8 @@ def figure4(
     *,
     base_seed: int = 404,
     n_workers: Optional[int] = None,
+    progress: Optional[ProgressLike] = None,
+    profile_dir: Optional[PathLike] = None,
 ) -> Figure4Result:
     """Reproduce Figure 4 (homogeneous contacts)."""
     profile = profile or current_profile()
@@ -468,6 +488,8 @@ def figure4(
         title="Figure 4 (left) — homogeneous, power delay-utility",
         x_label="alpha",
         n_workers=n_workers,
+        progress=progress,
+        profile_dir=profile_dir,
     )
     step_panel = _sweep(
         step_scenario,
@@ -477,6 +499,8 @@ def figure4(
         title="Figure 4 (right) — homogeneous, step delay-utility",
         x_label="tau",
         n_workers=n_workers,
+        progress=progress,
+        profile_dir=profile_dir,
     )
     return Figure4Result(power_panel=power_panel, step_panel=step_panel)
 
@@ -506,6 +530,8 @@ def figure5(
     time_panel_tau: float = 60.0,
     base_seed: int = 505,
     n_workers: Optional[int] = None,
+    progress: Optional[ProgressLike] = None,
+    profile_dir: Optional[PathLike] = None,
 ) -> Figure5Result:
     """Reproduce Figure 5 (conference trace, step delay-utility).
 
@@ -541,6 +567,8 @@ def figure5(
         base_seed=base_seed,
         baseline="OPT",
         n_workers=n_workers,
+        progress=progress,
+        profile_dir=profile_dir,
     )
     reference = comparison.stats["QCR"].results[0]
     window_times = (
@@ -569,6 +597,8 @@ def figure5(
         title="Figure 5(b) — loss vs tau (actual trace)",
         x_label="tau",
         n_workers=n_workers,
+        progress=progress,
+        profile_dir=profile_dir,
     )
     synthesized_panel = _sweep(
         lambda tau: scenario_for("synthesized", tau),
@@ -578,6 +608,8 @@ def figure5(
         title="Figure 5(c) — loss vs tau (synthesized memoryless trace)",
         x_label="tau",
         n_workers=n_workers,
+        progress=progress,
+        profile_dir=profile_dir,
     )
     return Figure5Result(
         utility_over_time=time_panel,
@@ -610,6 +642,8 @@ def figure6(
     *,
     base_seed: int = 606,
     n_workers: Optional[int] = None,
+    progress: Optional[ProgressLike] = None,
+    profile_dir: Optional[PathLike] = None,
 ) -> Figure6Result:
     """Reproduce Figure 6 (vehicular trace, three utility families)."""
     profile = profile or current_profile()
@@ -632,6 +666,8 @@ def figure6(
         title="Figure 6(a) — vehicular, power delay-utility",
         x_label="alpha",
         n_workers=n_workers,
+        progress=progress,
+        profile_dir=profile_dir,
     )
     step_panel = _sweep(
         lambda tau: scenario_for(StepUtility(tau)),
@@ -641,6 +677,8 @@ def figure6(
         title="Figure 6(b) — vehicular, step delay-utility",
         x_label="tau",
         n_workers=n_workers,
+        progress=progress,
+        profile_dir=profile_dir,
     )
     exponential_panel = _sweep(
         lambda nu: scenario_for(ExponentialUtility(nu)),
@@ -650,6 +688,8 @@ def figure6(
         title="Figure 6(c) — vehicular, exponential delay-utility",
         x_label="nu",
         n_workers=n_workers,
+        progress=progress,
+        profile_dir=profile_dir,
     )
     return Figure6Result(
         power_panel=power_panel,

@@ -29,12 +29,20 @@ behavior):
   so parallel results are **bit-identical** to serial ones; workers
   return completed runs and the parent process owns the checkpoint
   file, so checkpoint/resume and the ``on_error`` policies compose
-  unchanged.
+  unchanged;
+* *telemetry* — every run yields a :class:`RunTelemetry` record (stage
+  timings, attempts, outcome) merged into ``ComparisonResult.telemetry``
+  in deterministic trial-major order regardless of worker completion
+  order; ``progress`` enables a live reporter (structured log lines or
+  a user callback) and ``profile_dir`` dumps per-worker cProfile stats.
 """
 
 from __future__ import annotations
 
+import cProfile
+import dataclasses
 import multiprocessing
+import os
 import time
 import warnings
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
@@ -56,6 +64,9 @@ from ..contacts import ContactTrace
 from ..demand import DemandModel, RequestSchedule, generate_requests
 from ..errors import ConfigurationError, SimulationError
 from ..faults import FaultSchedule
+from ..obs.log import get_logger
+from ..obs.manifest import environment_provenance
+from ..obs.timing import Stopwatch
 from ..protocols.base import ReplicationProtocol
 from ..sim import SimulationConfig, SimulationResult, simulate
 from ..types import FloatArray
@@ -66,6 +77,7 @@ __all__ = [
     "TrialFailure",
     "AlgorithmStats",
     "ComparisonResult",
+    "RunTelemetry",
     "run_comparison",
     "percentile_interval",
 ]
@@ -76,6 +88,91 @@ ProtocolFactory = Callable[[ContactTrace, RequestSchedule], ReplicationProtocol]
 
 #: Faults for a sweep: one shared schedule, or a per-trial factory.
 FaultsLike = Union[FaultSchedule, Callable[[int], FaultSchedule]]
+
+#: Live progress: ``True`` logs through ``repro.obs.log``; a callable
+#: receives one dict per completed run (completion order).
+ProgressLike = Union[bool, Callable[[Dict[str, Any]], None]]
+
+
+@dataclass(frozen=True)
+class RunTelemetry:
+    """Stage timings and outcome of one ``(trial, protocol)`` run.
+
+    ``setup_wall_s`` is the trial-input realization cost *paid by this
+    run* — the first run of a trial in a given process carries it, later
+    runs reuse the cached inputs and report 0.  ``status`` is ``"ok"``,
+    ``"failed"`` (all attempts exhausted), or ``"cached"`` (restored
+    from a checkpoint, so no timing was observed).
+
+    Timings are host measurements and vary run to run; only the
+    *ordering* of telemetry in :attr:`ComparisonResult.telemetry` is
+    deterministic (trial-major, protocol in insertion order — the same
+    walk that assembles the statistics, independent of worker
+    completion order).
+    """
+
+    trial: int
+    protocol: str
+    status: str
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    setup_wall_s: float = 0.0
+    attempts: int = 0
+    gain_rate: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class _ProgressReporter:
+    """Live per-run reporting for a sweep.
+
+    Fires in completion order (what "live" means under a pool); the
+    deterministic record is ``ComparisonResult.telemetry``.  With
+    ``progress=True`` lines go through the structured logger; a callable
+    gets one dict per run with running counts and elapsed time.
+    """
+
+    def __init__(self, total: int, progress: ProgressLike) -> None:
+        self.total = total
+        self.done = 0
+        self._callback = progress if callable(progress) else None
+        self._logger = (
+            get_logger("repro.experiments.sweep")
+            if self._callback is None
+            else None
+        )
+        self._timer = Stopwatch()
+
+    def report(self, telemetry: RunTelemetry) -> None:
+        self.done += 1
+        if self._callback is not None:
+            event = {
+                "completed": self.done,
+                "total": self.total,
+                "elapsed_s": self._timer.wall,
+            }
+            event.update(telemetry.to_dict())
+            self._callback(event)
+        elif self._logger is not None:
+            self._logger.info(
+                "run finished",
+                run=f"{self.done}/{self.total}",
+                trial=telemetry.trial,
+                protocol=telemetry.protocol,
+                status=telemetry.status,
+                wall_s=f"{telemetry.wall_s:.3f}",
+                elapsed_s=f"{self._timer.wall:.1f}",
+            )
+
+    def finish(self, n_failures: int) -> None:
+        if self._logger is not None:
+            self._logger.info(
+                "sweep complete",
+                runs=self.total,
+                failures=n_failures,
+                elapsed_s=f"{self._timer.wall:.1f}",
+            )
 
 
 @dataclass(frozen=True)
@@ -162,6 +259,14 @@ class ComparisonResult:
     baseline: str
     failures: Tuple[TrialFailure, ...] = ()
     n_trials: int = 0
+    #: One record per ``(trial, protocol)`` run, trial-major order (the
+    #: same deterministic walk as the statistics, regardless of worker
+    #: completion order).  Values are host timings — metadata only.
+    telemetry: Tuple[RunTelemetry, ...] = ()
+    #: Sweep-level provenance (config fingerprint, seed walk identity,
+    #: environment, total timings); also persisted into the checkpoint
+    #: file when one is in use.
+    manifest: Optional[Dict[str, Any]] = None
 
     @property
     def n_failures(self) -> int:
@@ -258,20 +363,28 @@ def _execute_run(
     on_error: str,
     retry_backoff: float,
     max_backoff: float,
-) -> Tuple[Optional[SimulationResult], Optional[str]]:
+) -> Tuple[Optional[SimulationResult], Optional[str], Dict[str, float]]:
     """One (trial, protocol) run with the retry/skip policy applied.
 
-    Returns ``(result, None)`` on success and ``(None, error string)``
-    after all attempts failed; with ``on_error="raise"`` the first
-    failure propagates (identical in workers and in the serial loop).
+    Returns ``(result, None, timing)`` on success and ``(None, error
+    string, timing)`` after all attempts failed; with
+    ``on_error="raise"`` the first failure propagates (identical in
+    workers and in the serial loop).  *timing* reports the simulate
+    stage's wall/CPU seconds (backoff sleeps excluded) and the number
+    of attempts actually made.
     """
     result: Optional[SimulationResult] = None
     last_error: Optional[BaseException] = None
+    wall_s = 0.0
+    cpu_s = 0.0
+    attempts_made = 0
     for attempt in range(attempts_per_run):
         if attempt:
             delay = min(retry_backoff * (2.0 ** (attempt - 1)), max_backoff)
             if delay > 0:
                 time.sleep(delay)
+        attempts_made = attempt + 1
+        timer = Stopwatch()
         try:
             protocol = factory(inputs.trace, inputs.requests)
             result = simulate(
@@ -282,14 +395,21 @@ def _execute_run(
                 seed=inputs.sim_seed,
                 faults=trial_faults,
             )
+            timer.stop()
+            wall_s += timer.wall
+            cpu_s += timer.cpu
             break
         except Exception as error:
+            timer.stop()
+            wall_s += timer.wall
+            cpu_s += timer.cpu
             if on_error == "raise":
                 raise
             last_error = error
+    timing = {"wall_s": wall_s, "cpu_s": cpu_s, "attempts": attempts_made}
     if result is not None:
-        return result, None
-    return None, f"{type(last_error).__name__}: {last_error}"
+        return result, None, timing
+    return None, f"{type(last_error).__name__}: {last_error}", timing
 
 
 #: Fork-inherited state for pooled workers.  Set by ``run_comparison``
@@ -301,10 +421,38 @@ _WORKER_CONTEXT: Optional[Dict[str, Any]] = None
 #: One (trial, protocol, trace seed, request seed, sim seed) work unit.
 _WorkUnit = Tuple[int, str, int, int, int]
 
+#: Per-process cumulative profiler (lazily created when profiling is
+#: requested); shared across all units a worker executes so one
+#: ``.pstats`` file per worker accumulates its whole share of the sweep.
+_PROCESS_PROFILER: Optional[cProfile.Profile] = None
+
+
+def _process_profiler(
+    profile_dir: Optional[str],
+) -> Optional[cProfile.Profile]:
+    global _PROCESS_PROFILER
+    if profile_dir is None:
+        return None
+    if _PROCESS_PROFILER is None:
+        _PROCESS_PROFILER = cProfile.Profile()
+    return _PROCESS_PROFILER
+
+
+def _dump_profile(
+    profiler: cProfile.Profile, profile_dir: str, prefix: str
+) -> None:
+    """Write the cumulative stats, overwriting after every unit so a
+    crashed worker still leaves its latest snapshot behind."""
+    profiler.dump_stats(
+        os.path.join(profile_dir, f"{prefix}-{os.getpid()}.pstats")
+    )
+
 
 def _pool_run(
     unit: _WorkUnit,
-) -> Tuple[int, str, Optional[SimulationResult], Optional[str]]:
+) -> Tuple[
+    int, str, Optional[SimulationResult], Optional[str], Dict[str, float]
+]:
     """Execute one work unit inside a pooled worker process."""
     context = _WORKER_CONTEXT
     if context is None:  # pragma: no cover - defensive
@@ -314,37 +462,53 @@ def _pool_run(
         )
     trial, name, trace_seed, request_seed, sim_seed = unit
     inputs_by_trial: Dict[int, TrialInputs] = context["inputs_by_trial"]
+    setup_wall = 0.0
     inputs = inputs_by_trial.get(trial)
     if inputs is None:
         # First unit of this trial in this worker: realize the shared
         # randomness once and reuse it for the trial's other protocols.
+        setup_timer = Stopwatch()
         inputs = _build_trial_inputs(
             context["trace_factory"],
             context["demand"],
             context["n_clients"],
             (trace_seed, request_seed, sim_seed),
         )
+        setup_timer.stop()
+        setup_wall = setup_timer.wall
         inputs_by_trial[trial] = inputs
     faults = context["faults"]
     trial_faults = faults(trial) if callable(faults) else faults
-    result, error = _execute_run(
-        context["protocols"][name],
-        inputs,
-        context["config"],
-        trial_faults,
-        attempts_per_run=context["attempts_per_run"],
-        on_error=context["on_error"],
-        retry_backoff=context["retry_backoff"],
-        max_backoff=context["max_backoff"],
-    )
-    return trial, name, result, error
+    profile_dir = context["profile_dir"]
+    profiler = _process_profiler(profile_dir)
+    if profiler is not None:
+        profiler.enable()
+    try:
+        result, error, timing = _execute_run(
+            context["protocols"][name],
+            inputs,
+            context["config"],
+            trial_faults,
+            attempts_per_run=context["attempts_per_run"],
+            on_error=context["on_error"],
+            retry_backoff=context["retry_backoff"],
+            max_backoff=context["max_backoff"],
+        )
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            _dump_profile(profiler, profile_dir, "worker")
+    timing["setup_wall_s"] = setup_wall
+    return trial, name, result, error, timing
 
 
 def _run_units_parallel(
     units: List[_WorkUnit],
     results_map: Dict[Tuple[int, str], SimulationResult],
     failures_map: Dict[Tuple[int, str], "TrialFailure"],
+    telemetry_map: Dict[Tuple[int, str], RunTelemetry],
     checkpoint: Optional[ComparisonCheckpoint],
+    reporter: Optional[_ProgressReporter],
     *,
     n_workers: int,
     trace_factory: Callable[[int], ContactTrace],
@@ -357,6 +521,7 @@ def _run_units_parallel(
     attempts_per_run: int,
     retry_backoff: float,
     max_backoff: float,
+    profile_dir: Optional[str],
 ) -> None:
     """Fan *units* out over a fork pool; the parent owns the checkpoint.
 
@@ -379,6 +544,7 @@ def _run_units_parallel(
         "attempts_per_run": attempts_per_run,
         "retry_backoff": retry_backoff,
         "max_backoff": max_backoff,
+        "profile_dir": profile_dir,
         "inputs_by_trial": {},
     }
     mp_context = multiprocessing.get_context("fork")
@@ -397,11 +563,26 @@ def _run_units_parallel(
                     # and drop the rest of the sweep, like the serial
                     # path aborting mid-walk.
                     try:
-                        trial, name, result, error = future.result()
+                        trial, name, result, error, timing = future.result()
                     except BaseException:
                         for pending in remaining:
                             pending.cancel()
                         raise
+                    telemetry = RunTelemetry(
+                        trial=trial,
+                        protocol=name,
+                        status="ok" if result is not None else "failed",
+                        wall_s=timing.get("wall_s", 0.0),
+                        cpu_s=timing.get("cpu_s", 0.0),
+                        setup_wall_s=timing.get("setup_wall_s", 0.0),
+                        attempts=int(timing.get("attempts", 0)),
+                        gain_rate=(
+                            result.gain_rate if result is not None else None
+                        ),
+                    )
+                    telemetry_map[(trial, name)] = telemetry
+                    if reporter is not None:
+                        reporter.report(telemetry)
                     if result is None:
                         failures_map[(trial, name)] = TrialFailure(
                             trial=trial,
@@ -434,6 +615,8 @@ def run_comparison(
     max_backoff: float = 5.0,
     checkpoint_path: Optional[PathLike] = None,
     n_workers: Optional[int] = None,
+    progress: Optional[ProgressLike] = None,
+    profile_dir: Optional[PathLike] = None,
 ) -> ComparisonResult:
     """Run every protocol on *n_trials* shared trace/request realizations.
 
@@ -473,6 +656,17 @@ def run_comparison(
         otherwise).  With ``on_error="raise"`` the first observed worker
         failure propagates, which — unlike the serial path — is not
         necessarily the earliest failing trial.
+    progress:
+        ``True`` logs one structured line per completed run (and a
+        final summary) through ``repro.obs.log``; a callable receives a
+        dict per run with running counts, elapsed time, and the run's
+        :class:`RunTelemetry` fields.  Reporting fires in completion
+        order; the deterministic record is the returned ``telemetry``.
+    profile_dir:
+        When given, each executing process accumulates a cProfile of
+        its simulate stages and dumps ``worker-<pid>.pstats`` (or
+        ``serial-<pid>.pstats``) there after every unit.  Inspect with
+        ``python -m pstats``.
     """
     if n_trials <= 0:
         raise ConfigurationError(f"n_trials must be > 0, got {n_trials}")
@@ -490,6 +684,11 @@ def run_comparison(
         raise ConfigurationError("backoff delays must be >= 0")
     if n_workers is not None and n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    profile_path: Optional[str] = None
+    if profile_dir is not None:
+        profile_path = os.fspath(profile_dir)
+        os.makedirs(profile_path, exist_ok=True)
+    sweep_timer = Stopwatch()
 
     checkpoint = (
         ComparisonCheckpoint.open(
@@ -513,28 +712,44 @@ def run_comparison(
         )
         parallel = False
 
-    #: (trial, protocol) -> completed result / failure, assembled into
-    #: trial-major order at the end (identical to the serial walk).
+    #: (trial, protocol) -> completed result / failure / telemetry,
+    #: assembled into trial-major order at the end (identical to the
+    #: serial walk).
     results_map: Dict[Tuple[int, str], SimulationResult] = {}
     failures_map: Dict[Tuple[int, str], TrialFailure] = {}
+    telemetry_map: Dict[Tuple[int, str], RunTelemetry] = {}
     if checkpoint is not None:
         for trial in range(n_trials):
             for name in protocols:
                 if checkpoint.has(trial, name):
-                    results_map[(trial, name)] = checkpoint.get(trial, name)
+                    result = checkpoint.get(trial, name)
+                    results_map[(trial, name)] = result
+                    telemetry_map[(trial, name)] = RunTelemetry(
+                        trial=trial,
+                        protocol=name,
+                        status="cached",
+                        gain_rate=result.gain_rate,
+                    )
     pending_units: List[_WorkUnit] = [
         (trial, name, *trial_seeds[trial])
         for trial in range(n_trials)
         for name in protocols
         if (trial, name) not in results_map
     ]
+    reporter = (
+        _ProgressReporter(len(pending_units), progress)
+        if progress
+        else None
+    )
 
     if parallel and pending_units:
         _run_units_parallel(
             pending_units,
             results_map,
             failures_map,
+            telemetry_map,
             checkpoint,
+            reporter,
             n_workers=n_workers,  # type: ignore[arg-type]
             trace_factory=trace_factory,
             demand=demand,
@@ -546,29 +761,56 @@ def run_comparison(
             attempts_per_run=attempts_per_run,
             retry_backoff=retry_backoff,
             max_backoff=max_backoff,
+            profile_dir=profile_path,
         )
     else:
         inputs: Optional[TrialInputs] = None
         current_trial = -1
+        profiler = _process_profiler(profile_path)
         for unit in pending_units:
             trial, name = unit[0], unit[1]
+            setup_wall = 0.0
             if trial != current_trial:
+                setup_timer = Stopwatch()
                 inputs = _build_trial_inputs(
                     trace_factory, demand, n_clients, unit[2:]
                 )
+                setup_timer.stop()
+                setup_wall = setup_timer.wall
                 current_trial = trial
             assert inputs is not None
             trial_faults = faults(trial) if callable(faults) else faults
-            result, error = _execute_run(
-                protocols[name],
-                inputs,
-                config,
-                trial_faults,
-                attempts_per_run=attempts_per_run,
-                on_error=on_error,
-                retry_backoff=retry_backoff,
-                max_backoff=max_backoff,
+            if profiler is not None:
+                profiler.enable()
+            try:
+                result, error, timing = _execute_run(
+                    protocols[name],
+                    inputs,
+                    config,
+                    trial_faults,
+                    attempts_per_run=attempts_per_run,
+                    on_error=on_error,
+                    retry_backoff=retry_backoff,
+                    max_backoff=max_backoff,
+                )
+            finally:
+                if profiler is not None:
+                    profiler.disable()
+                    assert profile_path is not None
+                    _dump_profile(profiler, profile_path, "serial")
+            telemetry = RunTelemetry(
+                trial=trial,
+                protocol=name,
+                status="ok" if result is not None else "failed",
+                wall_s=timing["wall_s"],
+                cpu_s=timing["cpu_s"],
+                setup_wall_s=setup_wall,
+                attempts=int(timing["attempts"]),
+                gain_rate=result.gain_rate if result is not None else None,
             )
+            telemetry_map[(trial, name)] = telemetry
+            if reporter is not None:
+                reporter.report(telemetry)
             if result is None:
                 failures_map[(trial, name)] = TrialFailure(
                     trial=trial,
@@ -585,13 +827,18 @@ def run_comparison(
         name: [] for name in protocols
     }
     failures: List[TrialFailure] = []
+    telemetry_records: List[RunTelemetry] = []
     for trial in range(n_trials):
         for name in protocols:
             key = (trial, name)
+            if key in telemetry_map:
+                telemetry_records.append(telemetry_map[key])
             if key in results_map:
                 collected[name].append(results_map[key])
             elif key in failures_map:
                 failures.append(failures_map[key])
+    if reporter is not None:
+        reporter.finish(len(failures))
     if not any(collected.values()):
         raise SimulationError(
             f"every run failed across {n_trials} trial(s); "
@@ -606,9 +853,26 @@ def run_comparison(
         for name, results in collected.items()
         if results
     }
+    sweep_timer.stop()
+    sweep_manifest: Dict[str, Any] = {
+        "config_fingerprint": config.fingerprint(),
+        "base_seed": base_seed,
+        "n_trials": n_trials,
+        "protocols": sorted(protocols),
+        "n_workers": (n_workers or 1) if parallel else 1,
+        "n_runs_executed": len(pending_units),
+        "n_failures": len(failures),
+        "wall_s": sweep_timer.wall,
+        "cpu_s": sweep_timer.cpu,
+        "environment": environment_provenance(),
+    }
+    if checkpoint is not None:
+        checkpoint.set_manifest(sweep_manifest)
     return ComparisonResult(
         stats=stats,
         baseline=baseline,
         failures=tuple(failures),
         n_trials=n_trials,
+        telemetry=tuple(telemetry_records),
+        manifest=sweep_manifest,
     )

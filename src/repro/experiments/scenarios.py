@@ -48,7 +48,13 @@ from ..protocols import (
 )
 from ..sim import SimulationConfig
 from ..utility import DelayUtility
-from .runner import ComparisonResult, ProtocolFactory, run_comparison
+from .checkpoint import PathLike
+from .runner import (
+    ComparisonResult,
+    ProgressLike,
+    ProtocolFactory,
+    run_comparison,
+)
 
 __all__ = [
     "Scenario",
@@ -375,12 +381,15 @@ def run_scenario(
     include: Sequence[str] = ("OPT", "QCR", "SQRT", "PROP", "UNI", "DOM"),
     qcr_config: Optional[QCRConfig] = None,
     n_workers: Optional[int] = None,
+    progress: Optional[ProgressLike] = None,
+    profile_dir: Optional[PathLike] = None,
 ) -> ComparisonResult:
     """Run the standard comparison on *scenario*.
 
     *n_workers* > 1 distributes the (trial, protocol) runs over a
-    process pool with bit-identical statistics (see
-    :func:`repro.experiments.runner.run_comparison`).
+    process pool with bit-identical statistics; *progress* and
+    *profile_dir* enable the live reporter and per-worker cProfile
+    dumps (see :func:`repro.experiments.runner.run_comparison`).
     """
     return run_comparison(
         trace_factory=scenario.trace_factory,
@@ -393,4 +402,6 @@ def run_scenario(
         base_seed=base_seed,
         baseline="OPT" if "OPT" in include else include[0],
         n_workers=n_workers,
+        progress=progress,
+        profile_dir=profile_dir,
     )

@@ -11,6 +11,7 @@ from . import (  # noqa: F401  (imported for their @register side effect)
     float_compare,
     fork_safety,
     mutable_defaults,
+    no_print,
     protocol_purity,
     wallclock,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "float_compare",
     "fork_safety",
     "mutable_defaults",
+    "no_print",
     "protocol_purity",
     "wallclock",
 ]

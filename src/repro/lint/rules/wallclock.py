@@ -3,8 +3,11 @@
 Simulated time is event time; reading the host clock inside the library
 makes results depend on machine load and breaks replay (the reference-
 equivalence tests compare event-by-event).  Timing is legitimate only in
-the benchmark harness: the ``benchmarks/`` tree and the runner's timing
-shim ``experiments/benchmark.py`` are exempt by path.
+the benchmark harness and the provenance shim: the ``benchmarks/`` tree,
+the runner's timing shim ``experiments/benchmark.py``, and the telemetry
+stopwatch ``obs/timing.py`` (whose measurements land in manifests, never
+in simulation state) are exempt by path.  Everything else that wants a
+duration goes through :class:`repro.obs.timing.Stopwatch`.
 """
 
 from __future__ import annotations
@@ -48,17 +51,21 @@ class WallClockRule(Rule):
     name = "no-wall-clock"
     summary = (
         "simulation logic must be driven by event time, never the host "
-        "clock (exempt: benchmarks/, experiments/benchmark.py)"
+        "clock (exempt: benchmarks/, experiments/benchmark.py, "
+        "obs/timing.py)"
     )
     hint = (
         "use the simulation's event time; wall-clock timing belongs in "
-        "benchmarks/ or the experiments/benchmark.py shim"
+        "benchmarks/, the experiments/benchmark.py shim, or the "
+        "obs/timing.py provenance stopwatch"
     )
 
     def applies_to(self, ctx: FileContext) -> bool:
         if ctx.in_directory("benchmarks") or ctx.parts[:1] == ("benchmarks",):
             return False
-        return not ctx.matches("experiments", "benchmark.py")
+        if ctx.matches("experiments", "benchmark.py"):
+            return False
+        return not ctx.matches("obs", "timing.py")
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
         for call, name in iter_calls(tree):

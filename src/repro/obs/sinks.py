@@ -1,0 +1,115 @@
+"""Trace sinks: where :class:`~repro.obs.tracer.Tracer` events go.
+
+A sink is anything with an ``emit(event: dict)`` method, a ``close()``,
+and an ``active`` flag.  ``active=False`` (the :class:`NullSink`) tells
+the engine to skip tracing entirely — the disabled path costs nothing,
+not even a per-event ``if``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, Dict, IO, List, Optional, Union
+
+__all__ = ["TraceSink", "NullSink", "MemorySink", "JsonlSink"]
+
+
+class TraceSink:
+    """Base class for trace sinks.
+
+    Subclasses override :meth:`emit`; ``active`` is True for every sink
+    that actually records events.
+    """
+
+    active: bool = True
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Best-effort durability point; default is a no-op."""
+
+    def close(self) -> None:
+        """Release resources; default is a no-op."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """Discards everything.  ``active=False`` ⇒ the engine skips tracing."""
+
+    active = False
+
+    def emit(self, event: Dict[str, Any]) -> None:  # pragma: no cover
+        pass
+
+
+class MemorySink(TraceSink):
+    """Ring buffer of the most recent *capacity* events (unbounded if None).
+
+    The buffer holds the event dicts themselves (no copies); callers
+    should treat retrieved events as read-only.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.capacity = capacity
+        self._buf: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self.n_emitted = 0
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self._buf.append(event)
+        self.n_emitted += 1
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """The retained events, oldest first."""
+        return list(self._buf)
+
+    def clear(self) -> None:
+        self._buf.clear()
+        self.n_emitted = 0
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class JsonlSink(TraceSink):
+    """Writes one compact JSON object per line to a file or stream.
+
+    Accepts a path (opened/overwritten, closed by :meth:`close`) or an
+    already-open text stream (flushed but left open — the caller owns
+    it).  Events must be JSON-serializable; the engine only emits
+    Python scalars, lists, and dicts, so they are.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+            self.path: Optional[str] = target
+        else:
+            self._stream = target
+            self._owns_stream = False
+            self.path = getattr(target, "name", None)
+        self.n_emitted = 0
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self._stream.write(json.dumps(event, separators=(",", ":")))
+        self._stream.write("\n")
+        self.n_emitted += 1
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()
+        else:
+            self.flush()

@@ -1,0 +1,82 @@
+"""The sanctioned wall/CPU timing shim.
+
+Simulation and experiment code must never read the host clock directly
+(repro lint RPL002: wall-clock time breaks determinism and replay).
+Provenance timings are the exception the rule exists to channel: this
+module is the one place outside the benchmark harness allowed to call
+``time.perf_counter``/``time.process_time``, and everything else that
+wants a duration goes through :class:`Stopwatch`.
+
+Timings measured here are *metadata* — they land in manifests and
+telemetry records, never in simulation state or results that equality
+tests compare.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Measures wall and CPU seconds between :meth:`start` and :meth:`stop`.
+
+    Usable as a context manager::
+
+        with Stopwatch() as sw:
+            do_work()
+        record(wall=sw.wall, cpu=sw.cpu)
+
+    Until stopped, ``wall``/``cpu`` report the running elapsed time, so
+    a long-lived stopwatch can be sampled for live progress.
+    """
+
+    def __init__(self, autostart: bool = True) -> None:
+        self._wall_start: Optional[float] = None
+        self._cpu_start: Optional[float] = None
+        self._wall: Optional[float] = None
+        self._cpu: Optional[float] = None
+        if autostart:
+            self.start()
+
+    def start(self) -> "Stopwatch":
+        self._wall = None
+        self._cpu = None
+        self._wall_start = time.perf_counter()
+        self._cpu_start = time.process_time()
+        return self
+
+    def stop(self) -> "Stopwatch":
+        if self._wall_start is None or self._cpu_start is None:
+            raise RuntimeError("Stopwatch.stop() before start()")
+        self._wall = time.perf_counter() - self._wall_start
+        self._cpu = time.process_time() - self._cpu_start
+        return self
+
+    @property
+    def wall(self) -> float:
+        """Elapsed wall-clock seconds (running total until stopped)."""
+        if self._wall is not None:
+            return self._wall
+        if self._wall_start is None:
+            return 0.0
+        return time.perf_counter() - self._wall_start
+
+    @property
+    def cpu(self) -> float:
+        """Elapsed process CPU seconds (running total until stopped)."""
+        if self._cpu is not None:
+            return self._cpu
+        if self._cpu_start is None:
+            return 0.0
+        return time.process_time() - self._cpu_start
+
+    def __enter__(self) -> "Stopwatch":
+        if self._wall_start is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,97 @@
+"""The :class:`Tracer`: sequenced event emission into a sink.
+
+The tracer is deliberately thin — it assigns each event a
+monotonically increasing ``seq``, stamps the ``kind`` and simulated
+time ``t``, merges any run-level ``meta`` set at construction, and
+hands the dict to its sink.  All schema knowledge lives in
+:mod:`repro.obs.events`; all I/O lives in the sink.
+
+Determinism: ``seq`` follows emission order inside one run, and the
+engine emits in event-stream order, so two bit-identical runs produce
+byte-identical traces (modulo the sink's formatting).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .sinks import JsonlSink, MemorySink, NullSink, TraceSink
+
+__all__ = ["Tracer"]
+
+
+class Tracer:
+    """Emits structured trace events through a :class:`~.sinks.TraceSink`.
+
+    Parameters
+    ----------
+    sink:
+        Where events go.  A :class:`NullSink` (or any sink with
+        ``active=False``) makes the tracer inactive: the engine then
+        drops its reference entirely, so a disabled tracer costs the
+        hot path nothing.
+    meta:
+        Optional run-level fields (e.g. ``{"trial": 3, "protocol":
+        "QCR"}``) merged into every emitted event.  Keep it small —
+        it is copied per event.
+    """
+
+    __slots__ = ("sink", "meta", "seq")
+
+    def __init__(
+        self,
+        sink: TraceSink,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.sink = sink
+        self.meta = dict(meta) if meta else None
+        self.seq = 0
+
+    @property
+    def active(self) -> bool:
+        """False when the sink discards everything (engine skips tracing)."""
+        return self.sink.active
+
+    def emit(self, kind: str, t: float, **fields: Any) -> None:
+        """Record one event at simulated time *t*."""
+        event: Dict[str, Any] = {"seq": self.seq, "kind": kind, "t": t}
+        if self.meta is not None:
+            event.update(self.meta)
+        event.update(fields)
+        self.seq += 1
+        self.sink.emit(event)
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def close(self) -> None:
+        self.sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- convenience constructors -------------------------------------
+
+    @classmethod
+    def to_jsonl(
+        cls, path: str, meta: Optional[Dict[str, Any]] = None
+    ) -> "Tracer":
+        """Tracer writing compact JSON lines to *path*."""
+        return cls(JsonlSink(path), meta=meta)
+
+    @classmethod
+    def in_memory(
+        cls,
+        capacity: Optional[int] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> "Tracer":
+        """Tracer retaining the last *capacity* events in memory."""
+        return cls(MemorySink(capacity), meta=meta)
+
+    @classmethod
+    def disabled(cls) -> "Tracer":
+        """An inactive tracer (everything dropped, zero engine overhead)."""
+        return cls(NullSink())

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -114,6 +116,39 @@ class SimulationConfig:
                 )
         if any(i < 0 or i >= self.n_items for i in self.track_items):
             raise ConfigurationError("track_items out of range")
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict capturing every semantic parameter.
+
+        The utility is represented by its :attr:`DelayUtility.name`,
+        which embeds its parameters (e.g. ``step(tau=10)``), so two
+        configs canonicalize equal iff they run identical simulations.
+        """
+        return {
+            "n_items": self.n_items,
+            "rho": self.rho,
+            "utility": self.utility.name,
+            "servers": list(self.servers) if self.servers is not None else None,
+            "clients": list(self.clients) if self.clients is not None else None,
+            "self_request_policy": self.self_request_policy,
+            "unfulfilled_policy": self.unfulfilled_policy,
+            "request_timeout": self.request_timeout,
+            "record_interval": self.record_interval,
+            "window_length": self.window_length,
+            "track_items": list(self.track_items),
+        }
+
+    def fingerprint(self) -> str:
+        """A short stable hash of :meth:`canonical_dict` for provenance.
+
+        Used by :class:`repro.obs.manifest.RunManifest` to tie results
+        and trace files back to the exact configuration that produced
+        them.
+        """
+        payload = json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def server_ids(self, n_nodes: int) -> np.ndarray:
         """Resolve the server id list for a network of *n_nodes* nodes."""

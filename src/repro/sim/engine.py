@@ -38,6 +38,10 @@ from ..contacts import ContactTrace
 from ..demand import RequestSchedule
 from ..errors import ConfigurationError, SimulationError
 from ..faults import FaultEvent, FaultSchedule
+from ..obs import events as trace_events
+from ..obs.manifest import RunManifest
+from ..obs.timing import Stopwatch
+from ..obs.tracer import Tracer
 from ..protocols.base import ReplicationProtocol
 from ..types import IntArray, SeedLike, as_rng
 from .config import SimulationConfig
@@ -67,6 +71,8 @@ class Simulation:
         protocol: ReplicationProtocol,
         seed: SeedLike = None,
         faults: Optional[FaultSchedule] = None,
+        tracer: Optional[Tracer] = None,
+        collect_manifest: bool = False,
     ) -> None:
         if requests.duration > trace.duration + 1e-9:
             raise ConfigurationError(
@@ -124,6 +130,32 @@ class Simulation:
         self.counts = np.zeros(config.n_items, dtype=np.int64)
         self.sticky_owner: Optional[IntArray] = None
         self._initialized = False
+        # Tracing: an inactive tracer (NullSink) resolves to None, and
+        # run() then selects the bare event handlers — the untraced hot
+        # path is byte-identical to the pre-telemetry engine.  Traced
+        # runs use the _traced_* duplicates, which interleave emission
+        # with the same logic.  Emission sites outside the hot loop
+        # (replication, faults, settlement) stay guarded inline.
+        self.tracer: Optional[Tracer] = (
+            tracer if tracer is not None and tracer.active else None
+        )
+        self._collect_manifest = collect_manifest or self.tracer is not None
+        self._seed_value: Optional[int] = (
+            int(seed) if isinstance(seed, (int, np.integer)) else None
+        )
+        #: Simulated time of the event being processed; maintained by the
+        #: traced handler wrappers so replication events emitted from
+        #: inside protocol hooks carry the right timestamp.
+        self._now = 0.0
+        if self.tracer is not None:
+            self.tracer.emit(
+                trace_events.RUN_START,
+                0.0,
+                n_nodes=n_nodes,
+                n_items=config.n_items,
+                duration=trace.duration,
+                protocol=protocol.name,
+            )
         self.metrics = MetricsCollector(
             duration=trace.duration,
             n_items=config.n_items,
@@ -262,6 +294,12 @@ class Simulation:
         self.counts = allocation.sum(axis=1).astype(np.int64)
         self.sticky_owner = sticky_owner
         self._initialized = True
+        if self.tracer is not None:
+            self.tracer.emit(
+                trace_events.ALLOC,
+                self._now,
+                counts=[int(c) for c in self.counts],
+            )
 
     def insert_copy(self, node: NodeState, item: int) -> bool:
         """Insert a replica of *item* at *node*, evicting randomly.
@@ -283,6 +321,14 @@ class Simulation:
             self.counts[victim] -= 1
         elif len(cache) == before:  # pragma: no cover - defensive
             raise SimulationError("cache bookkeeping out of sync")
+        if self.tracer is not None:
+            self.tracer.emit(
+                trace_events.REPLICA_ADD,
+                self._now,
+                node=node.node_id,
+                item=int(item),
+                evicted=None if victim is None else int(victim),
+            )
         return True
 
     def remove_copy(self, node: NodeState, item: int) -> bool:
@@ -295,6 +341,13 @@ class Simulation:
         if cache is None or not cache.discard(item):
             return False
         self.counts[item] -= 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                trace_events.REPLICA_DROP,
+                self._now,
+                node=node.node_id,
+                item=int(item),
+            )
         return True
 
     def sticky_node_of(self, item: int) -> int:
@@ -308,6 +361,7 @@ class Simulation:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Process all events and return the collected metrics."""
+        timer = Stopwatch() if self._collect_manifest else None
         times = self._event_times
         kinds = self._event_kinds
         args_a = self._event_a
@@ -315,8 +369,18 @@ class Simulation:
         fault_events = self._fault_events
         record_interval = self.config.record_interval
         next_snapshot = 0.0 if record_interval is not None else math.inf
-        handle_contact = self._handle_contact
-        handle_request = self._handle_request
+        # Handler selection instead of per-event branching: untraced
+        # runs use the bare handlers (the hot path is byte-for-byte the
+        # pre-tracing loop), traced runs use wrappers that maintain
+        # ``self._now`` for emissions from inside protocol hooks.
+        if self.tracer is None:
+            handle_contact = self._handle_contact
+            handle_request = self._handle_request
+            handle_fault = self._apply_fault
+        else:
+            handle_contact = self._traced_contact
+            handle_request = self._traced_request
+            handle_fault = self._traced_fault
         for k in range(len(times)):
             t = times[k]
             while t >= next_snapshot:
@@ -328,12 +392,211 @@ class Simulation:
             elif kind == EVENT_REQUEST:
                 handle_request(t, args_a[k], args_b[k])
             else:
-                self._apply_fault(t, fault_events[args_a[k]])
+                handle_fault(t, fault_events[args_a[k]])
         while next_snapshot <= self.trace.duration:
             self._take_snapshot(next_snapshot)
             next_snapshot += record_interval  # type: ignore[operator]
         n_unfulfilled = self._settle_unfulfilled()
-        return self.metrics.build_result(self.counts, n_unfulfilled)
+        manifest = None
+        if timer is not None:
+            timer.stop()
+            manifest = RunManifest(
+                config_fingerprint=self.config.fingerprint(),
+                seed=self._seed_value,
+                protocol=self.protocol.name,
+                wall_s=timer.wall,
+                cpu_s=timer.cpu,
+                n_events=len(times),
+            ).to_dict()
+        result = self.metrics.build_result(
+            self.counts, n_unfulfilled, manifest=manifest
+        )
+        if self.tracer is not None:
+            summary = {
+                key: (value if math.isfinite(value) else None)
+                for key, value in result.summary().items()
+            }
+            self.tracer.emit(
+                trace_events.RUN_END, self.trace.duration, summary=summary
+            )
+            self.tracer.flush()
+        return result
+
+    # ------------------------------------------------------------------
+    # traced handlers (selected in run() when tracing is on)
+    #
+    # These duplicate the bare handlers below plus emission sites, so
+    # the untraced hot path carries no tracer loads or is-None tests at
+    # all.  Keep both copies in sync: the tracing-equivalence tests in
+    # tests/sim/test_tracing.py assert traced and untraced runs produce
+    # bit-identical results.
+    # ------------------------------------------------------------------
+    def _traced_request(self, t: float, item: int, node_id: int) -> None:
+        self._now = t
+        tracer = self.tracer
+        assert tracer is not None  # selected only when tracing is active
+        node = self.nodes[node_id]
+        if not node.online:
+            # The device is down; its user generates no request.
+            self.metrics.n_requests_offline += 1
+            tracer.emit(trace_events.OFFLINE, t, item=item, node=node_id)
+            return
+        self.metrics.record_generated()
+        if node.is_server and node.cache is not None and item in node.cache:
+            if self._skip_self:
+                self.metrics.record_skipped_self()
+                tracer.emit(trace_events.SKIPPED, t, item=item, node=node_id)
+                return
+            h0 = self._h0
+            if not math.isfinite(h0):
+                raise SimulationError(
+                    f"{self.config.utility.name} has h(0+) = inf and node "
+                    f"{node_id} requested item {item} it already caches; "
+                    "use self_request_policy='skip' or a dedicated-node "
+                    "scenario"
+                )
+            self.metrics.record_fulfillment(t, 0.0, h0, immediate=True)
+            tracer.emit(
+                trace_events.IMMEDIATE, t, item=item, node=node_id, gain=h0
+            )
+            return
+        node.add_request(Request(item, node_id, t))
+        tracer.emit(trace_events.REQUEST, t, item=item, node=node_id)
+
+    def _traced_contact(self, t: float, a: int, b: int) -> None:
+        self._now = t
+        nodes = self.nodes
+        node_a = nodes[a]
+        node_b = nodes[b]
+        if not (node_a.online and node_b.online):
+            self.metrics.n_contacts_blocked += 1
+            return
+        if self._drop_prob > 0.0 and self._fault_rng is not None:
+            if self._fault_rng.random() < self._drop_prob:
+                self.metrics.n_contacts_dropped += 1
+                assert self.tracer is not None
+                self.tracer.emit(trace_events.CONTACT_DROP, t, a=a, b=b)
+                return
+        if (
+            self._hook_free_contact
+            and not node_a.outstanding
+            and not node_b.outstanding
+        ):
+            # Nothing to query in either direction and the protocol has
+            # no contact hook: the meeting is a no-op.
+            return
+        self._traced_exchange(t, node_a, node_b)
+        self._traced_exchange(t, node_b, node_a)
+        if not self._hook_free_contact:
+            self.protocol.after_contact(self, t, node_a, node_b)
+
+    def _traced_exchange(
+        self, t: float, requester: NodeState, provider: NodeState
+    ) -> None:
+        if not provider.is_server:
+            return
+        outstanding = requester.outstanding
+        if not outstanding:
+            return
+        timeout = self._timeout
+        if timeout is not None:
+            self._traced_expire(requester, t - timeout)
+            if not outstanding:
+                return
+        provider_cache = provider.cache  # non-None: provider is a server
+        tracer = self.tracer
+        assert tracer is not None
+        fulfilled = None
+        for item, request_list in outstanding.items():
+            for request in request_list:
+                request.counter += 1
+            # One SEEN event per (item, requester) query edge — the
+            # Lemma-1 meeting process — covering all n same-item
+            # requests at this node.
+            tracer.emit(
+                trace_events.SEEN,
+                t,
+                item=item,
+                node=requester.node_id,
+                server=provider.node_id,
+                n=len(request_list),
+            )
+            if item in provider_cache:
+                if fulfilled is None:
+                    fulfilled = [item]
+                else:
+                    fulfilled.append(item)
+        if fulfilled is None:
+            return
+        utility = self._utility
+        h0 = self._h0
+        isfinite = math.isfinite
+        record_fulfillment = self.metrics.record_fulfillment
+        notify = not self._hook_free_fulfill
+        on_fulfill = self.protocol.on_fulfill
+        for item in fulfilled:
+            for request in outstanding.pop(item):
+                delay = t - request.created_at
+                gain = float(utility(delay)) if delay > 0 else h0
+                if not isfinite(gain):
+                    # Measure-zero tie between a request and a contact at
+                    # the same instant under an unbounded utility.
+                    gain = 0.0
+                record_fulfillment(t, delay, gain)
+                tracer.emit(
+                    trace_events.FULFILL,
+                    t,
+                    item=item,
+                    node=requester.node_id,
+                    server=provider.node_id,
+                    delay=delay,
+                    gain=gain,
+                    counter=request.counter,
+                )
+                if notify:
+                    on_fulfill(
+                        self, t, requester, provider, item, request.counter
+                    )
+
+    def _traced_expire(self, node: NodeState, deadline: float) -> None:
+        abandoned_gain = self._abandoned_gain
+        credit = self._credit_abandoned
+        stale_items = None
+        for item, request_list in node.outstanding.items():
+            if any(r.created_at < deadline for r in request_list):
+                if stale_items is None:
+                    stale_items = [item]
+                else:
+                    stale_items.append(item)
+        if stale_items is None:
+            return
+        tracer = self.tracer
+        assert tracer is not None
+        for item in stale_items:
+            request_list = node.outstanding[item]
+            kept = [r for r in request_list if r.created_at >= deadline]
+            expired = len(request_list) - len(kept)
+            if credit:
+                for _ in range(expired):
+                    self.metrics.record_abandonment(deadline, abandoned_gain)
+            self.metrics.n_expired += expired
+            for request in request_list:
+                if request.created_at < deadline:
+                    tracer.emit(
+                        trace_events.ABANDON,
+                        deadline,
+                        item=item,
+                        node=node.node_id,
+                        created_at=request.created_at,
+                    )
+            if kept:
+                node.outstanding[item] = kept
+            else:
+                del node.outstanding[item]
+
+    def _traced_fault(self, t: float, event: FaultEvent) -> None:
+        self._now = t
+        self._apply_fault(t, event)
 
     # ------------------------------------------------------------------
     # event handlers
@@ -474,6 +737,30 @@ class Simulation:
             return  # already down; crash is idempotent
         node.online = False
         self.metrics.record_crash(t, node.node_id)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                trace_events.CRASH,
+                t,
+                node=node.node_id,
+                n_requests_lost=(
+                    node.n_outstanding() if node.outstanding else 0
+                ),
+                n_mandates_lost=(
+                    sum(node.mandates.values())
+                    if event.lose_mandates and node.mandates
+                    else 0
+                ),
+            )
+            for item, request_list in node.outstanding.items():
+                for request in request_list:
+                    tracer.emit(
+                        trace_events.LOST,
+                        t,
+                        item=item,
+                        node=node.node_id,
+                        created_at=request.created_at,
+                    )
         if node.outstanding:
             self.metrics.n_requests_lost += node.n_outstanding()
             node.outstanding.clear()
@@ -503,6 +790,8 @@ class Simulation:
             return
         node.online = True
         self.metrics.record_recovery(t, node.node_id)
+        if self.tracer is not None:
+            self.tracer.emit(trace_events.RECOVER, t, node=node.node_id)
 
     def _lose_replica(self, t: float, event: FaultEvent) -> None:
         count_before = int(self.counts.sum())
@@ -558,11 +847,21 @@ class Simulation:
         utility = self.config.utility
         horizon = self.trace.duration
         truncate = self.config.unfulfilled_policy == "truncate"
+        tracer = self.tracer
         n_unfulfilled = 0
         for node in self.nodes:
-            for request_list in node.outstanding.values():
+            for item, request_list in node.outstanding.items():
                 for request in request_list:
                     n_unfulfilled += 1
+                    if tracer is not None:
+                        tracer.emit(
+                            trace_events.UNFULFILLED,
+                            horizon,
+                            item=item,
+                            node=node.node_id,
+                            created_at=request.created_at,
+                            age=horizon - request.created_at,
+                        )
                     if truncate:
                         age = horizon - request.created_at
                         if age > 0:
@@ -579,8 +878,22 @@ def simulate(
     protocol: ReplicationProtocol,
     seed: SeedLike = None,
     faults: Optional[FaultSchedule] = None,
+    tracer: Optional[Tracer] = None,
+    manifest: bool = False,
 ) -> SimulationResult:
-    """Convenience wrapper: build a :class:`Simulation` and run it."""
+    """Convenience wrapper: build a :class:`Simulation` and run it.
+
+    *tracer*, when active, records the full request lifecycle (see
+    :mod:`repro.obs`); *manifest* forces provenance collection even on
+    untraced runs (traced runs always collect it).
+    """
     return Simulation(
-        trace, requests, config, protocol, seed=seed, faults=faults
+        trace,
+        requests,
+        config,
+        protocol,
+        seed=seed,
+        faults=faults,
+        tracer=tracer,
+        collect_manifest=manifest,
     ).run()

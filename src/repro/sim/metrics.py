@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..types import FloatArray, IntArray
 
 __all__ = ["MetricsCollector", "SimulationResult"]
@@ -46,8 +48,20 @@ class MetricsCollector:
         # buffer instead of one fresh array copy per snapshot; capacity
         # follows from the snapshot cadence (with slack for float drift
         # in the caller's accumulating schedule) and grows on demand.
-        if record_interval is not None and record_interval > 0:
-            capacity = int(duration / record_interval) + 2
+        # Invalid cadences are rejected here too (not only in
+        # SimulationConfig): a direct caller passing 0/NaN/inf would
+        # otherwise silently land on the capacity-0 "no snapshots" path
+        # while the engine's snapshot loop spins or never fires.
+        if record_interval is not None:
+            if not (math.isfinite(record_interval) and record_interval > 0):
+                raise ConfigurationError(
+                    f"record_interval must be finite and > 0 when set, "
+                    f"got {record_interval}"
+                )
+            # A cadence longer than the run still records the t=0
+            # snapshot plus the horizon flush: never below 2 even when
+            # int(duration / record_interval) == 0.
+            capacity = max(int(duration / record_interval) + 2, 2)
         else:
             capacity = 0
         self._n_snapshots = 0
@@ -205,7 +219,10 @@ class MetricsCollector:
     # finalization
     # ------------------------------------------------------------------
     def build_result(
-        self, final_counts: IntArray, n_unfulfilled: int
+        self,
+        final_counts: IntArray,
+        n_unfulfilled: int,
+        manifest: Optional[Dict[str, Any]] = None,
     ) -> "SimulationResult":
         delays = np.asarray(self.delays, dtype=float)
         # Close open crash intervals at the horizon.
@@ -260,6 +277,7 @@ class MetricsCollector:
             total_downtime=self.total_downtime,
             fault_times=np.asarray(self.fault_times, dtype=float),
             recovery_times=np.asarray(self.recovery_times, dtype=float),
+            manifest=manifest,
         )
 
 
@@ -317,6 +335,10 @@ class SimulationResult:
     #: its pre-loss level (measured at snapshot resolution); episodes
     #: never recovered within the horizon are absent.
     recovery_times: FloatArray = field(default_factory=lambda: np.zeros(0))
+    #: Run provenance (:class:`repro.obs.manifest.RunManifest` as a plain
+    #: dict), populated when the run was traced or manifests requested.
+    #: Carries host timings, so result-equality checks must ignore it.
+    manifest: Optional[Dict[str, Any]] = None
 
     @property
     def gain_rate(self) -> float:

@@ -1,0 +1,13 @@
+"""RPL009 true positives: bare print() in experiment orchestration."""
+
+
+def run_sweep(points):
+    print("starting sweep")
+    for index, point in enumerate(points):
+        print(f"point {index}: {point}")
+    print("sweep done")
+
+
+def report(failures):
+    if failures:
+        print("failures:", len(failures))

@@ -1,0 +1,18 @@
+"""RPL009 clean pass: structured logging plus a deliberate suppression."""
+
+from repro.obs.log import get_logger
+
+logger = get_logger("repro.experiments.sweep_fixture")
+
+
+def run_sweep(points):
+    logger.info("starting sweep", n_points=len(points))
+    for index, point in enumerate(points):
+        logger.debug("point", index=index, value=f"{point:g}")
+    logger.info("sweep done")
+
+
+def report(failures):
+    if failures:
+        logger.warning("sweep failures", count=len(failures))
+    print("final banner")  # repro-lint: ignore[RPL009]

@@ -26,6 +26,11 @@ RULE_FIXTURES = {
     "RPL006": ("rpl006_bad.py", "rpl006_good.py", 5),
     "RPL007": ("rpl007_bad.py", "rpl007_good.py", 3),
     "RPL008": ("rpl008_bad.py", "rpl008_good.py", 3),
+    "RPL009": (
+        "experiments/rpl009_bad.py",
+        "experiments/rpl009_good.py",
+        4,
+    ),
 }
 
 
@@ -64,6 +69,17 @@ def test_good_fixture_fully_clean(code: str) -> None:
 def test_wallclock_exempt_paths() -> None:
     assert codes_in(FIXTURES / "benchmarks" / "rpl002_exempt.py") == []
     assert codes_in(FIXTURES / "experiments" / "benchmark.py") == []
+
+
+def test_no_print_silent_outside_experiments() -> None:
+    """print() is only an RPL009 finding under experiments/."""
+    source = (FIXTURES / "experiments" / "rpl009_bad.py").read_text()
+    copy = FIXTURES / "rpl009_relocated_tmp.py"
+    copy.write_text(source)
+    try:
+        assert "RPL009" not in codes_in(copy)
+    finally:
+        copy.unlink()
 
 
 def test_findings_carry_location_and_hint() -> None:

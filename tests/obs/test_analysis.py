@@ -1,0 +1,187 @@
+"""Trace-file analysis: loading, filtering, summaries, Lemma 1 CDFs."""
+
+import io
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    delay_cdf_comparison,
+    filter_events,
+    lemma1_delay_cdf,
+    load_events,
+    summarize_events,
+    write_events_csv,
+    write_events_jsonl,
+)
+from repro.obs.analysis import TraceFileError
+
+
+def fulfill(seq, t, item, delay, node=1):
+    return {
+        "seq": seq, "kind": "fulfill", "t": t, "item": item, "node": node,
+        "server": 0, "delay": delay, "gain": 1.0, "counter": 1,
+    }
+
+
+SAMPLE = [
+    {"seq": 0, "kind": "run_start", "t": 0.0, "n_nodes": 4, "n_items": 2,
+     "duration": 100.0, "protocol": "OPT"},
+    {"seq": 1, "kind": "alloc", "t": 0.0, "counts": [2, 1]},
+    {"seq": 2, "kind": "request", "t": 5.0, "item": 0, "node": 1},
+    fulfill(3, 7.0, item=0, delay=2.0),
+    {"seq": 4, "kind": "request", "t": 8.0, "item": 1, "node": 2},
+    {"seq": 5, "kind": "abandon", "t": 20.0, "item": 1, "node": 2,
+     "created_at": 8.0},
+    {"seq": 6, "kind": "run_end", "t": 100.0, "summary": {}},
+]
+
+
+def as_jsonl(events):
+    stream = io.StringIO()
+    write_events_jsonl(events, stream)
+    stream.seek(0)
+    return stream
+
+
+# ----------------------------------------------------------------------
+# loading / writing
+# ----------------------------------------------------------------------
+def test_jsonl_round_trip_and_validation():
+    assert load_events(as_jsonl(SAMPLE), validate=True) == SAMPLE
+
+
+def test_load_events_from_path(tmp_path):
+    path = tmp_path / "t.jsonl"
+    write_events_jsonl(SAMPLE, str(path))
+    assert load_events(str(path)) == SAMPLE
+
+
+def test_load_events_reports_bad_line_number():
+    stream = io.StringIO('{"seq": 0}\nnot json\n')
+    with pytest.raises(TraceFileError, match="line 2"):
+        load_events(stream)
+
+
+def test_load_events_rejects_non_objects():
+    with pytest.raises(TraceFileError, match="expected a JSON object"):
+        load_events(io.StringIO("[1, 2]\n"))
+
+
+def test_load_events_validate_flags_schema_violations():
+    stream = io.StringIO('{"seq": 0, "kind": "request", "t": 1.0}\n')
+    with pytest.raises(TraceFileError, match="line 1"):
+        load_events(stream, validate=True)
+
+
+def test_write_events_csv_union_header_and_nested_json(tmp_path):
+    path = tmp_path / "t.csv"
+    n = write_events_csv(SAMPLE, str(path))
+    assert n == len(SAMPLE)
+    lines = path.read_text().splitlines()
+    header = lines[0].split(",")
+    assert header[:3] == ["seq", "kind", "t"]
+    assert "counts" in header and "delay" in header
+    assert '"[2, 1]"' in lines[2] or "[2,1]" in lines[2].replace('"', "")
+
+
+# ----------------------------------------------------------------------
+# filtering / summarizing
+# ----------------------------------------------------------------------
+def test_filter_by_kind_item_and_time():
+    assert filter_events(SAMPLE, kinds=["fulfill"]) == [SAMPLE[3]]
+    assert filter_events(SAMPLE, item=1) == [SAMPLE[4], SAMPLE[5]]
+    assert filter_events(SAMPLE, t_min=6.0, t_max=10.0) == [
+        SAMPLE[3],
+        SAMPLE[4],
+    ]
+    assert filter_events(SAMPLE, kinds=["request"], node=2) == [SAMPLE[4]]
+
+
+def test_summarize_events():
+    summary = summarize_events(SAMPLE)
+    assert summary["n_events"] == len(SAMPLE)
+    assert summary["protocol"] == "OPT"
+    assert summary["t_last"] == 100.0
+    assert summary["kind_counts"]["request"] == 2
+    assert summary["delay"]["count"] == 1
+    assert summary["delay"]["mean"] == 2.0
+    assert summary["per_item"]["0"] == {"request": 1, "fulfill": 1}
+    assert summary["per_item"]["1"] == {"request": 1, "abandon": 1}
+
+
+def test_summarize_empty_trace():
+    summary = summarize_events([])
+    assert summary["n_events"] == 0
+    assert summary["delay"] is None
+
+
+# ----------------------------------------------------------------------
+# Lemma 1 comparison
+# ----------------------------------------------------------------------
+def test_lemma1_delay_cdf_closed_form():
+    values = lemma1_delay_cdf([0.0, 1.0], mu=0.5, x=2.0)
+    assert values[0] == 0.0
+    assert values[1] == pytest.approx(1.0 - math.exp(-1.0))
+
+
+def test_lemma1_delay_cdf_validates_inputs():
+    with pytest.raises(ValueError):
+        lemma1_delay_cdf(1.0, mu=0.0, x=1.0)
+    with pytest.raises(ValueError):
+        lemma1_delay_cdf(1.0, mu=0.5, x=-1.0)
+
+
+def exact_exponential_trace(rate, n, item=0, x=2):
+    """FULFILL delays at the exact Exp(rate) quantiles (k-0.5)/n."""
+    counts = [0] * (item + 1)
+    counts[item] = x
+    events = [{"seq": 0, "kind": "alloc", "t": 0.0, "counts": counts}]
+    for k in range(1, n + 1):
+        p = (k - 0.5) / n
+        delay = -math.log(1.0 - p) / rate
+        events.append(fulfill(k, t=delay, item=item, delay=delay))
+    return events
+
+
+def test_delay_cdf_comparison_matches_exact_exponential():
+    mu, x, n = 0.05, 2, 20
+    events = exact_exponential_trace(mu * x, n, x=x)
+    report = delay_cdf_comparison(events, mu=mu)
+    detail = report["items"]["0"]
+    assert detail["x"] == x
+    assert detail["n_samples"] == n
+    assert detail["rate"] == pytest.approx(mu * x)
+    # Quantile sampling at (k-0.5)/n makes both step edges miss by 0.5/n.
+    assert detail["ks_statistic"] == pytest.approx(0.5 / n)
+    assert report["max_ks"] == pytest.approx(0.5 / n)
+    expected_mean = np.mean(detail["delays"])
+    assert detail["mean_delay"] == pytest.approx(expected_mean)
+    assert detail["predicted_mean_delay"] == pytest.approx(1.0 / (mu * x))
+
+
+def test_delay_cdf_comparison_skips_thin_items():
+    events = exact_exponential_trace(0.1, 3)
+    report = delay_cdf_comparison(events, mu=0.05, min_samples=5)
+    assert report["n_items_compared"] == 0
+    assert report["skipped"] == [{"item": 0, "n_samples": 3}]
+
+
+def test_delay_cdf_comparison_counts_override_and_items_filter():
+    events = exact_exponential_trace(0.1, 10, x=2)
+    report = delay_cdf_comparison(events, mu=0.05, counts=[4], items=[0])
+    assert report["items"]["0"]["x"] == 4
+
+
+def test_delay_cdf_comparison_requires_counts():
+    events = [fulfill(0, 1.0, item=0, delay=1.0)]
+    with pytest.raises(ValueError, match="no ALLOC event"):
+        delay_cdf_comparison(events, mu=0.05)
+
+
+def test_delay_cdf_comparison_skips_zero_replica_items():
+    events = exact_exponential_trace(0.1, 10)
+    report = delay_cdf_comparison(events, mu=0.05, counts=[0])
+    assert report["n_items_compared"] == 0
+    assert report["skipped"][0]["reason"] == "x_i == 0"

@@ -1,0 +1,89 @@
+"""The structured experiment logger."""
+
+import io
+
+import pytest
+
+from repro.obs import MemorySink, NullSink, get_logger, set_log_level, set_log_stream
+from repro.obs.log import ObsLogger
+
+
+@pytest.fixture(autouse=True)
+def restore_log_state():
+    yield
+    set_log_level("info")
+    set_log_stream(None)
+
+
+def capture():
+    stream = io.StringIO()
+    set_log_stream(stream)
+    return stream
+
+
+def test_info_line_format():
+    stream = capture()
+    ObsLogger("repro.test").info("sweep done", runs=12, failures=0)
+    assert stream.getvalue() == "[repro.test] sweep done runs=12 failures=0\n"
+
+
+def test_non_info_levels_are_tagged():
+    stream = capture()
+    logger = ObsLogger("repro.test")
+    logger.warning("slow run", wall_s=9.3)
+    logger.error("boom")
+    lines = stream.getvalue().splitlines()
+    assert lines[0].startswith("[repro.test] WARNING slow run")
+    assert lines[1] == "[repro.test] ERROR boom"
+
+
+def test_level_threshold_drops_debug_by_default():
+    stream = capture()
+    logger = ObsLogger("repro.test")
+    logger.debug("hidden")
+    assert stream.getvalue() == ""
+    set_log_level("debug")
+    logger.debug("visible")
+    assert "visible" in stream.getvalue()
+
+
+def test_set_log_level_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown log level"):
+        set_log_level("verbose")
+
+
+def test_get_logger_returns_process_wide_instance():
+    assert get_logger("repro.test.same") is get_logger("repro.test.same")
+
+
+def test_sink_mirroring_records_structured_fields():
+    capture()
+    sink = MemorySink()
+    logger = ObsLogger("repro.test", sink=sink)
+    logger.info("point", index=3)
+    (record,) = sink.events
+    assert record == {
+        "kind": "log",
+        "level": "info",
+        "logger": "repro.test",
+        "message": "point",
+        "index": 3,
+    }
+
+
+def test_sink_mirroring_ignores_level_threshold():
+    """The trace keeps the full history even when the console is quiet."""
+    capture()
+    sink = MemorySink()
+    logger = ObsLogger("repro.test", sink=sink)
+    logger.debug("below console threshold")
+    assert len(sink.events) == 1
+
+
+def test_inactive_sink_not_attached():
+    logger = ObsLogger("repro.test", sink=NullSink())
+    assert logger.sink is None
+    logger.attach_sink(MemorySink())
+    assert logger.sink is not None
+    logger.attach_sink(None)
+    assert logger.sink is None

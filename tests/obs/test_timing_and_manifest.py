@@ -1,0 +1,72 @@
+"""The timing shim and the run-provenance manifest."""
+
+import pytest
+
+from repro.obs import RunManifest, Stopwatch, environment_provenance
+from repro.obs import manifest as manifest_module
+
+
+def test_stopwatch_measures_nonnegative_durations():
+    with Stopwatch() as sw:
+        sum(range(1000))
+    assert sw.wall >= 0.0
+    assert sw.cpu >= 0.0
+    # Stopped values are frozen.
+    assert sw.wall == sw.wall
+
+
+def test_stopwatch_running_totals_before_stop():
+    sw = Stopwatch()
+    first = sw.wall
+    sum(range(100000))
+    assert sw.wall >= first
+
+
+def test_stopwatch_stop_before_start_raises():
+    sw = Stopwatch(autostart=False)
+    assert sw.wall == 0.0
+    assert sw.cpu == 0.0
+    with pytest.raises(RuntimeError):
+        sw.stop()
+
+
+def test_environment_provenance_shape_and_caching():
+    env = environment_provenance()
+    assert set(env) == {"python", "platform", "git_revision", "packages"}
+    assert "numpy" in env["packages"]
+    # Cached per process, but each caller gets an independent copy.
+    again = environment_provenance()
+    assert again == env
+    again["python"] = "tampered"
+    assert environment_provenance()["python"] != "tampered"
+
+
+def test_git_revision_none_on_failure(monkeypatch):
+    def broken_run(*args, **kwargs):
+        raise OSError("no git")
+
+    monkeypatch.setattr(manifest_module.subprocess, "run", broken_run)
+    assert manifest_module._git_revision() is None
+
+
+def test_run_manifest_round_trip():
+    manifest = RunManifest(
+        config_fingerprint="ab12",
+        seed=7,
+        protocol="QCR",
+        wall_s=1.5,
+        cpu_s=1.4,
+        n_events=100,
+        extra={"trial": 3},
+    )
+    data = manifest.to_dict()
+    assert data["config_fingerprint"] == "ab12"
+    assert data["extra"] == {"trial": 3}
+    assert RunManifest.from_dict(data) == manifest
+
+
+def test_run_manifest_from_dict_ignores_unknown_keys():
+    manifest = RunManifest.from_dict(
+        {"config_fingerprint": "cd34", "future_field": True}
+    )
+    assert manifest.config_fingerprint == "cd34"

@@ -7,6 +7,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.sim.metrics import MetricsCollector
 
 
@@ -90,6 +91,30 @@ class TestCollector:
         assert collector.snapshot_counts[:, 0].tolist() == list(range(n))
         assert collector.snapshot_tracked[:, 0].tolist() == list(range(n))
         assert len(collector.snapshot_mandates) == n
+
+    def test_record_interval_longer_than_duration(self):
+        # The capacity formula must still allow the t=0 snapshot plus
+        # the horizon flush (duration // record_interval == 0).
+        collector = make_collector(record_interval=250.0)
+        collector.record_snapshot(0.0, np.array([1, 1, 1, 1]), None)
+        collector.record_snapshot(100.0, np.array([2, 2, 2, 2]), None)
+        result = collector.build_result(np.array([2, 2, 2, 2]), 0)
+        assert result.snapshot_counts.shape == (2, 4)
+        assert result.snapshot_times.tolist() == [0.0, 100.0]
+
+    @pytest.mark.parametrize(
+        "bad", [0.0, -5.0, math.nan, math.inf, -math.inf]
+    )
+    def test_invalid_record_interval_rejected(self, bad):
+        with pytest.raises(ConfigurationError, match="record_interval"):
+            make_collector(record_interval=bad)
+
+    def test_tiny_record_interval_capacity(self):
+        # Very fine sampling must not overflow the preallocated buffer.
+        collector = make_collector(record_interval=1.0)
+        for k in range(102):
+            collector.record_snapshot(float(k), np.array([1, 1, 1, 1]), None)
+        assert collector.snapshot_counts.shape[0] == 102
 
     def test_empty_run(self):
         collector = make_collector()
