@@ -37,6 +37,11 @@ def test_speed_benchmark(emit):
 
     assert all(case["bit_identical"] for case in report["engine"]["cases"])
     assert report["parallel"]["bit_identical"]
+    assert report["allocation"]["identical_allocation"]
+    assert (
+        report["allocation"]["celf_evaluations"]
+        < report["allocation"]["naive_evaluations"]
+    )
     on_disk = json.loads(output.read_text(encoding="utf-8"))
     assert on_disk["format"] == report["format"]
     assert on_disk["engine"]["min_speedup"] == report["engine"]["min_speedup"]

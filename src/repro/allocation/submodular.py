@@ -109,8 +109,19 @@ class HeterogeneousResult:
     evaluations: int
 
 
-def greedy_heterogeneous(problem: HeterogeneousProblem) -> HeterogeneousResult:
-    """Run lazy greedy on *problem* and return the allocation matrix."""
+def greedy_heterogeneous(
+    problem: HeterogeneousProblem, *, lazy: bool = True
+) -> HeterogeneousResult:
+    """Run lazy greedy on *problem* and return the allocation matrix.
+
+    ``lazy=False`` runs the textbook non-lazy greedy instead: every
+    iteration re-evaluates the marginal gain of every feasible
+    ``(item, server)`` placement and accepts the maximum (ties broken
+    toward the smallest ``(item, server)`` pair — the same order the
+    lazy heap uses).  Both variants pick the true argmax each step, so
+    they return identical allocations; they differ only in
+    ``evaluations``, which is what ``repro bench`` measures.
+    """
     demand = problem.demand
     utility = problem.utility
     rates = problem.rate_matrix
@@ -162,26 +173,10 @@ def greedy_heterogeneous(problem: HeterogeneousProblem) -> HeterogeneousResult:
         return value
 
     version = np.zeros(n_items, dtype=np.int64)
-    heap = []
-    for item in range(n_items):
-        for server in range(n_servers):
-            heap.append((-finite(marginal(item, server)), item, server, 0))
-    heapq.heapify(heap)
-
     loads = np.zeros(n_servers, dtype=np.int64)
-    placed = 0
     budget = problem.rho * n_servers
-    while placed < budget and heap:
-        neg_gain, item, server, stamp = heapq.heappop(heap)
-        if holds[item, server] or loads[server] >= problem.rho:
-            continue
-        if -neg_gain <= 0:
-            break  # no remaining placement improves welfare
-        if stamp != version[item]:
-            gain = finite(marginal(item, server))
-            heapq.heappush(heap, (-gain, item, server, int(version[item])))
-            continue
-        # Fresh entry: accept.
+
+    def accept(item: int, server: int) -> None:
         holds[item, server] = True
         fulfill[item] += rates[server]
         current_gains[item] = gains_of(fulfill[item])
@@ -191,7 +186,47 @@ def greedy_heterogeneous(problem: HeterogeneousProblem) -> HeterogeneousResult:
             current_gains[item][local_cols[local_holds]] = utility.h0
         loads[server] += 1
         version[item] += 1
-        placed += 1
+
+    placed = 0
+    if lazy:
+        heap = []
+        for item in range(n_items):
+            for server in range(n_servers):
+                heap.append(
+                    (-finite(marginal(item, server)), item, server, 0)
+                )
+        heapq.heapify(heap)
+        while placed < budget and heap:
+            neg_gain, item, server, stamp = heapq.heappop(heap)
+            if holds[item, server] or loads[server] >= problem.rho:
+                continue
+            if -neg_gain <= 0:
+                break  # no remaining placement improves welfare
+            if stamp != version[item]:
+                gain = finite(marginal(item, server))
+                heapq.heappush(
+                    heap, (-gain, item, server, int(version[item]))
+                )
+                continue
+            # Fresh entry: accept.
+            accept(item, server)
+            placed += 1
+    else:
+        while placed < budget:
+            best_gain = -np.inf
+            best_item = best_server = -1
+            for item in range(n_items):
+                for server in range(n_servers):
+                    if holds[item, server] or loads[server] >= problem.rho:
+                        continue
+                    gain = finite(marginal(item, server))
+                    if gain > best_gain:
+                        best_gain = gain
+                        best_item, best_server = item, server
+            if best_item < 0 or best_gain <= 0:
+                break
+            accept(best_item, best_server)
+            placed += 1
 
     allocation = holds.astype(np.int8)
     welfare = heterogeneous_welfare(

@@ -22,6 +22,9 @@ Subcommands:
 ``repro bench``
     Time the simulation engine against its frozen pre-optimization
     baseline and a serial vs. parallel sweep; write ``BENCH_speed.json``.
+``repro cache``
+    Inspect (``info``) or prune (``clear``) the content-addressed
+    simulation run cache (see ``REPRO_SIM_CACHE`` and docs/performance.md).
 ``repro lint``
     Run the repo's custom static-analysis rules (determinism,
     sim-invariants, fork safety — see docs/static_analysis.md).
@@ -82,6 +85,11 @@ from .experiments.scenarios import (
     standard_protocols,
 )
 from .sim import simulate
+from .simcache import (
+    UncacheableRunError,
+    resolve_run_cache,
+    run_key,
+)
 from .utility import (
     DelayUtility,
     ExponentialUtility,
@@ -117,6 +125,33 @@ def _add_utility_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help=(
+            "reuse previously computed simulation runs from this cache "
+            "root (default: the REPRO_SIM_CACHE environment variable)"
+        ),
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the simulation run cache even if REPRO_SIM_CACHE is set",
+    )
+
+
+def _cache_setting(args: argparse.Namespace):
+    """Map the --cache/--no-cache flags to a ``run_cache`` argument."""
+    if args.no_cache:
+        return False
+    if args.cache:
+        return args.cache
+    return None  # defer to REPRO_SIM_CACHE
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     profile = current_profile()
     workers = args.workers if args.workers is not None else profile.n_workers
@@ -124,6 +159,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         "n_workers": workers,
         "progress": args.progress or None,
         "profile_dir": args.profile,
+        "run_cache": _cache_setting(args),
     }
     builders = {
         1: lambda: figure1(),
@@ -147,6 +183,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     print(render_speed_report(report))
     print(f"\nwrote {args.output}")
+    if args.min_speedup is not None:
+        observed = float(report["engine"]["min_speedup"])
+        if observed < args.min_speedup:
+            print(
+                f"FAIL: engine min_speedup {observed:.3f}x is below the "
+                f"required {args.min_speedup:.3f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"perf gate passed: engine min_speedup {observed:.3f}x >= "
+            f"{args.min_speedup:.3f}x"
+        )
     return 0
 
 
@@ -179,21 +228,52 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if args.trace_out
         else None
     )
-    try:
-        result = simulate(
-            trace,
-            requests,
-            scenario.config,
-            protocol,
-            seed=args.seed + 2,
-            tracer=tracer,
-            manifest=bool(args.manifest_out),
-        )
-    finally:
-        if tracer is not None:
-            tracer.close()
+    # Content-addressed reuse: a cache hit skips the simulation.  Traced
+    # runs always execute (the JSONL side effect is the point), and a
+    # cached result without a manifest cannot satisfy --manifest-out.
+    cache = resolve_run_cache(_cache_setting(args)) if tracer is None else None
+    cache_key: Optional[str] = None
+    result = None
+    if cache is not None:
+        try:
+            cache_key = run_key(
+                scenario.config,
+                protocol,
+                args.seed + 2,
+                trace,
+                requests,
+                None,
+            )
+        except UncacheableRunError:
+            cache_key = None
+        if cache_key is not None:
+            result = cache.get(cache_key)
+            if (
+                result is not None
+                and args.manifest_out
+                and result.manifest is None
+            ):
+                result = None
+    from_cache = result is not None
+    if result is None:
+        try:
+            result = simulate(
+                trace,
+                requests,
+                scenario.config,
+                protocol,
+                seed=args.seed + 2,
+                tracer=tracer,
+                manifest=bool(args.manifest_out),
+            )
+        finally:
+            if tracer is not None:
+                tracer.close()
+        if cache is not None and cache_key is not None:
+            cache.put(cache_key, result)
     rows = [[key, value] for key, value in result.summary().items()]
-    print(render_table(["metric", "value"], rows, title=f"{args.protocol} run"))
+    title = f"{args.protocol} run" + (" (cached)" if from_cache else "")
+    print(render_table(["metric", "value"], rows, title=title))
     if tracer is not None:
         print(f"wrote {tracer.seq} trace events to {args.trace_out}")
     if args.manifest_out:
@@ -201,6 +281,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             json.dump(result.manifest, handle, indent=2)
             handle.write("\n")
         print(f"wrote run manifest to {args.manifest_out}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = resolve_run_cache(args.dir if args.dir else True)
+    assert cache is not None  # True always resolves to a cache
+    if args.cache_command == "info":
+        info = cache.info()
+        rows = [
+            ["root", info["root"]],
+            ["entries", str(info["n_entries"])],
+            ["size", f"{info['total_bytes'] / 1024:.1f} KiB"],
+        ]
+        print(render_table(["field", "value"], rows, title="simulation run cache"))
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cached run(s) from {cache.root}")
     return 0
 
 
@@ -488,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="dump per-worker cProfile stats (.pstats) into DIR",
     )
+    _add_cache_arguments(fig)
     fig.set_defaults(func=_cmd_figure)
 
     tbl = sub.add_parser("table1", help="print and verify Table 1")
@@ -519,6 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the run provenance manifest as JSON to PATH",
     )
+    _add_cache_arguments(sim)
     sim.set_defaults(func=_cmd_simulate)
 
     trc = sub.add_parser(
@@ -688,7 +787,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=BENCH_FILENAME,
         help=f"report path (default: {BENCH_FILENAME})",
     )
+    bench.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help=(
+            "fail (exit 1) when the measured engine min_speedup falls "
+            "below this threshold (CI regression gate)"
+        ),
+    )
     bench.set_defaults(func=_cmd_bench)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or clear the simulation run cache"
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    for cache_action, cache_help in (
+        ("info", "print the cache root, entry count, and total size"),
+        ("clear", "delete every cached simulation run"),
+    ):
+        cache_action_parser = cache_sub.add_parser(
+            cache_action, help=cache_help
+        )
+        cache_action_parser.add_argument(
+            "--dir",
+            default=None,
+            help=(
+                "cache root (default: REPRO_SIM_CACHE or "
+                "~/.cache/repro/simcache)"
+            ),
+        )
+        cache_action_parser.set_defaults(func=_cmd_cache)
 
     lint = sub.add_parser(
         "lint", help="run the repo-specific static-analysis rules"

@@ -14,6 +14,11 @@ so the perf trajectory is tracked across PRs:
   must be bit-identical and the speedup is the wall-clock ratio.  On a
   single-core container the parallel run cannot beat serial — the
   recorded ``cpu_count`` says how to read the number.
+* **allocation solver** — the lazy (CELF) heterogeneous greedy of
+  :func:`~repro.allocation.greedy_heterogeneous` versus the textbook
+  non-lazy greedy on a trace-sized instance.  Both must return the
+  identical allocation; the report records wall time and the number of
+  marginal-gain evaluations each performed (the lazy savings).
 
 Timing numbers are noisy by nature; consumers (CI's perf-smoke job)
 should fail on *crashes or identity violations*, never on timings.
@@ -29,7 +34,11 @@ from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from ..demand import generate_requests
+from ..allocation.submodular import (
+    HeterogeneousProblem,
+    greedy_heterogeneous,
+)
+from ..demand import DemandModel, generate_requests
 from ..sim._reference import ReferenceSimulation
 from ..sim.engine import Simulation
 from ..utility import StepUtility
@@ -154,6 +163,48 @@ def _bench_parallel_sweep(
     }
 
 
+def _bench_allocation(
+    *,
+    n_items: int,
+    n_servers: int,
+    n_clients: int,
+    rho: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """Time CELF vs. the non-lazy greedy on one heterogeneous instance."""
+    rng = np.random.default_rng(seed)
+    demand = DemandModel.pareto(n_items, omega=1.0, total_rate=4.0)
+    rates = rng.gamma(shape=2.0, scale=0.01, size=(n_servers, n_clients))
+    problem = HeterogeneousProblem(
+        demand=demand,
+        utility=StepUtility(25.0),
+        rate_matrix=rates,
+        rho=rho,
+    )
+    start = time.perf_counter()
+    lazy = greedy_heterogeneous(problem)
+    lazy_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    naive = greedy_heterogeneous(problem, lazy=False)
+    naive_seconds = time.perf_counter() - start
+    return {
+        "n_items": n_items,
+        "n_servers": n_servers,
+        "n_clients": n_clients,
+        "rho": rho,
+        "naive_seconds": naive_seconds,
+        "celf_seconds": lazy_seconds,
+        "speedup": naive_seconds / lazy_seconds,
+        "naive_evaluations": naive.evaluations,
+        "celf_evaluations": lazy.evaluations,
+        "evaluations_saved_pct": 100.0
+        * (1.0 - lazy.evaluations / naive.evaluations),
+        "identical_allocation": bool(
+            np.array_equal(lazy.allocation, naive.allocation)
+        ),
+    }
+
+
 def run_speed_benchmark(
     *,
     quick: bool = False,
@@ -191,6 +242,13 @@ def run_speed_benchmark(
         n_workers=n_workers,
         base_seed=17,
     )
+    allocation = _bench_allocation(
+        n_items=20 if quick else 40,
+        n_servers=15 if quick else 40,
+        n_clients=30 if quick else 80,
+        rho=3 if quick else 5,
+        seed=23,
+    )
     report: Dict[str, Any] = {
         "format": _FORMAT,
         "version": _VERSION,
@@ -202,6 +260,7 @@ def run_speed_benchmark(
             "min_speedup": min(case["speedup"] for case in cases),
         },
         "parallel": parallel,
+        "allocation": allocation,
     }
     if output is not None:
         tmp_path = f"{os.fspath(output)}.tmp"
@@ -243,4 +302,26 @@ def render_speed_report(report: Dict[str, Any]) -> str:
         ],
         title="parallel sweep",
     )
-    return engine_table + "\n\n" + parallel_table
+    alloc = report["allocation"]
+    size = (
+        f"{alloc['n_items']} items x {alloc['n_servers']} servers, "
+        f"rho={alloc['rho']}"
+    )
+    alloc_table = render_table(
+        ["metric", "value"],
+        [
+            ["instance", size],
+            ["naive greedy", f"{alloc['naive_seconds']:.3f}s"],
+            ["lazy (CELF)", f"{alloc['celf_seconds']:.3f}s"],
+            ["speedup", f"{alloc['speedup']:.2f}x"],
+            ["naive evals", f"{alloc['naive_evaluations']:,}"],
+            ["CELF evals", f"{alloc['celf_evaluations']:,}"],
+            ["evals saved", f"{alloc['evaluations_saved_pct']:.1f}%"],
+            [
+                "identical allocation",
+                "yes" if alloc["identical_allocation"] else "NO",
+            ],
+        ],
+        title="allocation solver (lazy vs. naive greedy)",
+    )
+    return engine_table + "\n\n" + parallel_table + "\n\n" + alloc_table

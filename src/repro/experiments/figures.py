@@ -46,7 +46,7 @@ from ..obs.log import get_logger
 from .checkpoint import PathLike
 from .profiles import EffortProfile, current_profile
 from .reporting import render_loss_sweep, render_table
-from .runner import ProgressLike, run_comparison
+from .runner import ProgressLike, RunCacheLike, run_comparison
 from .scenarios import (
     MU,
     RHO,
@@ -150,6 +150,7 @@ def _sweep(
     n_workers: Optional[int] = None,
     progress: Optional[ProgressLike] = None,
     profile_dir: Optional[PathLike] = None,
+    run_cache: RunCacheLike = None,
 ) -> SweepPanel:
     losses: Dict[str, List[float]] = {name: [] for name in include}
     logger = get_logger("repro.experiments.figures")
@@ -170,6 +171,7 @@ def _sweep(
             n_workers=n_workers,
             progress=progress,
             profile_dir=profile_dir,
+            run_cache=run_cache,
         )
         for name in include:
             losses[name].append(comparison.normalized_loss(name))
@@ -319,6 +321,7 @@ def figure3(
     n_workers: Optional[int] = None,
     progress: Optional[ProgressLike] = None,
     profile_dir: Optional[PathLike] = None,
+    run_cache: RunCacheLike = None,
 ) -> Figure3Result:
     """Reproduce Figure 3 (homogeneous contacts, power ``alpha = 0``).
 
@@ -352,6 +355,7 @@ def figure3(
         n_workers=n_workers,
         progress=progress,
         profile_dir=profile_dir,
+        run_cache=run_cache,
     )
 
     def first(name: str) -> SimulationResult:
@@ -458,6 +462,7 @@ def figure4(
     n_workers: Optional[int] = None,
     progress: Optional[ProgressLike] = None,
     profile_dir: Optional[PathLike] = None,
+    run_cache: RunCacheLike = None,
 ) -> Figure4Result:
     """Reproduce Figure 4 (homogeneous contacts)."""
     profile = profile or current_profile()
@@ -490,6 +495,7 @@ def figure4(
         n_workers=n_workers,
         progress=progress,
         profile_dir=profile_dir,
+        run_cache=run_cache,
     )
     step_panel = _sweep(
         step_scenario,
@@ -501,6 +507,7 @@ def figure4(
         n_workers=n_workers,
         progress=progress,
         profile_dir=profile_dir,
+        run_cache=run_cache,
     )
     return Figure4Result(power_panel=power_panel, step_panel=step_panel)
 
@@ -532,6 +539,7 @@ def figure5(
     n_workers: Optional[int] = None,
     progress: Optional[ProgressLike] = None,
     profile_dir: Optional[PathLike] = None,
+    run_cache: RunCacheLike = None,
 ) -> Figure5Result:
     """Reproduce Figure 5 (conference trace, step delay-utility).
 
@@ -569,6 +577,7 @@ def figure5(
         n_workers=n_workers,
         progress=progress,
         profile_dir=profile_dir,
+        run_cache=run_cache,
     )
     reference = comparison.stats["QCR"].results[0]
     window_times = (
@@ -599,6 +608,7 @@ def figure5(
         n_workers=n_workers,
         progress=progress,
         profile_dir=profile_dir,
+        run_cache=run_cache,
     )
     synthesized_panel = _sweep(
         lambda tau: scenario_for("synthesized", tau),
@@ -610,6 +620,7 @@ def figure5(
         n_workers=n_workers,
         progress=progress,
         profile_dir=profile_dir,
+        run_cache=run_cache,
     )
     return Figure5Result(
         utility_over_time=time_panel,
@@ -644,6 +655,7 @@ def figure6(
     n_workers: Optional[int] = None,
     progress: Optional[ProgressLike] = None,
     profile_dir: Optional[PathLike] = None,
+    run_cache: RunCacheLike = None,
 ) -> Figure6Result:
     """Reproduce Figure 6 (vehicular trace, three utility families)."""
     profile = profile or current_profile()
@@ -668,6 +680,7 @@ def figure6(
         n_workers=n_workers,
         progress=progress,
         profile_dir=profile_dir,
+        run_cache=run_cache,
     )
     step_panel = _sweep(
         lambda tau: scenario_for(StepUtility(tau)),
@@ -679,6 +692,7 @@ def figure6(
         n_workers=n_workers,
         progress=progress,
         profile_dir=profile_dir,
+        run_cache=run_cache,
     )
     exponential_panel = _sweep(
         lambda nu: scenario_for(ExponentialUtility(nu)),
@@ -690,6 +704,7 @@ def figure6(
         n_workers=n_workers,
         progress=progress,
         profile_dir=profile_dir,
+        run_cache=run_cache,
     )
     return Figure6Result(
         power_panel=power_panel,

@@ -69,6 +69,12 @@ from ..obs.manifest import environment_provenance
 from ..obs.timing import Stopwatch
 from ..protocols.base import ReplicationProtocol
 from ..sim import SimulationConfig, SimulationResult, simulate
+from ..simcache import (
+    SimulationRunCache,
+    UncacheableRunError,
+    resolve_run_cache,
+    run_key,
+)
 from ..types import FloatArray
 from .checkpoint import ComparisonCheckpoint, PathLike
 
@@ -92,6 +98,15 @@ FaultsLike = Union[FaultSchedule, Callable[[int], FaultSchedule]]
 #: Live progress: ``True`` logs through ``repro.obs.log``; a callable
 #: receives one dict per completed run (completion order).
 ProgressLike = Union[bool, Callable[[Dict[str, Any]], None]]
+
+#: Run-cache selector: ``None`` defers to ``REPRO_SIM_CACHE``, a bool
+#: forces it on/off, a path or cache instance enables it at that root.
+RunCacheLike = Union[None, bool, str, "os.PathLike[str]", SimulationRunCache]
+
+#: Cache disposition markers carried in the ``_execute_run`` timing dict
+#: (floats, since the dict is ``Dict[str, float]``): hit / miss /
+#: inputs-not-fingerprintable.
+_CACHE_HIT, _CACHE_MISS, _CACHE_UNCACHEABLE = 1.0, 0.0, -1.0
 
 
 @dataclass(frozen=True)
@@ -363,6 +378,7 @@ def _execute_run(
     on_error: str,
     retry_backoff: float,
     max_backoff: float,
+    cache: Optional[SimulationRunCache] = None,
 ) -> Tuple[Optional[SimulationResult], Optional[str], Dict[str, float]]:
     """One (trial, protocol) run with the retry/skip policy applied.
 
@@ -371,8 +387,48 @@ def _execute_run(
     ``on_error="raise"`` the first failure propagates (identical in
     workers and in the serial loop).  *timing* reports the simulate
     stage's wall/CPU seconds (backoff sleeps excluded) and the number
-    of attempts actually made.
+    of attempts actually made; with a *cache* it also carries a
+    ``"cache"`` marker (hit / miss / uncacheable).
+
+    With a run cache, a content-key hit returns the stored result with
+    zero attempts — no simulation happens; a completed miss is stored
+    for next time.  Runs whose inputs cannot be fingerprinted execute
+    uncached.
     """
+    cache_key: Optional[str] = None
+    cache_marker: Optional[float] = None
+    if cache is not None:
+        try:
+            probe = factory(inputs.trace, inputs.requests)
+            cache_key = run_key(
+                config,
+                probe,
+                inputs.sim_seed,
+                inputs.trace,
+                inputs.requests,
+                trial_faults,
+            )
+            cache_marker = _CACHE_MISS
+        except UncacheableRunError as error:
+            cache_marker = _CACHE_UNCACHEABLE
+            get_logger("repro.simcache").debug(
+                "run not cacheable", error=str(error)
+            )
+        # repro-lint: ignore[RPL007]
+        except Exception:
+            # A failing factory is the attempt loop's business (retry
+            # policy, error accounting) — never the cache's: the same
+            # error re-raises from the attempt loop below.
+            cache_marker = None
+        if cache_key is not None:
+            cached = cache.get(cache_key)
+            if cached is not None:
+                return cached, None, {
+                    "wall_s": 0.0,
+                    "cpu_s": 0.0,
+                    "attempts": 0.0,
+                    "cache": _CACHE_HIT,
+                }
     result: Optional[SimulationResult] = None
     last_error: Optional[BaseException] = None
     wall_s = 0.0
@@ -406,10 +462,47 @@ def _execute_run(
             if on_error == "raise":
                 raise
             last_error = error
-    timing = {"wall_s": wall_s, "cpu_s": cpu_s, "attempts": attempts_made}
+    timing: Dict[str, float] = {
+        "wall_s": wall_s,
+        "cpu_s": cpu_s,
+        "attempts": attempts_made,
+    }
+    if cache_marker is not None:
+        timing["cache"] = cache_marker
     if result is not None:
+        if cache is not None and cache_key is not None:
+            cache.put(cache_key, result)
         return result, None, timing
     return None, f"{type(last_error).__name__}: {last_error}", timing
+
+
+def _run_status(
+    result: Optional[SimulationResult], timing: Dict[str, float]
+) -> str:
+    """Telemetry status of one executed unit.
+
+    ``"cached"`` marks a run-cache hit — the same status checkpoint
+    resume uses, since in both cases no simulation was performed.
+    """
+    if result is None:
+        return "failed"
+    if timing.get("cache") == _CACHE_HIT:
+        return "cached"
+    return "ok"
+
+
+def _count_cache_marker(
+    counts: Dict[str, int], marker: Optional[float]
+) -> None:
+    """Accumulate one unit's cache disposition into the sweep counters."""
+    if marker is None:
+        return
+    if marker == _CACHE_HIT:
+        counts["hits"] += 1
+    elif marker == _CACHE_MISS:
+        counts["misses"] += 1
+    else:
+        counts["uncacheable"] += 1
 
 
 #: Fork-inherited state for pooled workers.  Set by ``run_comparison``
@@ -493,6 +586,7 @@ def _pool_run(
             on_error=context["on_error"],
             retry_backoff=context["retry_backoff"],
             max_backoff=context["max_backoff"],
+            cache=context["cache"],
         )
     finally:
         if profiler is not None:
@@ -522,6 +616,8 @@ def _run_units_parallel(
     retry_backoff: float,
     max_backoff: float,
     profile_dir: Optional[str],
+    cache: Optional[SimulationRunCache],
+    cache_counts: Dict[str, int],
 ) -> None:
     """Fan *units* out over a fork pool; the parent owns the checkpoint.
 
@@ -545,6 +641,7 @@ def _run_units_parallel(
         "retry_backoff": retry_backoff,
         "max_backoff": max_backoff,
         "profile_dir": profile_dir,
+        "cache": cache,
         "inputs_by_trial": {},
     }
     mp_context = multiprocessing.get_context("fork")
@@ -568,10 +665,11 @@ def _run_units_parallel(
                         for pending in remaining:
                             pending.cancel()
                         raise
+                    _count_cache_marker(cache_counts, timing.get("cache"))
                     telemetry = RunTelemetry(
                         trial=trial,
                         protocol=name,
-                        status="ok" if result is not None else "failed",
+                        status=_run_status(result, timing),
                         wall_s=timing.get("wall_s", 0.0),
                         cpu_s=timing.get("cpu_s", 0.0),
                         setup_wall_s=timing.get("setup_wall_s", 0.0),
@@ -617,6 +715,7 @@ def run_comparison(
     n_workers: Optional[int] = None,
     progress: Optional[ProgressLike] = None,
     profile_dir: Optional[PathLike] = None,
+    run_cache: RunCacheLike = None,
 ) -> ComparisonResult:
     """Run every protocol on *n_trials* shared trace/request realizations.
 
@@ -667,6 +766,15 @@ def run_comparison(
         its simulate stages and dumps ``worker-<pid>.pstats`` (or
         ``serial-<pid>.pstats``) there after every unit.  Inspect with
         ``python -m pstats``.
+    run_cache:
+        Content-addressed result reuse (see :mod:`repro.simcache`).
+        ``None`` defers to the ``REPRO_SIM_CACHE`` environment variable
+        (unset disables); ``True``/``False`` force it on/off; a path or
+        :class:`~repro.simcache.SimulationRunCache` enables it at that
+        root.  Cache hits return the stored result without simulating,
+        are reported with ``status="cached"`` (like checkpoint resume),
+        and hit/miss counters land in the sweep manifest under
+        ``"run_cache"``.
     """
     if n_trials <= 0:
         raise ConfigurationError(f"n_trials must be > 0, got {n_trials}")
@@ -688,6 +796,8 @@ def run_comparison(
     if profile_dir is not None:
         profile_path = os.fspath(profile_dir)
         os.makedirs(profile_path, exist_ok=True)
+    cache = resolve_run_cache(run_cache)
+    cache_counts: Dict[str, int] = {"hits": 0, "misses": 0, "uncacheable": 0}
     sweep_timer = Stopwatch()
 
     checkpoint = (
@@ -742,6 +852,28 @@ def run_comparison(
         else None
     )
 
+    # Cap the pool at the machine and the workload: more workers than
+    # cores (or than pending units) only add fork and IPC overhead —
+    # BENCH_speed.json showed n_workers=4 on cpu_count=1 running slower
+    # than serial.  An effective count of 1 bypasses the pool entirely.
+    effective_workers = n_workers if n_workers is not None else 1
+    if parallel:
+        available_cpus = os.cpu_count() or 1
+        capped = min(
+            effective_workers, available_cpus, max(len(pending_units), 1)
+        )
+        if capped < effective_workers:
+            get_logger("repro.experiments.sweep").info(
+                "capping sweep workers",
+                requested=effective_workers,
+                effective=capped,
+                cpu_count=available_cpus,
+                pending_units=len(pending_units),
+            )
+        effective_workers = capped
+        if effective_workers <= 1:
+            parallel = False
+
     if parallel and pending_units:
         _run_units_parallel(
             pending_units,
@@ -750,7 +882,7 @@ def run_comparison(
             telemetry_map,
             checkpoint,
             reporter,
-            n_workers=n_workers,  # type: ignore[arg-type]
+            n_workers=effective_workers,
             trace_factory=trace_factory,
             demand=demand,
             config=config,
@@ -762,6 +894,8 @@ def run_comparison(
             retry_backoff=retry_backoff,
             max_backoff=max_backoff,
             profile_dir=profile_path,
+            cache=cache,
+            cache_counts=cache_counts,
         )
     else:
         inputs: Optional[TrialInputs] = None
@@ -792,16 +926,18 @@ def run_comparison(
                     on_error=on_error,
                     retry_backoff=retry_backoff,
                     max_backoff=max_backoff,
+                    cache=cache,
                 )
             finally:
                 if profiler is not None:
                     profiler.disable()
                     assert profile_path is not None
                     _dump_profile(profiler, profile_path, "serial")
+            _count_cache_marker(cache_counts, timing.get("cache"))
             telemetry = RunTelemetry(
                 trial=trial,
                 protocol=name,
-                status="ok" if result is not None else "failed",
+                status=_run_status(result, timing),
                 wall_s=timing["wall_s"],
                 cpu_s=timing["cpu_s"],
                 setup_wall_s=setup_wall,
@@ -859,13 +995,20 @@ def run_comparison(
         "base_seed": base_seed,
         "n_trials": n_trials,
         "protocols": sorted(protocols),
-        "n_workers": (n_workers or 1) if parallel else 1,
+        "n_workers": effective_workers if parallel else 1,
         "n_runs_executed": len(pending_units),
         "n_failures": len(failures),
         "wall_s": sweep_timer.wall,
         "cpu_s": sweep_timer.cpu,
         "environment": environment_provenance(),
     }
+    if cache is not None:
+        sweep_manifest["run_cache"] = {
+            "root": cache.root,
+            "hits": cache_counts["hits"],
+            "misses": cache_counts["misses"],
+            "uncacheable": cache_counts["uncacheable"],
+        }
     if checkpoint is not None:
         checkpoint.set_manifest(sweep_manifest)
     return ComparisonResult(

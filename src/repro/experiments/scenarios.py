@@ -53,6 +53,7 @@ from .runner import (
     ComparisonResult,
     ProgressLike,
     ProtocolFactory,
+    RunCacheLike,
     run_comparison,
 )
 
@@ -383,13 +384,15 @@ def run_scenario(
     n_workers: Optional[int] = None,
     progress: Optional[ProgressLike] = None,
     profile_dir: Optional[PathLike] = None,
+    run_cache: RunCacheLike = None,
 ) -> ComparisonResult:
     """Run the standard comparison on *scenario*.
 
     *n_workers* > 1 distributes the (trial, protocol) runs over a
     process pool with bit-identical statistics; *progress* and
     *profile_dir* enable the live reporter and per-worker cProfile
-    dumps (see :func:`repro.experiments.runner.run_comparison`).
+    dumps; *run_cache* reuses previously computed runs by content key
+    (see :func:`repro.experiments.runner.run_comparison`).
     """
     return run_comparison(
         trace_factory=scenario.trace_factory,
@@ -404,4 +407,5 @@ def run_scenario(
         n_workers=n_workers,
         progress=progress,
         profile_dir=profile_dir,
+        run_cache=run_cache,
     )

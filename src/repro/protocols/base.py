@@ -27,6 +27,12 @@ class ReplicationProtocol(ABC):
     #: Display name used in experiment reports (e.g. "QCR", "SQRT").
     name: str = "protocol"
 
+    #: Opt-in engine fast path: when ``True`` the engine may skip the
+    #: :meth:`after_contact` call on contacts where neither endpoint has
+    #: pending mandates.  Only set this if the hook is a guaranteed no-op
+    #: (no state updates, no RNG draws) in that situation.
+    contact_hook_idle_without_mandates: bool = False
+
     @abstractmethod
     def initialize(self, sim: "Simulation") -> None:
         """Set the initial global cache state.

@@ -160,9 +160,26 @@ class QCR(ReplicationProtocol):
         self.mu = mu
         self.config = config
         self.name = "QCR" if config.mandate_routing else "QCRWOM"
+        # Per-contact hot flags, hoisted out of the frozen config.
+        self._routing: bool = config.mandate_routing
+        self._adaptive_mu: bool = config.adaptive_mu
+        self._cache_on_fulfill: bool = config.cache_on_fulfill
+        self._mandate_cap: Optional[float] = (
+            None
+            if config.max_mandates_per_request is None
+            else float(config.max_mandates_per_request)
+        )
         self._pure: bool = False  # resolved at initialize()
         #: Per-node observed contact counts (adaptive_mu state).
         self._contact_counts: Dict[int, int] = {}
+        # Without adaptive_mu the hook needs no per-contact bookkeeping,
+        # so the engine may skip it entirely on mandate-free contacts.
+        self.contact_hook_idle_without_mandates = not config.adaptive_mu
+        #: Final-counter -> capped reaction target.  Valid because without
+        #: adaptive_mu the reaction depends only on the counter and on
+        #: per-run constants (``mu``, ``n_servers``, the pure correction);
+        #: reset at initialize() since those constants are per-run.
+        self._reaction_memo: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # protocol hooks
@@ -175,6 +192,7 @@ class QCR(ReplicationProtocol):
             seed=sim.rng,
         )
         sim.set_initial_allocation(allocation, sticky_owner=sticky)
+        self._reaction_memo.clear()
         self._pure = (
             self.config.pure_correction
             and self.utility.finite_at_zero
@@ -232,13 +250,23 @@ class QCR(ReplicationProtocol):
         item: int,
         counter: int,
     ) -> None:
-        target = self.reaction(
-            max(counter, 1),
-            sim,
-            mu=self.local_rate(sim, requester.node_id, t),
-        )
-        if self.config.max_mandates_per_request is not None:
-            target = min(target, float(self.config.max_mandates_per_request))
+        y = counter if counter > 1 else 1
+        if self._adaptive_mu:
+            target = self.reaction(
+                y, sim, mu=self.local_rate(sim, requester.node_id, t)
+            )
+            if self._mandate_cap is not None:
+                target = min(target, self._mandate_cap)
+        else:
+            memo = self._reaction_memo
+            cached_target = memo.get(y)
+            if cached_target is None:
+                target = self.reaction(y, sim)
+                if self._mandate_cap is not None:
+                    target = min(target, self._mandate_cap)
+                memo[y] = target
+            else:
+                target = cached_target
         mandates = self._randomized_round(target, sim.rng)
         if mandates <= 0:
             return
@@ -249,7 +277,7 @@ class QCR(ReplicationProtocol):
         # replacement.  If it is evicted first, the leftover mandates are
         # stranded — unless mandate routing carries them to surviving copy
         # holders (the Figure-3 pathology and its fix).
-        if self.config.cache_on_fulfill and sim.insert_copy(requester, item):
+        if self._cache_on_fulfill and sim.insert_copy(requester, item):
             mandates -= 1
         if mandates > 0:
             requester.mandates[item] = (
@@ -259,13 +287,18 @@ class QCR(ReplicationProtocol):
     def after_contact(
         self, sim: "Simulation", t: float, a: "NodeState", b: "NodeState"
     ) -> None:
-        if self.config.adaptive_mu:
+        if self._adaptive_mu:
             counts = self._contact_counts
             counts[a.node_id] = counts.get(a.node_id, 0) + 1
             counts[b.node_id] = counts.get(b.node_id, 0) + 1
+        if not a.mandates and not b.mandates:
+            # Neither execution nor routing has anything to act on, and
+            # both are no-ops (no state, no RNG) without mandates — the
+            # common case on the vast majority of contacts.
+            return
         self._execute(sim, a, b)
         self._execute(sim, b, a)
-        if self.config.mandate_routing:
+        if self._routing:
             self._route(sim, a, b)
 
     def mandate_totals(self, sim: "Simulation") -> IntArray:

@@ -64,6 +64,15 @@ class Cache:
         """A snapshot copy of the cached item ids."""
         return set(self._items)
 
+    def live_view(self) -> Set[int]:
+        """The live backing set of cached item ids (do not mutate).
+
+        Every mutation path updates the set in place, so its identity is
+        stable for the cache's lifetime — the engine's flat cache table
+        aliases it to test membership without going through the cache.
+        """
+        return self._items
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------

@@ -22,7 +22,7 @@ machinery and identical randomness.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import AbstractSet, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +33,21 @@ import numpy as np
 EVENT_FAULT = 0
 EVENT_REQUEST = 1
 EVENT_CONTACT = 2
+
+#: Version of the engine's observable semantics, keyed into the
+#: content-addressed run cache (:mod:`repro.simcache`).  Bump whenever a
+#: change could alter simulation *results* — cached entries from older
+#: versions then stop matching and are recomputed.  Pure speedups that
+#: keep bit-identity (the contract enforced against ``sim/_reference``)
+#: do not require a bump.
+ENGINE_CODE_VERSION = "2026.08-array-core-1"
+
+#: One pre-merged event: ``(kind, time, arg_a, arg_b)`` — the layout
+#: consumed by the traced and fault-injected loops.  The plain fast loop
+#: consumes a widened ``(kind, time, arg_a, arg_b, x, y)`` layout whose
+#: trailing payloads carry precomputed server-meeting counts (see
+#: ``_build_event_stream``).
+_Event = Tuple[int, float, int, int]
 
 from ..contacts import ContactTrace
 from ..demand import RequestSchedule
@@ -62,6 +77,50 @@ class Simulation:
     schedule's own RNG — a run with ``faults=None`` is bit-identical to
     one before fault injection existed.
     """
+
+    __slots__ = (
+        "trace",
+        "requests",
+        "config",
+        "protocol",
+        "rng",
+        "faults",
+        "_fault_rng",
+        "_drop_prob",
+        "server_ids",
+        "client_ids",
+        "nodes",
+        "server_position",
+        "counts",
+        "occupancy",
+        "sticky_owner",
+        "_initialized",
+        "tracer",
+        "_collect_manifest",
+        "_seed_value",
+        "_now",
+        "metrics",
+        "_utility",
+        "_h0",
+        "_h0_finite",
+        "_timeout",
+        "_skip_self",
+        "_abandoned_gain",
+        "_credit_abandoned",
+        "_hook_free_contact",
+        "_hook_free_fulfill",
+        "_event_times",
+        "_event_kinds",
+        "_event_a",
+        "_event_b",
+        "_fault_events",
+        "_chunks",
+        "_outstanding_tbl",
+        "_cache_tbl",
+        "_is_server_tbl",
+        "_mandates_tbl",
+        "_contact_hook_idle",
+    )
 
     def __init__(
         self,
@@ -128,6 +187,13 @@ class Simulation:
             int(node): pos for pos, node in enumerate(self.server_ids)
         }
         self.counts = np.zeros(config.n_items, dtype=np.int64)
+        #: Boolean ``(n_nodes, n_items)`` cache-occupancy matrix — the
+        #: array view of every server cache, kept consistent with the
+        #: per-cache sets by :meth:`set_initial_allocation`,
+        #: :meth:`insert_copy`, and :meth:`remove_copy` (all cache
+        #: mutation funnels through those three).  ``counts`` is its
+        #: column sum; batch analyses read it instead of walking caches.
+        self.occupancy = np.zeros((n_nodes, config.n_items), dtype=bool)
         self.sticky_owner: Optional[IntArray] = None
         self._initialized = False
         # Tracing: an inactive tracer (NullSink) resolves to None, and
@@ -173,6 +239,7 @@ class Simulation:
         utility = config.utility
         self._utility = utility
         self._h0 = utility.h0
+        self._h0_finite = math.isfinite(utility.h0)
         self._timeout = config.request_timeout
         self._skip_self = config.self_request_policy == "skip"
         gain_never = utility.gain_never
@@ -190,6 +257,33 @@ class Simulation:
         )
         self._hook_free_fulfill = (
             cls.on_fulfill is ReplicationProtocol.on_fulfill
+        )
+        # Flat per-node state tables, indexed by node id.  All alias
+        # live structures — NodeState.outstanding/mandates dicts and the
+        # caches' backing sets (Cache.live_view() identity is stable) —
+        # so the hot loops skip the NodeState attribute walk entirely
+        # while every protocol-facing API still sees the same state.
+        # Non-servers get one shared (immutable) empty set so membership
+        # tests need no None branch.
+        self._outstanding_tbl: List[Dict[int, List[Request]]] = [
+            node.outstanding for node in self.nodes
+        ]
+        empty: AbstractSet[int] = frozenset()
+        self._cache_tbl: List[AbstractSet[int]] = [
+            node.cache.live_view() if node.cache is not None else empty
+            for node in self.nodes
+        ]
+        self._is_server_tbl: List[bool] = [
+            node.is_server for node in self.nodes
+        ]
+        self._mandates_tbl: List[Dict[int, int]] = [
+            node.mandates for node in self.nodes
+        ]
+        # Protocols promising an idle after_contact() without mandates
+        # (QCR family) let the engine skip the hook dispatch entirely on
+        # mandate-free contacts — by far the common case.
+        self._contact_hook_idle = bool(
+            getattr(protocol, "contact_hook_idle_without_mandates", False)
         )
         self._build_event_stream()
 
@@ -231,11 +325,136 @@ class Simulation:
         arg_b[n_f : n_f + n_q] = requests.nodes
         arg_b[n_f + n_q :] = trace.node_b
         order = np.lexsort((kinds, times))
-        self._event_times: List[float] = times[order].tolist()
-        self._event_kinds: List[int] = kinds[order].tolist()
-        self._event_a: List[int] = arg_a[order].tolist()
-        self._event_b: List[int] = arg_b[order].tolist()
+        sorted_times = times[order]
+        sorted_kinds = kinds[order]
+        sorted_a = arg_a[order]
+        sorted_b = arg_b[order]
+        self._event_times: List[float] = sorted_times.tolist()
+        self._event_kinds: List[int] = sorted_kinds.tolist()
+        self._event_a: List[int] = sorted_a.tolist()
+        self._event_b: List[int] = sorted_b.tolist()
         self._fault_events = fault_events
+        # The plain (untraced, fault-free) loop consumes a widened event
+        # layout carrying precomputed query-counter state.  A request's
+        # final query counter is the number of direction slots in which
+        # its node met a server between creation and fulfillment — in a
+        # fault-free run that is a pure function of the contact trace,
+        # so per-event payloads replace all per-request counter
+        # bookkeeping: contacts carry each endpoint's inclusive
+        # server-meeting count (-1 when the peer is not a server, i.e.
+        # the direction is a no-op), requests carry the node's count at
+        # creation, and the counter at fulfillment is the difference.
+        # With faults, blocked and dropped contacts must not count, so
+        # the fault loop maintains the same counts dynamically instead.
+        events: List[Tuple[int, ...]]
+        if self.tracer is None and self.faults is None:
+            is_server = np.zeros(len(self.nodes), dtype=bool)
+            is_server[np.asarray(self.server_ids, dtype=np.int64)] = True
+            contact_mask = sorted_kinds == EVENT_CONTACT
+            count_a_valid = contact_mask & is_server[sorted_b]
+            count_b_valid = contact_mask & is_server[sorted_a]
+            event_idx = np.arange(total, dtype=np.int64)
+            inc_nodes = np.concatenate(
+                (sorted_a[count_a_valid], sorted_b[count_b_valid])
+            )
+            inc_idx = np.concatenate(
+                (event_idx[count_a_valid], event_idx[count_b_valid])
+            )
+            # Not an event merge: groups the already time-ordered
+            # increment slots by node to rank server meetings per node.
+            grouped = np.lexsort((inc_idx, inc_nodes))  # repro-lint: ignore[RPL004]
+            g_nodes = inc_nodes[grouped]
+            g_idx = inc_idx[grouped]
+            n_inc = len(g_nodes)
+            if n_inc:
+                new_group = np.empty(n_inc, dtype=bool)
+                new_group[0] = True
+                np.not_equal(g_nodes[1:], g_nodes[:-1], out=new_group[1:])
+                starts = np.flatnonzero(new_group)
+                sizes = np.diff(np.append(starts, n_inc))
+                # 1-based rank within each node's increment run: the
+                # inclusive meeting count at that direction slot.
+                ranks = (
+                    np.arange(n_inc, dtype=np.int64)
+                    - np.repeat(starts, sizes)
+                    + 1
+                )
+                counts_flat = np.empty(n_inc, dtype=np.int64)
+                counts_flat[grouped] = ranks
+            else:
+                starts = np.zeros(0, dtype=np.int64)
+                sizes = np.zeros(0, dtype=np.int64)
+                counts_flat = np.zeros(0, dtype=np.int64)
+            n_a_side = int(np.count_nonzero(count_a_valid))
+            payload_x = np.full(total, -1, dtype=np.int64)
+            payload_y = np.full(total, -1, dtype=np.int64)
+            payload_x[count_a_valid] = counts_flat[:n_a_side]
+            payload_y[count_b_valid] = counts_flat[n_a_side:]
+            # Request births: the node's meeting count just before the
+            # request's position in the stream.
+            request_mask = sorted_kinds == EVENT_REQUEST
+            if request_mask.any():
+                group_of = {
+                    int(node): (int(lo), int(lo + size))
+                    for node, lo, size in zip(g_nodes[starts], starts, sizes)
+                }
+                req_positions = np.flatnonzero(request_mask)
+                births = np.zeros(len(req_positions), dtype=np.int64)
+                req_nodes = sorted_b[req_positions]
+                for node in np.unique(req_nodes):
+                    bounds_ = group_of.get(int(node))
+                    if bounds_ is None:
+                        continue
+                    lo, hi = bounds_
+                    sel = req_nodes == node
+                    births[sel] = np.searchsorted(
+                        g_idx[lo:hi], req_positions[sel], side="left"
+                    )
+                payload_x[req_positions] = births
+            events = list(
+                zip(
+                    self._event_kinds,
+                    self._event_times,
+                    self._event_a,
+                    self._event_b,
+                    payload_x.tolist(),
+                    payload_y.tolist(),
+                )
+            )
+        else:
+            events = list(
+                zip(
+                    self._event_kinds,
+                    self._event_times,
+                    self._event_a,
+                    self._event_b,
+                )
+            )
+        # Chunk the stream at the snapshot instants so the hot loops
+        # carry no per-event snapshot comparison: each chunk is the run
+        # of events strictly before one snapshot fires.  Snapshot times
+        # are generated by the same repeated float accumulation the
+        # per-event loop used (not np.arange), so the recorded instants
+        # are bit-identical; ``side='left'`` puts a snapshot at time s
+        # before any event at exactly s, matching the old ``t >= s``
+        # rule.
+        record_interval = self.config.record_interval
+        chunks: List[Tuple[List[Tuple[int, ...]], Optional[float]]] = []
+        if record_interval is not None:
+            snap_times: List[float] = []
+            s = 0.0
+            while s <= horizon:
+                snap_times.append(s)
+                s += record_interval
+            bounds = np.searchsorted(sorted_times, snap_times, side="left")
+            start = 0
+            for snap, bound in zip(snap_times, bounds):
+                chunks.append((events[start : int(bound)], snap))
+                start = int(bound)
+            chunks.append((events[start:], None))
+        else:
+            chunks.append((events, None))
+        self._chunks = chunks
 
     # ------------------------------------------------------------------
     # state manipulation (protocol-facing API)
@@ -292,6 +511,8 @@ class Simulation:
             for item in np.where(allocation[:, pos])[0]:
                 cache.add(int(item))
         self.counts = allocation.sum(axis=1).astype(np.int64)
+        for pos, node_id in enumerate(self.server_ids):
+            self.occupancy[int(node_id)] = allocation[:, pos] != 0
         self.sticky_owner = sticky_owner
         self._initialized = True
         if self.tracer is not None:
@@ -317,8 +538,11 @@ class Simulation:
         if item not in cache:
             return False  # refused: all slots sticky
         self.counts[item] += 1
+        occupancy_row = self.occupancy[node.node_id]
+        occupancy_row[item] = True
         if victim is not None:
             self.counts[victim] -= 1
+            occupancy_row[victim] = False
         elif len(cache) == before:  # pragma: no cover - defensive
             raise SimulationError("cache bookkeeping out of sync")
         if self.tracer is not None:
@@ -341,6 +565,7 @@ class Simulation:
         if cache is None or not cache.discard(item):
             return False
         self.counts[item] -= 1
+        self.occupancy[node.node_id, item] = False
         if self.tracer is not None:
             self.tracer.emit(
                 trace_events.REPLICA_DROP,
@@ -362,40 +587,19 @@ class Simulation:
     def run(self) -> SimulationResult:
         """Process all events and return the collected metrics."""
         timer = Stopwatch() if self._collect_manifest else None
-        times = self._event_times
-        kinds = self._event_kinds
-        args_a = self._event_a
-        args_b = self._event_b
-        fault_events = self._fault_events
-        record_interval = self.config.record_interval
-        next_snapshot = 0.0 if record_interval is not None else math.inf
-        # Handler selection instead of per-event branching: untraced
-        # runs use the bare handlers (the hot path is byte-for-byte the
-        # pre-tracing loop), traced runs use wrappers that maintain
-        # ``self._now`` for emissions from inside protocol hooks.
-        if self.tracer is None:
-            handle_contact = self._handle_contact
-            handle_request = self._handle_request
-            handle_fault = self._apply_fault
+        # Loop specialization instead of per-event branching: untraced
+        # fault-free runs take the fully inlined plain loop (no tracer,
+        # online, or drop-probability tests at all), untraced runs with
+        # fault injection add exactly those tests back, and traced runs
+        # use the _traced_* handler duplicates.  All three consume the
+        # same pre-chunked event stream, so snapshot instants and event
+        # order are identical by construction.
+        if self.tracer is not None:
+            self._run_traced()
+        elif self.faults is None:
+            self._run_plain()
         else:
-            handle_contact = self._traced_contact
-            handle_request = self._traced_request
-            handle_fault = self._traced_fault
-        for k in range(len(times)):
-            t = times[k]
-            while t >= next_snapshot:
-                self._take_snapshot(next_snapshot)
-                next_snapshot += record_interval  # type: ignore[operator]
-            kind = kinds[k]
-            if kind == EVENT_CONTACT:
-                handle_contact(t, args_a[k], args_b[k])
-            elif kind == EVENT_REQUEST:
-                handle_request(t, args_a[k], args_b[k])
-            else:
-                handle_fault(t, fault_events[args_a[k]])
-        while next_snapshot <= self.trace.duration:
-            self._take_snapshot(next_snapshot)
-            next_snapshot += record_interval  # type: ignore[operator]
+            self._run_with_faults()
         n_unfulfilled = self._settle_unfulfilled()
         manifest = None
         if timer is not None:
@@ -406,7 +610,7 @@ class Simulation:
                 protocol=self.protocol.name,
                 wall_s=timer.wall,
                 cpu_s=timer.cpu,
-                n_events=len(times),
+                n_events=len(self._event_times),
             ).to_dict()
         result = self.metrics.build_result(
             self.counts, n_unfulfilled, manifest=manifest
@@ -599,87 +803,230 @@ class Simulation:
         self._apply_fault(t, event)
 
     # ------------------------------------------------------------------
-    # event handlers
+    # specialized event loops
+    #
+    # Three copies of the event loop over the pre-chunked stream, one
+    # per (tracing, faults) mode.  The plain loop inlines request
+    # bookkeeping and skips exchange calls whose early-return guards
+    # (non-server provider, empty outstanding table) are visible from
+    # the flat state tables — those guards touch no state and no RNG,
+    # so eliding the call is bit-identical.  Keep the copies in sync:
+    # the equivalence tests in tests/sim/ compare all of them against
+    # sim/_reference.py.
     # ------------------------------------------------------------------
-    def _handle_request(self, t: float, item: int, node_id: int) -> None:
-        node = self.nodes[node_id]
-        if not node.online:
-            # The device is down; its user generates no request.
-            self.metrics.n_requests_offline += 1
-            return
-        self.metrics.record_generated()
-        if node.is_server and node.cache is not None and item in node.cache:
-            if self._skip_self:
-                self.metrics.record_skipped_self()
-                return
-            h0 = self._h0
-            if not math.isfinite(h0):
-                raise SimulationError(
-                    f"{self.config.utility.name} has h(0+) = inf and node "
-                    f"{node_id} requested item {item} it already caches; "
-                    "use self_request_policy='skip' or a dedicated-node "
-                    "scenario"
-                )
-            self.metrics.record_fulfillment(t, 0.0, h0, immediate=True)
-            return
-        node.add_request(Request(item, node_id, t))
+    def _run_plain(self) -> None:
+        """Untraced, fault-free: every node is permanently online.
 
-    def _handle_contact(self, t: float, a: int, b: int) -> None:
+        Consumes the widened event layout: contacts carry each
+        endpoint's precomputed inclusive server-meeting count (``-1``
+        when that direction's provider is not a server), requests carry
+        the node's count at creation (stashed in ``Request.counter``
+        and turned into the final query counter by subtraction at
+        fulfillment — see ``_fulfill_hits``).
+        """
         nodes = self.nodes
-        node_a = nodes[a]
-        node_b = nodes[b]
-        if not (node_a.online and node_b.online):
-            self.metrics.n_contacts_blocked += 1
-            return
-        if self._drop_prob > 0.0 and self._fault_rng is not None:
-            if self._fault_rng.random() < self._drop_prob:
-                self.metrics.n_contacts_dropped += 1
-                return
-        if (
-            self._hook_free_contact
-            and not node_a.outstanding
-            and not node_b.outstanding
-        ):
-            # Nothing to query in either direction and the protocol has
-            # no contact hook: the meeting is a no-op.
-            return
-        self._exchange(t, node_a, node_b)
-        self._exchange(t, node_b, node_a)
-        if not self._hook_free_contact:
-            self.protocol.after_contact(self, t, node_a, node_b)
+        outstanding_tbl = self._outstanding_tbl
+        cache_tbl = self._cache_tbl
+        mandates_tbl = self._mandates_tbl
+        metrics = self.metrics
+        record_fulfillment = metrics.record_fulfillment
+        fulfill_hits = self._fulfill_hits
+        fulfill_direction = self._fulfill_direction
+        hooked = not self._hook_free_contact
+        idle_hook = self._contact_hook_idle
+        after_contact = self.protocol.after_contact
+        skip_self = self._skip_self
+        h0 = self._h0
+        h0_finite = self._h0_finite
+        no_timeout = self._timeout is None
+        for events, snap in self._chunks:
+            for kind, t, a, b, x, y in events:
+                if kind == 2:  # EVENT_CONTACT; x/y = meeting counts
+                    out = outstanding_tbl[a]
+                    if out and x >= 0:
+                        if no_timeout:
+                            hits = out.keys() & cache_tbl[b]
+                            if hits:
+                                fulfill_hits(t, a, b, x, out, hits)
+                        else:
+                            fulfill_direction(t, a, b, x)
+                    out = outstanding_tbl[b]
+                    if out and y >= 0:
+                        if no_timeout:
+                            hits = out.keys() & cache_tbl[a]
+                            if hits:
+                                fulfill_hits(t, b, a, y, out, hits)
+                        else:
+                            fulfill_direction(t, b, a, y)
+                    if hooked and (
+                        not idle_hook or mandates_tbl[a] or mandates_tbl[b]
+                    ):
+                        after_contact(self, t, nodes[a], nodes[b])
+                else:  # EVENT_REQUEST: a = item, b = node, x = birth
+                    metrics.n_generated += 1
+                    if a in cache_tbl[b]:
+                        if skip_self:
+                            metrics.n_skipped_self += 1
+                        elif h0_finite:
+                            record_fulfillment(t, 0.0, h0, immediate=True)
+                        else:
+                            self._raise_infinite_h0(a, b)
+                    else:
+                        out = outstanding_tbl[b]
+                        request_list = out.get(a)
+                        if request_list is None:
+                            out[a] = [Request(a, b, t, x)]
+                        else:
+                            request_list.append(Request(a, b, t, x))
+            if snap is not None:
+                self._take_snapshot(snap)
 
-    def _exchange(
-        self, t: float, requester: NodeState, provider: NodeState
+    def _run_with_faults(self) -> None:
+        """Untraced with fault injection: online/drop tests restored.
+
+        Blocked and dropped contacts must not advance query counters,
+        so the per-node server-meeting counts are maintained here
+        dynamically instead of precomputed from the trace.
+        """
+        nodes = self.nodes
+        outstanding_tbl = self._outstanding_tbl
+        cache_tbl = self._cache_tbl
+        is_server_tbl = self._is_server_tbl
+        mandates_tbl = self._mandates_tbl
+        metrics = self.metrics
+        record_fulfillment = metrics.record_fulfillment
+        fulfill_direction = self._fulfill_direction
+        hooked = not self._hook_free_contact
+        idle_hook = self._contact_hook_idle
+        after_contact = self.protocol.after_contact
+        skip_self = self._skip_self
+        h0 = self._h0
+        h0_finite = self._h0_finite
+        drop_prob = self._drop_prob
+        fault_rng = self._fault_rng
+        fault_events = self._fault_events
+        meet_counts = [0] * len(nodes)
+        for events, snap in self._chunks:
+            for kind, t, a, b in events:
+                if kind == 2:  # EVENT_CONTACT
+                    node_a = nodes[a]
+                    node_b = nodes[b]
+                    if not (node_a.online and node_b.online):
+                        metrics.n_contacts_blocked += 1
+                        continue
+                    if drop_prob > 0.0 and fault_rng is not None:
+                        if fault_rng.random() < drop_prob:
+                            metrics.n_contacts_dropped += 1
+                            continue
+                    if is_server_tbl[b]:
+                        count = meet_counts[a] + 1
+                        meet_counts[a] = count
+                        if outstanding_tbl[a]:
+                            fulfill_direction(t, a, b, count)
+                    if is_server_tbl[a]:
+                        count = meet_counts[b] + 1
+                        meet_counts[b] = count
+                        if outstanding_tbl[b]:
+                            fulfill_direction(t, b, a, count)
+                    if hooked and (
+                        not idle_hook or mandates_tbl[a] or mandates_tbl[b]
+                    ):
+                        after_contact(self, t, node_a, node_b)
+                elif kind == 1:  # EVENT_REQUEST: a = item, b = node
+                    if not nodes[b].online:
+                        # The device is down; no request is generated.
+                        metrics.n_requests_offline += 1
+                        continue
+                    metrics.n_generated += 1
+                    if a in cache_tbl[b]:
+                        if skip_self:
+                            metrics.n_skipped_self += 1
+                        elif h0_finite:
+                            record_fulfillment(t, 0.0, h0, immediate=True)
+                        else:
+                            self._raise_infinite_h0(a, b)
+                    else:
+                        out = outstanding_tbl[b]
+                        request_list = out.get(a)
+                        if request_list is None:
+                            out[a] = [Request(a, b, t, meet_counts[b])]
+                        else:
+                            request_list.append(
+                                Request(a, b, t, meet_counts[b])
+                            )
+                else:  # EVENT_FAULT: a = fault index
+                    self._apply_fault(t, fault_events[a])
+            if snap is not None:
+                self._take_snapshot(snap)
+
+    def _run_traced(self) -> None:
+        """Traced: per-event handlers that interleave emission."""
+        fault_events = self._fault_events
+        handle_contact = self._traced_contact
+        handle_request = self._traced_request
+        handle_fault = self._traced_fault
+        for events, snap in self._chunks:
+            for kind, t, a, b in events:
+                if kind == EVENT_CONTACT:
+                    handle_contact(t, a, b)
+                elif kind == EVENT_REQUEST:
+                    handle_request(t, a, b)
+                else:
+                    handle_fault(t, fault_events[a])
+            if snap is not None:
+                self._take_snapshot(snap)
+
+    def _raise_infinite_h0(self, item: int, node_id: int) -> None:
+        raise SimulationError(
+            f"{self.config.utility.name} has h(0+) = inf and node "
+            f"{node_id} requested item {item} it already caches; "
+            "use self_request_policy='skip' or a dedicated-node "
+            "scenario"
+        )
+
+    def _fulfill_direction(
+        self, t: float, requester_id: int, provider_id: int, meet_count: int
     ) -> None:
-        """One direction of the metadata exchange: query and fulfill."""
-        if not provider.is_server:
-            return
-        outstanding = requester.outstanding
-        if not outstanding:
-            return
+        """One direction of the metadata exchange: expire, query, fulfill.
+
+        *meet_count* is the requester's server-meeting count including
+        this contact; a pending request's final query counter is
+        ``meet_count - request.counter`` (its count at creation).
+        """
+        outstanding = self._outstanding_tbl[requester_id]
         timeout = self._timeout
         if timeout is not None:
-            self._expire_requests(requester, t - timeout)
+            self._expire_requests(self.nodes[requester_id], t - timeout)
             if not outstanding:
                 return
-        provider_cache = provider.cache  # non-None: provider is a server
-        fulfilled = None
-        for item, request_list in outstanding.items():
-            for request in request_list:
-                request.counter += 1
-            if item in provider_cache:
-                if fulfilled is None:
-                    fulfilled = [item]
-                else:
-                    fulfilled.append(item)
-        if fulfilled is None:
-            return
+        hits = outstanding.keys() & self._cache_tbl[provider_id]
+        if hits:
+            self._fulfill_hits(
+                t, requester_id, provider_id, meet_count, outstanding, hits
+            )
+
+    def _fulfill_hits(
+        self,
+        t: float,
+        requester_id: int,
+        provider_id: int,
+        meet_count: int,
+        outstanding: Dict[int, List[Request]],
+        hits: AbstractSet[int],
+    ) -> None:
+        """Fulfill the *hits* items, in the requester's insertion order."""
+        if len(hits) < len(outstanding):
+            fulfilled = [item for item in outstanding if item in hits]
+        else:
+            fulfilled = list(outstanding)
         utility = self._utility
         h0 = self._h0
         isfinite = math.isfinite
         record_fulfillment = self.metrics.record_fulfillment
         notify = not self._hook_free_fulfill
         on_fulfill = self.protocol.on_fulfill
+        requester = self.nodes[requester_id]
+        provider = self.nodes[provider_id]
         for item in fulfilled:
             for request in outstanding.pop(item):
                 delay = t - request.created_at
@@ -691,7 +1038,12 @@ class Simulation:
                 record_fulfillment(t, delay, gain)
                 if notify:
                     on_fulfill(
-                        self, t, requester, provider, item, request.counter
+                        self,
+                        t,
+                        requester,
+                        provider,
+                        item,
+                        meet_count - request.counter,
                     )
 
     def _expire_requests(self, node: NodeState, deadline: float) -> None:

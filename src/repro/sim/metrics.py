@@ -17,6 +17,42 @@ __all__ = ["MetricsCollector", "SimulationResult"]
 class MetricsCollector:
     """Accumulates gains, delays, and time series during a run."""
 
+    __slots__ = (
+        "duration",
+        "n_items",
+        "window_length",
+        "record_interval",
+        "track_items",
+        "total_gain",
+        "n_generated",
+        "n_fulfilled",
+        "n_immediate",
+        "n_skipped_self",
+        "n_expired",
+        "delays",
+        "window_gains",
+        "window_fulfillments",
+        "snapshot_times",
+        "snapshot_mandates",
+        "_n_snapshots",
+        "_counts_buf",
+        "_track_idx",
+        "_tracked_buf",
+        "n_crashes",
+        "n_recoveries",
+        "n_replicas_lost",
+        "n_mandates_lost",
+        "n_requests_lost",
+        "n_requests_offline",
+        "n_contacts_blocked",
+        "n_contacts_dropped",
+        "total_downtime",
+        "fault_times",
+        "recovery_times",
+        "_offline_since",
+        "_pending_recoveries",
+    )
+
     def __init__(
         self,
         duration: float,
@@ -38,9 +74,12 @@ class MetricsCollector:
         self.n_skipped_self = 0
         self.n_expired = 0
         self.delays: List[float] = []
-        n_windows = int(np.ceil(duration / window_length))
-        self.window_gains = np.zeros(max(n_windows, 1))
-        self.window_fulfillments = np.zeros(max(n_windows, 1), dtype=np.int64)
+        n_windows = max(int(np.ceil(duration / window_length)), 1)
+        # Plain lists: per-fulfillment `arr[i] += g` on numpy scalars is
+        # several times slower than list item assignment on the hot path;
+        # build_result() converts to arrays once at the end.
+        self.window_gains: List[float] = [0.0] * n_windows
+        self.window_fulfillments: List[int] = [0] * n_windows
 
         self.snapshot_times: List[float] = []
         self.snapshot_mandates: List[IntArray] = []
@@ -247,8 +286,10 @@ class MetricsCollector:
                 float(np.percentile(delays, 95)) if len(delays) else float("nan")
             ),
             window_length=self.window_length,
-            window_gains=self.window_gains,
-            window_fulfillments=self.window_fulfillments,
+            window_gains=np.asarray(self.window_gains, dtype=float),
+            window_fulfillments=np.asarray(
+                self.window_fulfillments, dtype=np.int64
+            ),
             snapshot_times=np.asarray(self.snapshot_times),
             snapshot_counts=(
                 self._counts_buf[: self._n_snapshots].copy()

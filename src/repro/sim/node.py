@@ -14,12 +14,18 @@ class Request:
 
     __slots__ = ("item", "node", "created_at", "counter")
 
-    def __init__(self, item: int, node: int, created_at: float) -> None:
+    def __init__(
+        self, item: int, node: int, created_at: float, counter: int = 0
+    ) -> None:
         self.item = item
         self.node = node
         self.created_at = created_at
         #: Number of (server) meetings since creation — the QCR query count.
-        self.counter = 0
+        #: The fast engine loops instead stash the node's server-meeting
+        #: count *at creation* here and recover the final counter by
+        #: subtraction at fulfillment time; the traced path keeps the
+        #: eager per-meeting increments.
+        self.counter = counter
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

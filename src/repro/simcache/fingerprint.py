@@ -1,0 +1,232 @@
+"""Content-key derivation for the simulation run cache.
+
+The key must change whenever anything that can change the simulation
+output changes, and must be stable across processes and hosts otherwise.
+Array inputs are hashed by dtype/shape/bytes; scalars by exact ``repr``
+(floats round-trip); protocol instances by a structural walk over their
+attributes.  Anything the walk cannot prove stable (callables, open
+files, unknown extension types) raises :class:`UncacheableRunError`, and
+the caller runs uncached — correctness is never traded for a hit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import types
+from typing import Any, Optional
+
+import numpy as np
+
+from ..contacts import ContactTrace
+from ..demand import RequestSchedule
+from ..errors import ReproError
+from ..faults import FaultSchedule
+from ..protocols.base import ReplicationProtocol
+from ..sim.config import SimulationConfig
+
+__all__ = [
+    "UncacheableRunError",
+    "fingerprint_faults",
+    "fingerprint_protocol",
+    "fingerprint_requests",
+    "fingerprint_trace",
+    "run_key",
+]
+
+#: Recursion bound for the structural protocol walk; protocols that nest
+#: deeper than this are treated as uncacheable rather than guessed at.
+_MAX_DEPTH = 12
+
+
+class UncacheableRunError(ReproError):
+    """The run's inputs cannot be fingerprinted reliably.
+
+    Raised when the structural walk meets state with no stable content
+    representation (a callable, an unrecognized extension type, or
+    pathological nesting).  Callers should fall back to running the
+    simulation uncached.
+    """
+
+
+def _hash_array(array: np.ndarray) -> str:
+    digest = hashlib.sha256()
+    contiguous = np.ascontiguousarray(array)
+    digest.update(str(contiguous.dtype).encode("utf-8"))
+    digest.update(str(contiguous.shape).encode("utf-8"))
+    digest.update(contiguous.tobytes())
+    return digest.hexdigest()
+
+
+def _describe(value: Any, depth: int = 0) -> Any:
+    """A JSON-ready, content-stable description of *value*.
+
+    Covers the state actually found on protocol instances: primitives,
+    containers, dataclasses, numpy scalars/arrays, and plain objects
+    (``__dict__`` or ``__slots__``).  Everything else is uncacheable.
+    """
+    if depth > _MAX_DEPTH:
+        raise UncacheableRunError(
+            f"protocol state nests deeper than {_MAX_DEPTH} levels"
+        )
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (np.bool_, np.integer, np.floating)):
+        return repr(value.item())
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": _hash_array(value)}
+    if isinstance(value, (list, tuple)):
+        return [_describe(item, depth + 1) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return {
+            "__set__": sorted(
+                json.dumps(_describe(item, depth + 1), sort_keys=True)
+                for item in value
+            )
+        }
+    if isinstance(value, dict):
+        return {
+            "__dict__": sorted(
+                (
+                    json.dumps(_describe(key, depth + 1), sort_keys=True),
+                    _describe(item, depth + 1),
+                )
+                for key, item in value.items()
+            )
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__qualname__,
+            "fields": {
+                spec.name: _describe(getattr(value, spec.name), depth + 1)
+                for spec in dataclasses.fields(value)
+            },
+        }
+    attrs = _instance_attrs(value)
+    if attrs is not None:
+        return {
+            "__object__": f"{type(value).__module__}.{type(value).__qualname__}",
+            "attrs": {
+                name: _describe(item, depth + 1)
+                for name, item in sorted(attrs.items())
+            },
+        }
+    raise UncacheableRunError(
+        f"cannot fingerprint {type(value).__module__}."
+        f"{type(value).__qualname__} instances"
+    )
+
+
+def _instance_attrs(value: Any) -> Optional[dict]:
+    """Instance attributes of a plain object, or ``None`` if opaque.
+
+    Bare functions, lambdas, and bound methods are rejected outright:
+    their behavior is not captured by their attributes.  (Objects that
+    merely *define* ``__call__`` — the delay-utilities — are fine: their
+    behavior is fully determined by their parameters.)
+    """
+    if isinstance(
+        value,
+        (
+            types.FunctionType,
+            types.LambdaType,
+            types.MethodType,
+            types.BuiltinFunctionType,
+            types.BuiltinMethodType,
+        ),
+    ):
+        return None
+    attrs: dict = {}
+    instance_dict = getattr(value, "__dict__", None)
+    if isinstance(instance_dict, dict):
+        attrs.update(instance_dict)
+    for klass in type(value).__mro__:
+        for name in getattr(klass, "__slots__", ()):
+            if name.startswith("__") or name in attrs:
+                continue
+            if hasattr(value, name):
+                attrs[name] = getattr(value, name)
+    if not attrs and instance_dict is None:
+        return None
+    return attrs
+
+
+def fingerprint_trace(trace: ContactTrace) -> str:
+    """Content hash of a realized contact trace."""
+    digest = hashlib.sha256()
+    digest.update(_hash_array(np.asarray(trace.times)).encode("utf-8"))
+    digest.update(_hash_array(np.asarray(trace.node_a)).encode("utf-8"))
+    digest.update(_hash_array(np.asarray(trace.node_b)).encode("utf-8"))
+    digest.update(f"{trace.n_nodes}:{trace.duration!r}".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def fingerprint_requests(requests: RequestSchedule) -> str:
+    """Content hash of a realized request schedule."""
+    digest = hashlib.sha256()
+    digest.update(_hash_array(np.asarray(requests.times)).encode("utf-8"))
+    digest.update(_hash_array(np.asarray(requests.items)).encode("utf-8"))
+    digest.update(_hash_array(np.asarray(requests.nodes)).encode("utf-8"))
+    digest.update(repr(requests.duration).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def fingerprint_faults(faults: Optional[FaultSchedule]) -> str:
+    """Content hash of a fault schedule (``"none"`` when absent)."""
+    if faults is None:
+        return "none"
+    payload = json.dumps(_describe(faults), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def fingerprint_protocol(protocol: ReplicationProtocol) -> str:
+    """Structural content hash of a freshly built protocol instance.
+
+    Raises :class:`UncacheableRunError` when the instance holds state
+    with no stable representation.
+    """
+    payload = json.dumps(
+        {"name": protocol.name, "state": _describe(protocol)},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _engine_code_version() -> str:
+    # Imported lazily and read dynamically so a version bump (or a test
+    # monkeypatching it) is picked up by every subsequent key.
+    from ..sim import engine
+
+    return str(engine.ENGINE_CODE_VERSION)
+
+
+def run_key(
+    config: SimulationConfig,
+    protocol: ReplicationProtocol,
+    sim_seed: int,
+    trace: ContactTrace,
+    requests: RequestSchedule,
+    faults: Optional[FaultSchedule] = None,
+) -> str:
+    """The content key of one simulation run.
+
+    Any change to the configuration, the realized inputs, the protocol's
+    parameterization, the seed, the faults, or the engine code version
+    yields a different key.
+    """
+    payload = json.dumps(
+        {
+            "engine_version": _engine_code_version(),
+            "config": config.fingerprint(),
+            "sim_seed": int(sim_seed),
+            "trace": fingerprint_trace(trace),
+            "requests": fingerprint_requests(requests),
+            "faults": fingerprint_faults(faults),
+            "protocol": fingerprint_protocol(protocol),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,241 @@
+"""Disk storage for cached simulation runs.
+
+Entries live under ``<root>/<key[:2]>/<key>.json`` (two-level fan-out
+keeps directories small) and are written atomically (temp file +
+``os.replace``), so concurrent sweep workers — which share the parent's
+cache object through fork — can race on the same key without ever
+exposing a half-written entry.  Unreadable or malformed entries are
+logged as warnings and treated as misses; the cache never turns a
+corrupted file into a crash or a wrong result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Dict, Optional, Union
+
+from ..obs.log import get_logger
+from ..sim.metrics import SimulationResult
+
+__all__ = [
+    "DEFAULT_CACHE_ROOT",
+    "ENV_VAR",
+    "RunCacheStats",
+    "SimulationRunCache",
+    "resolve_run_cache",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Environment variable controlling the default cache.  Unset or empty
+#: disables caching; ``0``/``off``/``false``/``no`` disable explicitly;
+#: ``1``/``on``/``true``/``yes`` enable at :data:`DEFAULT_CACHE_ROOT`;
+#: anything else is used as the cache root path.
+ENV_VAR = "REPRO_SIM_CACHE"
+
+#: Where ``REPRO_SIM_CACHE=1`` (and ``run_cache=True``) put entries.
+DEFAULT_CACHE_ROOT = os.path.join(
+    os.path.expanduser("~"), ".cache", "repro", "simcache"
+)
+
+_FORMAT = "repro-simcache-entry"
+_VERSION = 1
+
+_OFF_VALUES = frozenset({"0", "off", "false", "no"})
+_ON_VALUES = frozenset({"1", "on", "true", "yes"})
+
+
+@dataclasses.dataclass
+class RunCacheStats:
+    """Hit/miss counters of one cache instance (this process only)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class SimulationRunCache:
+    """Content-addressed store of completed simulation results."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = os.fspath(root)
+        self.stats = RunCacheStats()
+        self._logger = get_logger("repro.simcache")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimulationRunCache(root={self.root!r})"
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for *key*, or ``None`` on a miss.
+
+        A corrupted entry (unreadable file, bad JSON, wrong format, or a
+        payload that no longer rebuilds) counts as a miss and logs a
+        warning — it is never allowed to crash the sweep.
+        """
+        from ..experiments.checkpoint import result_from_dict
+
+        path = self._entry_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, ValueError) as error:
+            self._warn_corrupt(path, f"unreadable entry: {error}")
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("format") != _FORMAT
+            or data.get("version") != _VERSION
+            or not isinstance(data.get("result"), dict)
+        ):
+            self._warn_corrupt(path, "not a valid cache entry")
+            return None
+        try:
+            result = result_from_dict(data["result"])
+        # Any malformed payload must degrade to a miss, whatever the
+        # rebuild raises.  # repro-lint: ignore[RPL007]
+        except Exception as error:
+            self._warn_corrupt(path, f"entry does not rebuild: {error}")
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(
+        self,
+        key: str,
+        result: SimulationResult,
+        *,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Store *result* under *key* (atomic, last writer wins)."""
+        from ..experiments.checkpoint import result_to_dict
+
+        payload: Dict[str, Any] = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "key": key,
+            "result": result_to_dict(result),
+        }
+        if meta:
+            payload["meta"] = meta
+        path = self._entry_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp_path = f"{path}.{os.getpid()}.tmp"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, path)
+        except OSError as error:
+            self.stats.errors += 1
+            self._logger.warning(
+                "cache write failed", path=path, error=str(error)
+            )
+            if os.path.exists(tmp_path):  # pragma: no cover - best effort
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
+            return
+        self.stats.stores += 1
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _entry_files(self) -> list:
+        entries = []
+        if not os.path.isdir(self.root):
+            return entries
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    entries.append(os.path.join(shard_dir, name))
+        return entries
+
+    def __len__(self) -> int:
+        return len(self._entry_files())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entry_files():
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError as error:  # pragma: no cover - race/permission
+                self._logger.warning(
+                    "could not remove cache entry", path=path, error=str(error)
+                )
+        return removed
+
+    def info(self) -> Dict[str, Any]:
+        """Entry count and total size, for ``repro cache info``."""
+        files = self._entry_files()
+        total_bytes = 0
+        for path in files:
+            try:
+                total_bytes += os.path.getsize(path)
+            except OSError:  # pragma: no cover - race
+                pass
+        return {
+            "root": self.root,
+            "n_entries": len(files),
+            "total_bytes": total_bytes,
+        }
+
+    def _warn_corrupt(self, path: str, reason: str) -> None:
+        self.stats.errors += 1
+        self.stats.misses += 1
+        self._logger.warning(
+            "skipping corrupted cache entry", path=path, reason=reason
+        )
+
+
+def resolve_run_cache(
+    setting: Union[None, bool, PathLike, SimulationRunCache] = None,
+) -> Optional[SimulationRunCache]:
+    """Resolve a ``run_cache`` argument to a cache instance (or None).
+
+    - ``None`` defers to :data:`ENV_VAR` (unset/empty/off -> disabled,
+      on -> :data:`DEFAULT_CACHE_ROOT`, anything else -> that path);
+    - ``False`` disables unconditionally (the ``--no-cache`` switch);
+    - ``True`` enables at the env-var path or the default root;
+    - a path enables at that root;
+    - an existing :class:`SimulationRunCache` is passed through.
+    """
+    if isinstance(setting, SimulationRunCache):
+        return setting
+    if setting is False:
+        return None
+    env = os.environ.get(ENV_VAR, "").strip()
+    if setting is True:
+        if env and env.lower() not in _OFF_VALUES | _ON_VALUES:
+            return SimulationRunCache(env)
+        return SimulationRunCache(DEFAULT_CACHE_ROOT)
+    if setting is not None:
+        return SimulationRunCache(setting)
+    # setting is None: environment decides.
+    if not env or env.lower() in _OFF_VALUES:
+        return None
+    if env.lower() in _ON_VALUES:
+        return SimulationRunCache(DEFAULT_CACHE_ROOT)
+    return SimulationRunCache(env)

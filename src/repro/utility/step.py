@@ -51,6 +51,8 @@ class StepUtility(DelayUtility):
 
     # -- primitives -----------------------------------------------------
     def __call__(self, t: ArrayLike) -> ArrayLike:
+        if isinstance(t, float):  # engine hot path (np.float64 included)
+            return 1.0 if t <= self._tau else 0.0
         t = np.asarray(t, dtype=float)
         result = np.where(t <= self._tau, 1.0, 0.0)
         return float(result) if result.ndim == 0 else result

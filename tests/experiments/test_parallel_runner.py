@@ -31,6 +31,19 @@ pytestmark = pytest.mark.skipif(
 )
 
 
+@pytest.fixture(autouse=True)
+def _many_cpus(monkeypatch):
+    """Pretend the machine has 8 cores.
+
+    The runner caps ``n_workers`` at ``os.cpu_count()``; on a 1-CPU CI
+    box that would silently route every ``n_workers=4`` test through
+    the serial path and stop exercising the pool.
+    """
+    import os
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+
+
 def trace_factory(seed):
     return homogeneous_poisson_trace(N, 0.1, DURATION, seed=seed)
 

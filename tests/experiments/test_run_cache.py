@@ -1,0 +1,280 @@
+"""Content-addressed simulation run cache: keys, store, sweep reuse.
+
+The cache contract has three legs:
+
+* **identity** — a hit returns a ``SimulationResult`` bit-identical to
+  the one that was stored; a second identical sweep performs *zero*
+  simulations;
+* **invalidation** — the key covers the engine code version, the config
+  fingerprint, the seed, and the trace/request/fault content, so
+  changing any of them is a miss;
+* **robustness** — a corrupted entry is a logged miss, never a crash or
+  a wrong result.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import numpy as np
+import pytest
+
+from repro.contacts import homogeneous_poisson_trace
+from repro.demand import DemandModel, generate_requests
+from repro.experiments import result_to_dict, run_comparison
+from repro.experiments import runner as runner_mod
+from repro.faults import FaultSchedule
+from repro.obs.log import set_log_stream
+from repro.protocols import prop_protocol, uni_protocol
+from repro.sim import SimulationConfig, simulate
+from repro.simcache import (
+    ENV_VAR,
+    SimulationRunCache,
+    UncacheableRunError,
+    resolve_run_cache,
+    run_key,
+)
+from repro.utility import StepUtility
+
+N, I, RHO = 8, 6, 2
+DURATION = 120.0
+
+
+def workload(seed=3):
+    demand = DemandModel.pareto(I, omega=1.0, total_rate=2.0)
+    trace = homogeneous_poisson_trace(N, 0.1, DURATION, seed=seed)
+    requests = generate_requests(demand, N, DURATION, seed=seed + 1)
+    return demand, trace, requests
+
+
+def config():
+    return SimulationConfig(n_items=I, rho=RHO, utility=StepUtility(5.0))
+
+
+def comparable(result):
+    data = result_to_dict(result)
+    data.pop("manifest", None)
+    return data
+
+
+def sweep(demand, config, cache, **kwargs):
+    return run_comparison(
+        trace_factory=lambda seed: homogeneous_poisson_trace(
+            N, 0.1, DURATION, seed=seed
+        ),
+        demand=demand,
+        config=config,
+        protocols={
+            "OPT": lambda tr, rq: prop_protocol(demand, tr.n_nodes, RHO),
+            "UNI": lambda tr, rq: uni_protocol(demand, tr.n_nodes, RHO),
+        },
+        n_trials=2,
+        base_seed=11,
+        run_cache=cache,
+        **kwargs,
+    )
+
+
+class TestRunKey:
+    def test_deterministic_and_sensitive(self):
+        demand, trace, requests = workload()
+        protocol = prop_protocol(demand, N, RHO)
+        key = run_key(config(), protocol, 5, trace, requests)
+        assert key == run_key(config(), protocol, 5, trace, requests)
+        assert key != run_key(config(), protocol, 6, trace, requests)
+        other_cfg = SimulationConfig(
+            n_items=I, rho=RHO, utility=StepUtility(9.0)
+        )
+        assert key != run_key(other_cfg, protocol, 5, trace, requests)
+
+    def test_trace_and_fault_content_in_key(self):
+        demand, trace, requests = workload()
+        protocol = prop_protocol(demand, N, RHO)
+        key = run_key(config(), protocol, 5, trace, requests)
+        _, other_trace, _ = workload(seed=8)
+        assert key != run_key(config(), protocol, 5, other_trace, requests)
+        faults = FaultSchedule(drop_prob=0.2, seed=1)
+        assert key != run_key(
+            config(), protocol, 5, trace, requests, faults=faults
+        )
+
+    def test_engine_version_bump_changes_key(self, monkeypatch):
+        import repro.sim.engine as engine_mod
+
+        demand, trace, requests = workload()
+        protocol = prop_protocol(demand, N, RHO)
+        before = run_key(config(), protocol, 5, trace, requests)
+        monkeypatch.setattr(
+            engine_mod, "ENGINE_CODE_VERSION", "9999.99-test-bump"
+        )
+        after = run_key(config(), protocol, 5, trace, requests)
+        assert before != after
+
+    def test_callable_input_is_uncacheable(self):
+        demand, trace, requests = workload()
+        protocol = prop_protocol(demand, N, RHO)
+        protocol.hook = lambda: None  # plain lambdas have no stable key
+        with pytest.raises(UncacheableRunError):
+            run_key(config(), protocol, 5, trace, requests)
+
+
+class TestStore:
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        demand, trace, requests = workload()
+        result = simulate(
+            trace, requests, config(), prop_protocol(demand, N, RHO), seed=5
+        )
+        cache = SimulationRunCache(tmp_path / "cache")
+        cache.put("ab" + "0" * 62, result)
+        loaded = cache.get("ab" + "0" * 62)
+        assert loaded is not None
+        assert comparable(loaded) == comparable(result)
+        assert cache.stats.stores == 1 and cache.stats.hits == 1
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        cache = SimulationRunCache(tmp_path / "cache")
+        assert cache.get("ff" + "0" * 62) is None
+        assert cache.stats.misses == 1 and cache.stats.errors == 0
+
+    def test_corrupted_entry_warns_and_misses(self, tmp_path):
+        demand, trace, requests = workload()
+        result = simulate(
+            trace, requests, config(), prop_protocol(demand, N, RHO), seed=5
+        )
+        cache = SimulationRunCache(tmp_path / "cache")
+        key = "cd" + "0" * 62
+        cache.put(key, result)
+        path = cache._entry_path(key)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{ this is not json")
+        stream = io.StringIO()
+        set_log_stream(stream)
+        try:
+            assert cache.get(key) is None
+        finally:
+            set_log_stream(None)
+        assert cache.stats.errors == 1
+        assert "corrupted cache entry" in stream.getvalue()
+
+    def test_clear_and_info(self, tmp_path):
+        demand, trace, requests = workload()
+        result = simulate(
+            trace, requests, config(), prop_protocol(demand, N, RHO), seed=5
+        )
+        cache = SimulationRunCache(tmp_path / "cache")
+        cache.put("aa" + "0" * 62, result)
+        cache.put("bb" + "0" * 62, result)
+        assert len(cache) == 2
+        assert cache.info()["n_entries"] == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestResolve:
+    def test_false_disables(self):
+        assert resolve_run_cache(False) is None
+
+    def test_env_unset_disables(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert resolve_run_cache(None) is None
+
+    def test_env_off_values_disable(self, monkeypatch):
+        for value in ("0", "off", "false", "no", ""):
+            monkeypatch.setenv(ENV_VAR, value)
+            assert resolve_run_cache(None) is None
+
+    def test_env_path_enables_there(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "c"))
+        cache = resolve_run_cache(None)
+        assert cache is not None
+        assert cache.root == str(tmp_path / "c")
+
+    def test_explicit_path_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_VAR, "off")
+        cache = resolve_run_cache(tmp_path / "mine")
+        assert cache is not None and cache.root == str(tmp_path / "mine")
+
+    def test_instance_passes_through(self, tmp_path):
+        cache = SimulationRunCache(tmp_path)
+        assert resolve_run_cache(cache) is cache
+
+
+class TestSweepCaching:
+    def test_second_sweep_runs_zero_simulations(self, monkeypatch, tmp_path):
+        demand = DemandModel.pareto(I, omega=1.0, total_rate=2.0)
+        cache = SimulationRunCache(tmp_path / "cache")
+
+        calls = {"n": 0}
+        real_simulate = runner_mod.simulate
+
+        def counting_simulate(*args, **kwargs):
+            calls["n"] += 1
+            return real_simulate(*args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "simulate", counting_simulate)
+
+        first = sweep(demand, config(), cache)
+        assert calls["n"] == 4  # 2 trials x 2 protocols
+        assert cache.stats.hits == 0 and cache.stats.misses == 4
+        assert all(t.status == "ok" for t in first.telemetry)
+        assert first.manifest["run_cache"]["misses"] == 4
+
+        second = sweep(demand, config(), cache)
+        assert calls["n"] == 4  # unchanged: every unit was a cache hit
+        assert cache.stats.hits == 4
+        assert all(t.status == "cached" for t in second.telemetry)
+        assert second.manifest["run_cache"]["hits"] == 4
+        for name in first.stats:
+            assert np.array_equal(
+                first.stats[name].gain_rates, second.stats[name].gain_rates
+            )
+
+    def test_engine_version_bump_invalidates_sweep(
+        self, monkeypatch, tmp_path
+    ):
+        import repro.sim.engine as engine_mod
+
+        demand = DemandModel.pareto(I, omega=1.0, total_rate=2.0)
+        cache = SimulationRunCache(tmp_path / "cache")
+        sweep(demand, config(), cache)
+        assert cache.stats.misses == 4
+
+        monkeypatch.setattr(
+            engine_mod, "ENGINE_CODE_VERSION", "9999.99-test-bump"
+        )
+        again = sweep(demand, config(), cache)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 8
+        assert all(t.status == "ok" for t in again.telemetry)
+
+    def test_no_cache_leaves_manifest_clean(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        demand = DemandModel.pareto(I, omega=1.0, total_rate=2.0)
+        result = sweep(demand, config(), None)
+        assert "run_cache" not in result.manifest
+
+
+class TestWorkerCap:
+    def test_workers_capped_at_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        demand = DemandModel.pareto(I, omega=1.0, total_rate=2.0)
+        stream = io.StringIO()
+        set_log_stream(stream)
+        try:
+            result = sweep(demand, config(), None, n_workers=4)
+        finally:
+            set_log_stream(None)
+        assert result.manifest["n_workers"] == 2
+        assert "capping sweep workers" in stream.getvalue()
+
+    def test_single_effective_worker_bypasses_pool(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+
+        def no_pool(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("pool must not be used with 1 worker")
+
+        monkeypatch.setattr(runner_mod, "_run_units_parallel", no_pool)
+        demand = DemandModel.pareto(I, omega=1.0, total_rate=2.0)
+        result = sweep(demand, config(), None, n_workers=4)
+        assert result.manifest["n_workers"] == 1

@@ -20,6 +20,15 @@ N, I, RHO = 8, 6, 2
 N_TRIALS = 3
 
 
+@pytest.fixture(autouse=True)
+def _many_cpus(monkeypatch):
+    """Pretend the machine has 8 cores so ``n_workers=2`` tests stay
+    on the pool path (the runner caps workers at ``os.cpu_count()``)."""
+    import os
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+
+
 def make_protocols(demand):
     return {
         "OPT": lambda tr, rq: prop_protocol(demand, tr.n_nodes, RHO),
