@@ -1,0 +1,215 @@
+"""Atomic work-unit leases with heartbeat renewal and TTL expiry.
+
+A lease is one JSON file under ``<queue>/leases/<unit>.json``.  The
+protocol is built entirely from two filesystem primitives that are
+atomic on POSIX filesystems (including the shared-filesystem,
+multi-host case):
+
+* *claim* — ``open(O_CREAT | O_EXCL)``: exactly one worker wins the
+  race to create the lease file;
+* *renew* — atomic replace of the lease file with a later deadline,
+  done by the holder's heartbeat (typically every ``ttl / 3``).
+
+A worker that is SIGKILLed, hangs, or loses its host simply stops
+renewing; once ``now > deadline`` the lease is *stale* and the
+supervisor reaps it (deletes the file), returning the unit to the
+claimable pool.  Reaping a lease its holder still believes in is safe:
+units are deterministic, results are published by atomic rename, and
+two workers racing the same unit publish identical bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Dict, List, Optional, Union
+
+from ..durable import atomic_write_json
+from ..obs.log import get_logger
+from ..obs.manifest import worker_provenance
+from .clock import Clock, SystemClock
+
+__all__ = ["Lease", "LeaseManager"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Lease:
+    """One worker's claim on one work unit."""
+
+    unit: str
+    worker: str
+    host: str
+    pid: int
+    claim: int
+    acquired_at: float
+    deadline: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Lease":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class LeaseManager:
+    """Claims, renewals, and stale-lease reaping for one queue."""
+
+    def __init__(
+        self,
+        root: PathLike,
+        *,
+        ttl: float,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be > 0, got {ttl}")
+        self.root = os.fspath(root)
+        self.ttl = float(ttl)
+        self.clock: Clock = clock if clock is not None else SystemClock()
+        self._logger = get_logger("repro.dist.leases")
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, unit: str) -> str:
+        return os.path.join(self.root, f"{unit}.json")
+
+    # ------------------------------------------------------------------
+    # the holder's side
+    # ------------------------------------------------------------------
+    def try_claim(self, unit: str, worker: str, claim: int) -> Optional[Lease]:
+        """Attempt to claim *unit*; ``None`` when another holder won.
+
+        The fully written lease body is moved into place with one
+        atomic ``os.link`` (the classic lockfile pattern, atomic even
+        on shared/NFS filesystems): either the complete lease appears,
+        or the claim loses.  No reader can ever observe a half-claimed
+        lease, so reapers never mistake a fresh claim for a stale one.
+        """
+        path = self._path(unit)
+        if os.path.exists(path):
+            return None
+        now = self.clock.now()
+        identity = worker_provenance(worker)
+        lease = Lease(
+            unit=unit,
+            worker=worker,
+            host=str(identity["host"]),
+            pid=int(identity["pid"]),
+            claim=int(claim),
+            acquired_at=now,
+            deadline=now + self.ttl,
+        )
+        staging = f"{path}.{identity['pid']}.claim"
+        atomic_write_json(staging, lease.to_dict(), fsync=True)
+        try:
+            os.link(staging, path)
+        except FileExistsError:
+            return None
+        finally:
+            try:
+                os.remove(staging)
+            except OSError:  # pragma: no cover - race
+                pass
+        return lease
+
+    def renew(self, lease: Lease) -> Optional[Lease]:
+        """Heartbeat: extend the deadline; ``None`` when the lease is lost.
+
+        A lease disappears when the supervisor reaped it as stale (the
+        holder was presumed dead).  The holder must then stop publishing
+        heartbeats for it — finishing the unit is still safe, but the
+        unit may legitimately be claimed by someone else.
+        """
+        path = self._path(lease.unit)
+        current = self.read(lease.unit)
+        if current is None or current.worker != lease.worker:
+            return None
+        renewed = dataclasses.replace(
+            lease, deadline=self.clock.now() + self.ttl
+        )
+        atomic_write_json(path, renewed.to_dict(), fsync=False)
+        return renewed
+
+    def release(self, lease: Lease) -> None:
+        """Drop the claim (unit completed or handed back)."""
+        try:
+            os.remove(self._path(lease.unit))
+        except FileNotFoundError:
+            pass
+
+    def release_if_held(self, lease: Lease) -> bool:
+        """Release only if *lease* is still the current claim.
+
+        A worker whose lease was reaped (and possibly re-claimed by
+        someone else) must not delete the new holder's lease file on
+        its way out.  The read-then-delete window is unsynchronized,
+        but losing that race only costs a duplicated execution, which
+        determinism makes benign.
+        """
+        current = self.read(lease.unit)
+        if current is None or current.worker != lease.worker:
+            return False
+        self.release(lease)
+        return True
+
+    # ------------------------------------------------------------------
+    # the supervisor's side
+    # ------------------------------------------------------------------
+    def read(self, unit: str) -> Optional[Lease]:
+        """The current lease on *unit*, or ``None``.
+
+        An unreadable/corrupt lease file (torn by a crash before the
+        first durable write landed) reads as *expired at epoch*, so the
+        reaper clears it rather than wedging the unit forever.
+        """
+        path = self._path(unit)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            return Lease.from_dict(data)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, TypeError, ValueError):
+            self._logger.warning(
+                "corrupt lease file treated as stale", path=path
+            )
+            return Lease(
+                unit=unit,
+                worker="<corrupt>",
+                host="",
+                pid=0,
+                claim=0,
+                acquired_at=0.0,
+                deadline=0.0,
+            )
+
+    def is_stale(self, lease: Lease) -> bool:
+        return self.clock.now() > lease.deadline
+
+    def active(self) -> List[Lease]:
+        """Every currently held (live or stale) lease."""
+        leases = []
+        try:
+            names = sorted(os.listdir(self.root))
+        except FileNotFoundError:
+            return []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            lease = self.read(name[: -len(".json")])
+            if lease is not None:
+                leases.append(lease)
+        return leases
+
+    def reap_stale(self) -> List[Lease]:
+        """Delete every stale lease; returns what was reaped."""
+        reaped = []
+        for lease in self.active():
+            if self.is_stale(lease):
+                self.release(lease)
+                reaped.append(lease)
+        return reaped

@@ -2,7 +2,8 @@
 
 A :class:`ComparisonCheckpoint` persists every completed
 ``(trial, protocol)`` simulation of :func:`repro.experiments.run_comparison`
-to a single JSON file, written atomically after each run.  Interrupting a
+to a single JSON file, written atomically and durably (fsync on the
+file and its directory) after each run.  Interrupting a
 sweep (crash, preemption, Ctrl-C) and re-invoking it with the same
 checkpoint path resumes exactly where it stopped: completed runs are
 loaded back as full :class:`~repro.sim.metrics.SimulationResult` objects
@@ -24,6 +25,7 @@ from typing import Any, Dict, Optional, Sequence, Union
 
 import numpy as np
 
+from ..durable import atomic_write_json
 from ..errors import ConfigurationError
 from ..sim.metrics import SimulationResult
 
@@ -212,7 +214,7 @@ class ComparisonCheckpoint:
         }
         if self.manifest is not None:
             payload["manifest"] = self.manifest
-        tmp_path = f"{os.fspath(self.path)}.tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp_path, self.path)
+        # Atomic + fsync (file and parent directory): a host power loss
+        # mid-save must leave either the previous checkpoint or the new
+        # one, never a truncated rename (see repro.durable).
+        atomic_write_json(self.path, payload, fsync=True)

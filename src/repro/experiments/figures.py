@@ -22,7 +22,15 @@ the shapes, orderings, and crossovers are the reproduction targets.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -57,6 +65,9 @@ from .scenarios import (
     standard_protocols,
     vehicular_scenario,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dist.executors import ExecutorLike
 
 __all__ = [
     "SweepPanel",
@@ -151,6 +162,7 @@ def _sweep(
     progress: Optional[ProgressLike] = None,
     profile_dir: Optional[PathLike] = None,
     run_cache: RunCacheLike = None,
+    executor: "ExecutorLike" = None,
 ) -> SweepPanel:
     losses: Dict[str, List[float]] = {name: [] for name in include}
     logger = get_logger("repro.experiments.figures")
@@ -172,6 +184,7 @@ def _sweep(
             progress=progress,
             profile_dir=profile_dir,
             run_cache=run_cache,
+            executor=executor,
         )
         for name in include:
             losses[name].append(comparison.normalized_loss(name))
@@ -322,6 +335,7 @@ def figure3(
     progress: Optional[ProgressLike] = None,
     profile_dir: Optional[PathLike] = None,
     run_cache: RunCacheLike = None,
+    executor: "ExecutorLike" = None,
 ) -> Figure3Result:
     """Reproduce Figure 3 (homogeneous contacts, power ``alpha = 0``).
 
@@ -356,6 +370,7 @@ def figure3(
         progress=progress,
         profile_dir=profile_dir,
         run_cache=run_cache,
+        executor=executor,
     )
 
     def first(name: str) -> SimulationResult:
@@ -463,6 +478,7 @@ def figure4(
     progress: Optional[ProgressLike] = None,
     profile_dir: Optional[PathLike] = None,
     run_cache: RunCacheLike = None,
+    executor: "ExecutorLike" = None,
 ) -> Figure4Result:
     """Reproduce Figure 4 (homogeneous contacts)."""
     profile = profile or current_profile()
@@ -496,6 +512,7 @@ def figure4(
         progress=progress,
         profile_dir=profile_dir,
         run_cache=run_cache,
+        executor=executor,
     )
     step_panel = _sweep(
         step_scenario,
@@ -508,6 +525,7 @@ def figure4(
         progress=progress,
         profile_dir=profile_dir,
         run_cache=run_cache,
+        executor=executor,
     )
     return Figure4Result(power_panel=power_panel, step_panel=step_panel)
 
@@ -540,6 +558,7 @@ def figure5(
     progress: Optional[ProgressLike] = None,
     profile_dir: Optional[PathLike] = None,
     run_cache: RunCacheLike = None,
+    executor: "ExecutorLike" = None,
 ) -> Figure5Result:
     """Reproduce Figure 5 (conference trace, step delay-utility).
 
@@ -578,6 +597,7 @@ def figure5(
         progress=progress,
         profile_dir=profile_dir,
         run_cache=run_cache,
+        executor=executor,
     )
     reference = comparison.stats["QCR"].results[0]
     window_times = (
@@ -609,6 +629,7 @@ def figure5(
         progress=progress,
         profile_dir=profile_dir,
         run_cache=run_cache,
+        executor=executor,
     )
     synthesized_panel = _sweep(
         lambda tau: scenario_for("synthesized", tau),
@@ -621,6 +642,7 @@ def figure5(
         progress=progress,
         profile_dir=profile_dir,
         run_cache=run_cache,
+        executor=executor,
     )
     return Figure5Result(
         utility_over_time=time_panel,
@@ -656,6 +678,7 @@ def figure6(
     progress: Optional[ProgressLike] = None,
     profile_dir: Optional[PathLike] = None,
     run_cache: RunCacheLike = None,
+    executor: "ExecutorLike" = None,
 ) -> Figure6Result:
     """Reproduce Figure 6 (vehicular trace, three utility families)."""
     profile = profile or current_profile()
@@ -681,6 +704,7 @@ def figure6(
         progress=progress,
         profile_dir=profile_dir,
         run_cache=run_cache,
+        executor=executor,
     )
     step_panel = _sweep(
         lambda tau: scenario_for(StepUtility(tau)),
@@ -693,6 +717,7 @@ def figure6(
         progress=progress,
         profile_dir=profile_dir,
         run_cache=run_cache,
+        executor=executor,
     )
     exponential_panel = _sweep(
         lambda nu: scenario_for(ExponentialUtility(nu)),
@@ -705,6 +730,7 @@ def figure6(
         progress=progress,
         profile_dir=profile_dir,
         run_cache=run_cache,
+        executor=executor,
     )
     return Figure6Result(
         power_panel=power_panel,

@@ -31,10 +31,17 @@ behavior):
   file, so checkpoint/resume and the ``on_error`` policies compose
   unchanged;
 * *telemetry* — every run yields a :class:`RunTelemetry` record (stage
-  timings, attempts, outcome) merged into ``ComparisonResult.telemetry``
-  in deterministic trial-major order regardless of worker completion
-  order; ``progress`` enables a live reporter (structured log lines or
-  a user callback) and ``profile_dir`` dumps per-worker cProfile stats.
+  timings, attempts, outcome, executing worker) merged into
+  ``ComparisonResult.telemetry`` in deterministic trial-major order
+  regardless of worker completion order; ``progress`` enables a live
+  reporter (structured log lines or a user callback) and
+  ``profile_dir`` dumps per-worker cProfile stats;
+* *pluggable executors* — ``executor`` selects the backend that runs
+  the pending units (see :mod:`repro.dist`): the in-process serial
+  walk, the fork pool, or the fault-tolerant work-queue backend whose
+  independent workers coordinate through leases on a (possibly shared)
+  filesystem and survive SIGKILL at any instruction.  All backends
+  produce bit-identical statistics.
 """
 
 from __future__ import annotations
@@ -48,6 +55,7 @@ import warnings
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -62,6 +70,7 @@ import numpy as np
 
 from ..contacts import ContactTrace
 from ..demand import DemandModel, RequestSchedule, generate_requests
+from ..durable import truncate_error_text
 from ..errors import ConfigurationError, SimulationError
 from ..faults import FaultSchedule
 from ..obs.log import get_logger
@@ -77,6 +86,9 @@ from ..simcache import (
 )
 from ..types import FloatArray
 from .checkpoint import ComparisonCheckpoint, PathLike
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only (dist imports us lazily)
+    from ..dist.executors import ExecutorLike, SweepSpec
 
 __all__ = [
     "TrialInputs",
@@ -134,6 +146,9 @@ class RunTelemetry:
     setup_wall_s: float = 0.0
     attempts: int = 0
     gain_rate: Optional[float] = None
+    #: Which worker executed the run — ``None`` for in-process execution,
+    #: a work-queue worker id (``"w0"``, …) under the distributed backend.
+    worker: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -379,16 +394,24 @@ def _execute_run(
     retry_backoff: float,
     max_backoff: float,
     cache: Optional[SimulationRunCache] = None,
-) -> Tuple[Optional[SimulationResult], Optional[str], Dict[str, float]]:
+) -> Tuple[
+    Optional[SimulationResult],
+    Optional[str],
+    Dict[str, float],
+    Optional[str],
+]:
     """One (trial, protocol) run with the retry/skip policy applied.
 
-    Returns ``(result, None, timing)`` on success and ``(None, error
-    string, timing)`` after all attempts failed; with
-    ``on_error="raise"`` the first failure propagates (identical in
+    Returns ``(result, None, timing, run_key)`` on success and
+    ``(None, error string, timing, run_key)`` after all attempts failed;
+    with ``on_error="raise"`` the first failure propagates (identical in
     workers and in the serial loop).  *timing* reports the simulate
     stage's wall/CPU seconds (backoff sleeps excluded) and the number
     of attempts actually made; with a *cache* it also carries a
-    ``"cache"`` marker (hit / miss / uncacheable).
+    ``"cache"`` marker (hit / miss / uncacheable).  *run_key* is the
+    run's content-address when a cache is in use and the inputs were
+    fingerprintable (``None`` otherwise) — the distributed backend
+    records it with every published result.
 
     With a run cache, a content-key hit returns the stored result with
     zero attempts — no simulation happens; a completed miss is stored
@@ -423,12 +446,13 @@ def _execute_run(
         if cache_key is not None:
             cached = cache.get(cache_key)
             if cached is not None:
-                return cached, None, {
+                hit_timing = {
                     "wall_s": 0.0,
                     "cpu_s": 0.0,
                     "attempts": 0.0,
                     "cache": _CACHE_HIT,
                 }
+                return cached, None, hit_timing, cache_key
     result: Optional[SimulationResult] = None
     last_error: Optional[BaseException] = None
     wall_s = 0.0
@@ -472,8 +496,9 @@ def _execute_run(
     if result is not None:
         if cache is not None and cache_key is not None:
             cache.put(cache_key, result)
-        return result, None, timing
-    return None, f"{type(last_error).__name__}: {last_error}", timing
+        return result, None, timing, cache_key
+    error_text = f"{type(last_error).__name__}: {last_error}"
+    return None, error_text, timing, cache_key
 
 
 def _run_status(
@@ -577,7 +602,7 @@ def _pool_run(
     if profiler is not None:
         profiler.enable()
     try:
-        result, error, timing = _execute_run(
+        result, error, timing, _ = _execute_run(
             context["protocols"][name],
             inputs,
             context["config"],
@@ -596,52 +621,160 @@ def _pool_run(
     return trial, name, result, error, timing
 
 
+class _SweepAccounting:
+    """Per-unit bookkeeping shared by every executor.
+
+    Executors report each finished unit through :meth:`record`; the
+    parent owns the outcome maps, the checkpoint file, live progress,
+    the cache hit/miss counters, and the failure-text byte bound — so
+    all of those behave identically whichever backend ran the unit.
+    """
+
+    def __init__(
+        self,
+        *,
+        checkpoint: Optional[ComparisonCheckpoint],
+        reporter: Optional[_ProgressReporter],
+        cache_counts: Dict[str, int],
+        attempts_per_run: int,
+    ) -> None:
+        self.results_map: Dict[Tuple[int, str], SimulationResult] = {}
+        self.failures_map: Dict[Tuple[int, str], TrialFailure] = {}
+        self.telemetry_map: Dict[Tuple[int, str], RunTelemetry] = {}
+        self.checkpoint = checkpoint
+        self.reporter = reporter
+        self.cache_counts = cache_counts
+        self.attempts_per_run = attempts_per_run
+
+    def record(
+        self,
+        trial: int,
+        name: str,
+        result: Optional[SimulationResult],
+        error: Optional[str],
+        timing: Dict[str, float],
+        *,
+        worker: Optional[str] = None,
+        attempts: Optional[int] = None,
+    ) -> None:
+        """One finished ``(trial, protocol)`` unit, success or failure.
+
+        *worker*/*attempts* are distributed-backend attribution: which
+        worker ran the unit and how many claims its failure consumed.
+        """
+        _count_cache_marker(self.cache_counts, timing.get("cache"))
+        telemetry = RunTelemetry(
+            trial=trial,
+            protocol=name,
+            status=_run_status(result, timing),
+            wall_s=timing.get("wall_s", 0.0),
+            cpu_s=timing.get("cpu_s", 0.0),
+            setup_wall_s=timing.get("setup_wall_s", 0.0),
+            attempts=int(timing.get("attempts", 0)),
+            gain_rate=result.gain_rate if result is not None else None,
+            worker=worker,
+        )
+        self.telemetry_map[(trial, name)] = telemetry
+        if self.reporter is not None:
+            self.reporter.report(telemetry)
+        if result is None:
+            self.failures_map[(trial, name)] = TrialFailure(
+                trial=trial,
+                protocol=name,
+                error=truncate_error_text(error or "unknown error"),
+                attempts=(
+                    attempts
+                    if attempts is not None
+                    else self.attempts_per_run
+                ),
+            )
+            return
+        self.results_map[(trial, name)] = result
+        if self.checkpoint is not None:
+            self.checkpoint.record(trial, name, result)
+
+
+def _run_units_serial(
+    units: List[_WorkUnit],
+    spec: "SweepSpec",
+    record: Callable[..., None],
+) -> None:
+    """The historical in-order walk, reported through *record*.
+
+    Trial inputs are realized once per trial and reused across the
+    trial's protocols (units arrive trial-major).
+    """
+    inputs: Optional[TrialInputs] = None
+    current_trial = -1
+    profiler = _process_profiler(spec.profile_dir)
+    for unit in units:
+        trial, name = unit[0], unit[1]
+        setup_wall = 0.0
+        if trial != current_trial:
+            setup_timer = Stopwatch()
+            inputs = _build_trial_inputs(
+                spec.trace_factory, spec.demand, spec.n_clients, unit[2:]
+            )
+            setup_timer.stop()
+            setup_wall = setup_timer.wall
+            current_trial = trial
+        assert inputs is not None
+        trial_faults = (
+            spec.faults(trial) if callable(spec.faults) else spec.faults
+        )
+        if profiler is not None:
+            profiler.enable()
+        try:
+            result, error, timing, _ = _execute_run(
+                spec.protocols[name],
+                inputs,
+                spec.config,
+                trial_faults,
+                attempts_per_run=spec.attempts_per_run,
+                on_error=spec.on_error,
+                retry_backoff=spec.retry_backoff,
+                max_backoff=spec.max_backoff,
+                cache=spec.cache,
+            )
+        finally:
+            if profiler is not None:
+                profiler.disable()
+                assert spec.profile_dir is not None
+                _dump_profile(profiler, spec.profile_dir, "serial")
+        timing["setup_wall_s"] = setup_wall
+        record(trial, name, result, error, timing)
+
+
 def _run_units_parallel(
     units: List[_WorkUnit],
-    results_map: Dict[Tuple[int, str], SimulationResult],
-    failures_map: Dict[Tuple[int, str], "TrialFailure"],
-    telemetry_map: Dict[Tuple[int, str], RunTelemetry],
-    checkpoint: Optional[ComparisonCheckpoint],
-    reporter: Optional[_ProgressReporter],
+    spec: "SweepSpec",
+    record: Callable[..., None],
     *,
     n_workers: int,
-    trace_factory: Callable[[int], ContactTrace],
-    demand: DemandModel,
-    config: SimulationConfig,
-    protocols: Dict[str, ProtocolFactory],
-    n_clients: Optional[int],
-    faults: Optional[FaultsLike],
-    on_error: str,
-    attempts_per_run: int,
-    retry_backoff: float,
-    max_backoff: float,
-    profile_dir: Optional[str],
-    cache: Optional[SimulationRunCache],
-    cache_counts: Dict[str, int],
 ) -> None:
-    """Fan *units* out over a fork pool; the parent owns the checkpoint.
+    """Fan *units* out over a fork pool; the parent owns the accounting.
 
     Workers inherit the factories through fork (no pickling of
     closures); only the small work-unit tuples and the completed
     :class:`~repro.sim.metrics.SimulationResult` objects cross the
-    process boundary.  Completed runs are checkpointed by the parent as
-    they arrive, so an interrupted parallel sweep resumes exactly like a
-    serial one.
+    process boundary.  Completed runs are reported to *record* by the
+    parent as they arrive, so checkpointing and the ``on_error``
+    policies compose exactly like the serial walk.
     """
     global _WORKER_CONTEXT
     context = {
-        "trace_factory": trace_factory,
-        "demand": demand,
-        "config": config,
-        "protocols": protocols,
-        "n_clients": n_clients,
-        "faults": faults,
-        "on_error": on_error,
-        "attempts_per_run": attempts_per_run,
-        "retry_backoff": retry_backoff,
-        "max_backoff": max_backoff,
-        "profile_dir": profile_dir,
-        "cache": cache,
+        "trace_factory": spec.trace_factory,
+        "demand": spec.demand,
+        "config": spec.config,
+        "protocols": spec.protocols,
+        "n_clients": spec.n_clients,
+        "faults": spec.faults,
+        "on_error": spec.on_error,
+        "attempts_per_run": spec.attempts_per_run,
+        "retry_backoff": spec.retry_backoff,
+        "max_backoff": spec.max_backoff,
+        "profile_dir": spec.profile_dir,
+        "cache": spec.cache,
         "inputs_by_trial": {},
     }
     mp_context = multiprocessing.get_context("fork")
@@ -665,33 +798,7 @@ def _run_units_parallel(
                         for pending in remaining:
                             pending.cancel()
                         raise
-                    _count_cache_marker(cache_counts, timing.get("cache"))
-                    telemetry = RunTelemetry(
-                        trial=trial,
-                        protocol=name,
-                        status=_run_status(result, timing),
-                        wall_s=timing.get("wall_s", 0.0),
-                        cpu_s=timing.get("cpu_s", 0.0),
-                        setup_wall_s=timing.get("setup_wall_s", 0.0),
-                        attempts=int(timing.get("attempts", 0)),
-                        gain_rate=(
-                            result.gain_rate if result is not None else None
-                        ),
-                    )
-                    telemetry_map[(trial, name)] = telemetry
-                    if reporter is not None:
-                        reporter.report(telemetry)
-                    if result is None:
-                        failures_map[(trial, name)] = TrialFailure(
-                            trial=trial,
-                            protocol=name,
-                            error=error or "unknown error",
-                            attempts=attempts_per_run,
-                        )
-                        continue
-                    results_map[(trial, name)] = result
-                    if checkpoint is not None:
-                        checkpoint.record(trial, name, result)
+                    record(trial, name, result, error, timing)
     finally:
         _WORKER_CONTEXT = None
 
@@ -716,6 +823,7 @@ def run_comparison(
     progress: Optional[ProgressLike] = None,
     profile_dir: Optional[PathLike] = None,
     run_cache: RunCacheLike = None,
+    executor: "ExecutorLike" = None,
 ) -> ComparisonResult:
     """Run every protocol on *n_trials* shared trace/request realizations.
 
@@ -775,6 +883,20 @@ def run_comparison(
         are reported with ``status="cached"`` (like checkpoint resume),
         and hit/miss counters land in the sweep manifest under
         ``"run_cache"``.
+    executor:
+        Which backend runs the pending units (see :mod:`repro.dist`).
+        ``None`` (default) consults the ``REPRO_SWEEP_EXECUTOR``
+        environment variable, then falls back to the historical
+        ``n_workers`` selection.  ``"serial"``, ``"process"``, or
+        ``"workqueue"`` pick a backend by name (``n_workers`` sizes it);
+        a :class:`~repro.dist.SweepExecutor` instance is used as-is.
+        The fault-tolerant ``"workqueue"`` backend coordinates
+        independent worker processes through an on-disk queue with
+        leases, crash-absorbing supervision, and poison-unit
+        quarantine; all backends produce bit-identical statistics.
+        Under ``on_error="raise"`` the work-queue backend raises
+        :class:`~repro.errors.SimulationError` (the original exception
+        type does not cross the process boundary).
     """
     if n_trials <= 0:
         raise ConfigurationError(f"n_trials must be > 0, got {n_trials}")
@@ -813,7 +935,17 @@ def run_comparison(
     attempts_per_run = 1 + (max_retries if on_error == "retry" else 0)
     trial_seeds = _derive_trial_seeds(base_seed, n_trials)
 
-    parallel = n_workers is not None and n_workers > 1
+    # The dist import happens lazily: repro.dist builds on this module,
+    # and by execution time this module is fully initialized.
+    from ..dist import executors as dist_executors
+
+    executor_obj = dist_executors.resolve_executor(
+        executor, n_workers=n_workers
+    )
+
+    parallel = (
+        executor_obj is None and n_workers is not None and n_workers > 1
+    )
     if parallel and "fork" not in multiprocessing.get_all_start_methods():
         warnings.warn(
             "n_workers > 1 needs the 'fork' start method; running serially",
@@ -824,17 +956,20 @@ def run_comparison(
 
     #: (trial, protocol) -> completed result / failure / telemetry,
     #: assembled into trial-major order at the end (identical to the
-    #: serial walk).
-    results_map: Dict[Tuple[int, str], SimulationResult] = {}
-    failures_map: Dict[Tuple[int, str], TrialFailure] = {}
-    telemetry_map: Dict[Tuple[int, str], RunTelemetry] = {}
+    #: serial walk) by the executor-agnostic accounting.
+    accounting = _SweepAccounting(
+        checkpoint=checkpoint,
+        reporter=None,
+        cache_counts=cache_counts,
+        attempts_per_run=attempts_per_run,
+    )
     if checkpoint is not None:
         for trial in range(n_trials):
             for name in protocols:
                 if checkpoint.has(trial, name):
                     result = checkpoint.get(trial, name)
-                    results_map[(trial, name)] = result
-                    telemetry_map[(trial, name)] = RunTelemetry(
+                    accounting.results_map[(trial, name)] = result
+                    accounting.telemetry_map[(trial, name)] = RunTelemetry(
                         trial=trial,
                         protocol=name,
                         status="cached",
@@ -844,13 +979,14 @@ def run_comparison(
         (trial, name, *trial_seeds[trial])
         for trial in range(n_trials)
         for name in protocols
-        if (trial, name) not in results_map
+        if (trial, name) not in accounting.results_map
     ]
     reporter = (
         _ProgressReporter(len(pending_units), progress)
         if progress
         else None
     )
+    accounting.reporter = reporter
 
     # Cap the pool at the machine and the workload: more workers than
     # cores (or than pending units) only add fork and IPC overhead —
@@ -874,19 +1010,21 @@ def run_comparison(
         if effective_workers <= 1:
             parallel = False
 
-    if parallel and pending_units:
-        _run_units_parallel(
-            pending_units,
-            results_map,
-            failures_map,
-            telemetry_map,
-            checkpoint,
-            reporter,
-            n_workers=effective_workers,
+    if executor_obj is None:
+        if parallel and pending_units:
+            executor_obj = dist_executors.ProcessPoolExecutor(
+                effective_workers
+            )
+        else:
+            executor_obj = dist_executors.SerialExecutor()
+
+    executor_extras: Optional[Dict[str, Any]] = None
+    if pending_units:
+        spec = dist_executors.SweepSpec(
             trace_factory=trace_factory,
             demand=demand,
             config=config,
-            protocols=protocols,
+            protocols=dict(protocols),
             n_clients=n_clients,
             faults=faults,
             on_error=on_error,
@@ -895,70 +1033,16 @@ def run_comparison(
             max_backoff=max_backoff,
             profile_dir=profile_path,
             cache=cache,
-            cache_counts=cache_counts,
+            base_seed=base_seed,
+            n_trials=n_trials,
         )
-    else:
-        inputs: Optional[TrialInputs] = None
-        current_trial = -1
-        profiler = _process_profiler(profile_path)
-        for unit in pending_units:
-            trial, name = unit[0], unit[1]
-            setup_wall = 0.0
-            if trial != current_trial:
-                setup_timer = Stopwatch()
-                inputs = _build_trial_inputs(
-                    trace_factory, demand, n_clients, unit[2:]
-                )
-                setup_timer.stop()
-                setup_wall = setup_timer.wall
-                current_trial = trial
-            assert inputs is not None
-            trial_faults = faults(trial) if callable(faults) else faults
-            if profiler is not None:
-                profiler.enable()
-            try:
-                result, error, timing = _execute_run(
-                    protocols[name],
-                    inputs,
-                    config,
-                    trial_faults,
-                    attempts_per_run=attempts_per_run,
-                    on_error=on_error,
-                    retry_backoff=retry_backoff,
-                    max_backoff=max_backoff,
-                    cache=cache,
-                )
-            finally:
-                if profiler is not None:
-                    profiler.disable()
-                    assert profile_path is not None
-                    _dump_profile(profiler, profile_path, "serial")
-            _count_cache_marker(cache_counts, timing.get("cache"))
-            telemetry = RunTelemetry(
-                trial=trial,
-                protocol=name,
-                status=_run_status(result, timing),
-                wall_s=timing["wall_s"],
-                cpu_s=timing["cpu_s"],
-                setup_wall_s=setup_wall,
-                attempts=int(timing["attempts"]),
-                gain_rate=result.gain_rate if result is not None else None,
-            )
-            telemetry_map[(trial, name)] = telemetry
-            if reporter is not None:
-                reporter.report(telemetry)
-            if result is None:
-                failures_map[(trial, name)] = TrialFailure(
-                    trial=trial,
-                    protocol=name,
-                    error=error or "unknown error",
-                    attempts=attempts_per_run,
-                )
-                continue
-            results_map[(trial, name)] = result
-            if checkpoint is not None:
-                checkpoint.record(trial, name, result)
+        executor_extras = executor_obj.execute(
+            pending_units, spec, accounting.record
+        )
 
+    results_map = accounting.results_map
+    failures_map = accounting.failures_map
+    telemetry_map = accounting.telemetry_map
     collected: Dict[str, List[SimulationResult]] = {
         name: [] for name in protocols
     }
@@ -995,7 +1079,8 @@ def run_comparison(
         "base_seed": base_seed,
         "n_trials": n_trials,
         "protocols": sorted(protocols),
-        "n_workers": effective_workers if parallel else 1,
+        "executor": executor_obj.name or type(executor_obj).__name__,
+        "n_workers": getattr(executor_obj, "n_workers", 1),
         "n_runs_executed": len(pending_units),
         "n_failures": len(failures),
         "wall_s": sweep_timer.wall,
@@ -1009,6 +1094,8 @@ def run_comparison(
             "misses": cache_counts["misses"],
             "uncacheable": cache_counts["uncacheable"],
         }
+    if executor_extras:
+        sweep_manifest.update(executor_extras)
     if checkpoint is not None:
         checkpoint.set_manifest(sweep_manifest)
     return ComparisonResult(

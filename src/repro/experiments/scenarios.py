@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -56,6 +56,9 @@ from .runner import (
     RunCacheLike,
     run_comparison,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dist.executors import ExecutorLike
 
 __all__ = [
     "Scenario",
@@ -111,7 +114,7 @@ def _base_config(
         utility=utility,
         record_interval=record_interval,
         window_length=window_length,
-        track_items=tuple(range(5)),
+        track_items=tuple(range(min(5, n_items))),
     )
 
 
@@ -385,14 +388,18 @@ def run_scenario(
     progress: Optional[ProgressLike] = None,
     profile_dir: Optional[PathLike] = None,
     run_cache: RunCacheLike = None,
+    executor: "ExecutorLike" = None,
 ) -> ComparisonResult:
     """Run the standard comparison on *scenario*.
 
     *n_workers* > 1 distributes the (trial, protocol) runs over a
     process pool with bit-identical statistics; *progress* and
     *profile_dir* enable the live reporter and per-worker cProfile
-    dumps; *run_cache* reuses previously computed runs by content key
-    (see :func:`repro.experiments.runner.run_comparison`).
+    dumps; *run_cache* reuses previously computed runs by content key;
+    *executor* selects the execution backend, including the
+    fault-tolerant distributed work queue (see
+    :func:`repro.experiments.runner.run_comparison` and
+    :mod:`repro.dist`).
     """
     return run_comparison(
         trace_factory=scenario.trace_factory,
@@ -408,4 +415,5 @@ def run_scenario(
         progress=progress,
         profile_dir=profile_dir,
         run_cache=run_cache,
+        executor=executor,
     )

@@ -13,6 +13,7 @@ from . import (  # noqa: F401  (imported for their @register side effect)
     mutable_defaults,
     no_print,
     protocol_purity,
+    retry_sleep,
     wallclock,
 )
 
@@ -25,5 +26,6 @@ __all__ = [
     "mutable_defaults",
     "no_print",
     "protocol_purity",
+    "retry_sleep",
     "wallclock",
 ]

@@ -1,12 +1,14 @@
 """Disk storage for cached simulation runs.
 
 Entries live under ``<root>/<key[:2]>/<key>.json`` (two-level fan-out
-keeps directories small) and are written atomically (temp file +
-``os.replace``), so concurrent sweep workers — which share the parent's
-cache object through fork — can race on the same key without ever
-exposing a half-written entry.  Unreadable or malformed entries are
-logged as warnings and treated as misses; the cache never turns a
-corrupted file into a crash or a wrong result.
+keeps directories small) and are written atomically and durably
+(temp file + fsync + ``os.replace`` + parent-directory fsync, see
+:mod:`repro.durable`), so concurrent sweep workers — which share the
+cache root through fork or a shared filesystem — can race on the same
+key without ever exposing a half-written entry, and a host power loss
+cannot leave a truncated-but-renamed file behind.  Unreadable or
+malformed entries are logged as warnings and treated as misses; the
+cache never turns a corrupted file into a crash or a wrong result.
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ import json
 import os
 from typing import Any, Dict, Optional, Union
 
+from ..durable import atomic_write_json
 from ..obs.log import get_logger
 from ..sim.metrics import SimulationResult
 
@@ -124,7 +127,7 @@ class SimulationRunCache:
         *,
         meta: Optional[Dict[str, Any]] = None,
     ) -> None:
-        """Store *result* under *key* (atomic, last writer wins)."""
+        """Store *result* under *key* (atomic + fsync, last writer wins)."""
         from ..experiments.checkpoint import result_to_dict
 
         payload: Dict[str, Any] = {
@@ -137,21 +140,13 @@ class SimulationRunCache:
             payload["meta"] = meta
         path = self._entry_path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp_path = f"{path}.{os.getpid()}.tmp"
         try:
-            with open(tmp_path, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_path, path)
+            atomic_write_json(path, payload, fsync=True)
         except OSError as error:
             self.stats.errors += 1
             self._logger.warning(
                 "cache write failed", path=path, error=str(error)
             )
-            if os.path.exists(tmp_path):  # pragma: no cover - best effort
-                try:
-                    os.remove(tmp_path)
-                except OSError:
-                    pass
             return
         self.stats.stores += 1
 

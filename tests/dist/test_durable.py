@@ -1,0 +1,87 @@
+"""Crash-durable file primitives: atomicity, budgets, append semantics."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.durable import (
+    MAX_ERROR_BYTES,
+    append_line,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_directory,
+    truncate_error_text,
+)
+
+
+class TestAtomicWrites:
+    def test_text_roundtrip(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello")
+        assert path.read_text() == "hello"
+
+    def test_replaces_existing_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "out.json"
+        payload = {"a": 1, "b": [1.5, None, "x"]}
+        atomic_write_json(path, payload)
+        assert json.loads(path.read_text()) == payload
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "out.txt", "data")
+        atomic_write_json(tmp_path / "out.json", {"k": "v"}, fsync=False)
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["out.json", "out.txt"]
+
+    def test_write_failure_cleans_up_and_raises(self, tmp_path):
+        missing_dir = tmp_path / "nope" / "out.txt"
+        with pytest.raises(OSError):
+            atomic_write_text(missing_dir, "data")
+        assert not (tmp_path / "nope").exists()
+
+    def test_fsync_directory_tolerates_missing_path(self, tmp_path):
+        fsync_directory(tmp_path / "does-not-exist")  # must not raise
+
+
+class TestTruncateErrorText:
+    def test_within_budget_passes_through(self):
+        assert truncate_error_text("short error") == "short error"
+
+    def test_over_budget_is_bounded_with_marker(self):
+        huge = "x" * (MAX_ERROR_BYTES * 10)
+        bounded = truncate_error_text(huge)
+        assert len(bounded.encode("utf-8")) <= MAX_ERROR_BYTES
+        assert "truncated" in bounded
+        assert bounded.startswith("x")
+
+    def test_multibyte_text_never_splits_a_codepoint(self):
+        huge = "é" * MAX_ERROR_BYTES  # 2 UTF-8 bytes each
+        bounded = truncate_error_text(huge)
+        assert len(bounded.encode("utf-8")) <= MAX_ERROR_BYTES
+        bounded.encode("utf-8").decode("utf-8")  # round-trips cleanly
+
+    def test_custom_budget(self):
+        bounded = truncate_error_text("y" * 500, budget=128)
+        assert len(bounded.encode("utf-8")) <= 128
+        assert "truncated" in bounded
+
+
+class TestAppendLine:
+    def test_appends_newline_terminated_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append_line(path, "one")
+        append_line(path, "two\n")  # trailing newline not doubled
+        assert path.read_text() == "one\ntwo\n"
+
+    def test_creates_missing_file(self, tmp_path):
+        path = tmp_path / "fresh.jsonl"
+        append_line(path, "first", fsync=True)
+        assert path.read_text() == "first\n"

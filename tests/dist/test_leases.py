@@ -1,0 +1,130 @@
+"""Lease protocol under a fake clock: claims, renewal, expiry, reaping."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.dist import FakeClock, LeaseManager
+
+TTL = 30.0
+
+
+@pytest.fixture
+def clock():
+    return FakeClock(start=1000.0)
+
+
+@pytest.fixture
+def manager(tmp_path, clock):
+    return LeaseManager(tmp_path / "leases", ttl=TTL, clock=clock)
+
+
+class TestClaims:
+    def test_claim_records_holder_and_deadline(self, manager, clock):
+        lease = manager.try_claim("u1", "w0", 1)
+        assert lease is not None
+        assert lease.worker == "w0"
+        assert lease.claim == 1
+        assert lease.acquired_at == clock.now()
+        assert lease.deadline == clock.now() + TTL
+
+    def test_second_claim_loses(self, manager):
+        assert manager.try_claim("u1", "w0", 1) is not None
+        assert manager.try_claim("u1", "w1", 1) is None
+
+    def test_claims_on_distinct_units_coexist(self, manager):
+        assert manager.try_claim("u1", "w0", 1) is not None
+        assert manager.try_claim("u2", "w1", 1) is not None
+        assert {lease.unit for lease in manager.active()} == {"u1", "u2"}
+
+    def test_no_staging_litter_after_claims(self, manager, tmp_path):
+        manager.try_claim("u1", "w0", 1)
+        manager.try_claim("u1", "w1", 1)  # lost race
+        names = sorted(p.name for p in (tmp_path / "leases").iterdir())
+        assert names == ["u1.json"]
+
+    def test_invalid_ttl_rejected(self, tmp_path, clock):
+        with pytest.raises(ValueError, match="ttl"):
+            LeaseManager(tmp_path / "x", ttl=0.0, clock=clock)
+
+
+class TestRenewalAndExpiry:
+    def test_fresh_lease_is_live(self, manager, clock):
+        lease = manager.try_claim("u1", "w0", 1)
+        clock.advance(TTL - 0.5)
+        assert not manager.is_stale(lease)
+
+    def test_lease_expires_after_ttl(self, manager, clock):
+        lease = manager.try_claim("u1", "w0", 1)
+        clock.advance(TTL + 0.5)
+        assert manager.is_stale(lease)
+
+    def test_renewal_extends_the_deadline(self, manager, clock):
+        lease = manager.try_claim("u1", "w0", 1)
+        clock.advance(TTL - 1.0)
+        renewed = manager.renew(lease)
+        assert renewed is not None
+        assert renewed.deadline == clock.now() + TTL
+        clock.advance(TTL - 1.0)  # past the original deadline
+        assert not manager.is_stale(manager.read("u1"))
+
+    def test_renewal_after_reap_returns_none(self, manager, clock):
+        lease = manager.try_claim("u1", "w0", 1)
+        clock.advance(TTL + 1.0)
+        assert [r.unit for r in manager.reap_stale()] == ["u1"]
+        assert manager.renew(lease) is None
+
+    def test_renewal_after_takeover_returns_none(self, manager, clock):
+        lease = manager.try_claim("u1", "w0", 1)
+        clock.advance(TTL + 1.0)
+        manager.reap_stale()
+        assert manager.try_claim("u1", "w1", 2) is not None
+        assert manager.renew(lease) is None  # w0 must not steal back
+
+
+class TestReaping:
+    def test_reap_stale_only_removes_expired(self, manager, clock):
+        manager.try_claim("old", "w0", 1)
+        clock.advance(TTL + 1.0)
+        fresh = manager.try_claim("fresh", "w1", 1)
+        reaped = manager.reap_stale()
+        assert [lease.unit for lease in reaped] == ["old"]
+        assert manager.read("old") is None
+        assert manager.read("fresh") == fresh
+
+    def test_corrupt_lease_reads_as_stale_sentinel(self, manager, tmp_path):
+        (tmp_path / "leases" / "u1.json").write_text("{torn")
+        lease = manager.read("u1")
+        assert lease.worker == "<corrupt>"
+        assert manager.is_stale(lease)
+        assert [r.unit for r in manager.reap_stale()] == ["u1"]
+        assert manager.read("u1") is None
+
+
+class TestRelease:
+    def test_release_if_held_by_holder(self, manager):
+        lease = manager.try_claim("u1", "w0", 1)
+        assert manager.release_if_held(lease) is True
+        assert manager.read("u1") is None
+
+    def test_release_if_held_spares_new_holder(self, manager, clock):
+        lease = manager.try_claim("u1", "w0", 1)
+        clock.advance(TTL + 1.0)
+        manager.reap_stale()
+        takeover = manager.try_claim("u1", "w1", 2)
+        assert manager.release_if_held(lease) is False
+        assert manager.read("u1") == takeover
+
+    def test_release_of_absent_lease_is_noop(self, manager):
+        lease = manager.try_claim("u1", "w0", 1)
+        manager.release(lease)
+        manager.release(lease)  # idempotent
+        assert manager.release_if_held(lease) is False
+
+
+def test_lease_roundtrips_through_dict(manager):
+    lease = manager.try_claim("u1", "w0", 3)
+    clone = type(lease).from_dict(lease.to_dict())
+    assert dataclasses.asdict(clone) == dataclasses.asdict(lease)

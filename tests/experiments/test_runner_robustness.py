@@ -146,6 +146,29 @@ class TestOnErrorPolicies:
         with pytest.raises(ConfigurationError, match="on_error"):
             sweep(demand, config, make_protocols(demand), on_error="ignore")
 
+    def test_failure_error_text_is_byte_bounded(self, setup):
+        """A pathological exception message must not bloat the records.
+
+        Recursive reprs and deeply nested tracebacks can reach
+        megabytes; everything persisted (checkpoints, queue failure
+        files, telemetry) stores the TrialFailure error, so it is
+        truncated to MAX_ERROR_BYTES at the source.
+        """
+        from repro.durable import MAX_ERROR_BYTES
+
+        demand, config = setup
+        protocols = make_protocols(demand)
+        protocols["BAD"] = lambda tr, rq: (_ for _ in ()).throw(
+            RuntimeError("corrupt state: " + "x" * (MAX_ERROR_BYTES * 8))
+        )
+        result = sweep(
+            demand, config, protocols, n_trials=1, on_error="skip"
+        )
+        (failure,) = result.failures
+        assert len(failure.error.encode("utf-8")) <= MAX_ERROR_BYTES
+        assert failure.error.startswith("RuntimeError: corrupt state:")
+        assert "truncated" in failure.error
+
 
 class TestFaultsThreading:
     def test_shared_schedule_applies_to_every_run(self, setup):

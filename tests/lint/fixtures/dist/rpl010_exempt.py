@@ -1,0 +1,8 @@
+"""RPL010 exempt path: supervised polling lives under dist/."""
+
+import time
+
+
+def supervised_poll(queue, poll_interval):
+    while not queue.complete():
+        time.sleep(poll_interval)

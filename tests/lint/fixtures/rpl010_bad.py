@@ -1,0 +1,24 @@
+"""RPL010 true positives: unbounded sleep-based retry loops."""
+
+import os
+import time
+from time import sleep
+
+
+def wait_for_file(path):
+    while not os.path.exists(path):
+        time.sleep(0.5)
+
+
+def wait_for_flag(flag):
+    while True:
+        if flag():
+            return
+        sleep(0.1)
+
+
+def poll_with_capped_backoff(ready):
+    attempts = 0
+    while not ready():
+        attempts += 1
+        time.sleep(min(0.1 * attempts, 2.0))

@@ -1,0 +1,37 @@
+"""RPL010 clean pass: bounded retries, single waits, sleepless spins."""
+
+import time
+
+
+def bounded_retry(operation, attempts):
+    for attempt in range(attempts):
+        try:
+            return operation()
+        except ValueError:
+            time.sleep(min(0.1 * 2.0**attempt, 2.0))
+    raise ValueError("all attempts failed")
+
+
+def single_wait(delay):
+    time.sleep(delay)
+
+
+def drain_without_sleep(ready):
+    count = 0
+    while not ready():
+        count += 1
+    return count
+
+
+def deferred_sleeps(items):
+    """A def inside a while runs on its own schedule, not the loop's."""
+    handlers = []
+    while items:
+        item = items.pop()
+
+        def handler(delay, _item=item):
+            time.sleep(delay)
+            return _item
+
+        handlers.append(handler)
+    return handlers

@@ -31,6 +31,7 @@ RULE_FIXTURES = {
         "experiments/rpl009_good.py",
         4,
     ),
+    "RPL010": ("rpl010_bad.py", "rpl010_good.py", 3),
 }
 
 
@@ -69,6 +70,11 @@ def test_good_fixture_fully_clean(code: str) -> None:
 def test_wallclock_exempt_paths() -> None:
     assert codes_in(FIXTURES / "benchmarks" / "rpl002_exempt.py") == []
     assert codes_in(FIXTURES / "experiments" / "benchmark.py") == []
+
+
+def test_retry_sleep_exempt_under_dist() -> None:
+    """Supervised polling in the dist/ backend is RPL010's one carve-out."""
+    assert codes_in(FIXTURES / "dist" / "rpl010_exempt.py") == []
 
 
 def test_no_print_silent_outside_experiments() -> None:

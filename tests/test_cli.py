@@ -210,3 +210,51 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+class TestSweepCli:
+    def sweep_args(self, queue):
+        return [
+            "sweep", "start", queue,
+            "--utility", "step", "--param", "5",
+            "--nodes", "6", "--items", "4", "--rho", "2",
+            "--duration", "60",
+            "--trials", "1", "--seed", "3",
+            "--protocols", "OPT", "UNI",
+            "--workers", "1", "--ttl", "5", "--no-cache",
+        ]
+
+    def test_start_then_status_then_resume(self, capsys, tmp_path):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("workqueue spawner needs fork")
+        queue = str(tmp_path / "queue")
+        assert main(self.sweep_args(queue)) == 0
+        out = capsys.readouterr().out
+        assert "distributed sweep" in out
+        assert "work-unit attribution" in out
+        assert "published" in out
+
+        assert main(["sweep", "status", queue]) == 0
+        out = capsys.readouterr().out
+        assert "2 units, 2 published, 0 quarantined, 0 pending" in out
+        assert "unit_publish=2" in out
+
+        # A lost result file is the only thing re-executed on resume.
+        import os
+
+        results = os.path.join(queue, "results")
+        victim = sorted(os.listdir(results))[0]
+        os.remove(os.path.join(results, victim))
+        assert main(
+            ["sweep", "resume", queue, "--workers", "1", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "work-unit attribution" in out
+        assert main(["sweep", "status", queue]) == 0
+        assert "2 published" in capsys.readouterr().out
+
+    def test_resume_of_non_queue_directory_fails(self, capsys, tmp_path):
+        assert main(["sweep", "resume", str(tmp_path)]) == 1
+        assert "not a sweep queue" in capsys.readouterr().err
