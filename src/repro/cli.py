@@ -40,13 +40,21 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import TYPE_CHECKING, List, Optional
 
 from . import __version__
 from .allocation import greedy_homogeneous, solve_relaxed
-from .contacts import save_csv, summarize
+from .contacts import (
+    detect_trace_format,
+    load_contact_trace,
+    save_binary,
+    save_csv,
+    save_jsonl,
+    summarize,
+)
 from .contacts.synthetic import (
     ConferenceTraceConfig,
     VehicularTraceConfig,
@@ -194,6 +202,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(render_speed_report(report))
     print(f"\nwrote {args.output}")
     if args.min_speedup is not None:
+        failed = False
         observed = float(report["engine"]["min_speedup"])
         if observed < args.min_speedup:
             print(
@@ -201,10 +210,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"required {args.min_speedup:.3f}x",
                 file=sys.stderr,
             )
+            failed = True
+        unfaithful = [
+            case["protocol"]
+            for case in report["engine"]["cases"]
+            if not case["bit_identical"]
+        ]
+        if not report["streamed"]["bit_identical"]:
+            unfaithful.append("streamed")
+        if unfaithful:
+            print(
+                "FAIL: non-bit-identical cases: " + ", ".join(unfaithful),
+                file=sys.stderr,
+            )
+            failed = True
+        if failed:
             return 1
+        streamed_rate = report["streamed"]["streamed_events_per_sec"]
         print(
             f"perf gate passed: engine min_speedup {observed:.3f}x >= "
-            f"{args.min_speedup:.3f}x"
+            f"{args.min_speedup:.3f}x, all cases bit-identical, "
+            f"streamed {streamed_rate / 1e6:.2f}M events/s"
         )
     return 0
 
@@ -326,12 +352,29 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
     print(summarize(trace))
     if args.output:
-        save_csv(trace, args.output)
+        # Extension picks the format: .ctb -> binary columns,
+        # .jsonl -> JSONL, anything else -> CSV.
+        if args.output.endswith(".ctb"):
+            save_binary(trace, args.output)
+        elif args.output.endswith(".jsonl"):
+            save_jsonl(trace, args.output)
+        else:
+            save_csv(trace, args.output)
         print(f"saved {len(trace)} contacts to {args.output}")
     return 0
 
 
 def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    # Contact traces (CSV/JSONL/interval/binary) get contact statistics;
+    # anything else is summarized as a JSONL telemetry event log.
+    detected = detect_trace_format(args.file)
+    if detected is not None:
+        stats = summarize(load_contact_trace(args.file, fmt=detected))
+        if args.json:
+            print(json.dumps(dataclasses.asdict(stats), indent=2))
+        else:
+            print(stats)
+        return 0
     summary = summarize_events(iter_events(args.file, validate=args.validate))
     if args.json:
         print(json.dumps(summary, indent=2))
@@ -379,6 +422,28 @@ def _cmd_trace_filter(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    # Contact traces (CSV/JSONL/interval/binary) are detected by content
+    # and round-trip between each other; anything else is treated as a
+    # JSONL telemetry trace, which has no binary representation.
+    detected = detect_trace_format(args.file)
+    if detected is not None:
+        trace = load_contact_trace(args.file, fmt=detected)
+        if args.format == "csv":
+            save_csv(trace, args.output)
+        elif args.format == "jsonl":
+            save_jsonl(trace, args.output)
+        else:
+            save_binary(trace, args.output)
+        print(
+            f"converted {len(trace)} contacts to {args.output} "
+            f"({detected} -> {args.format})"
+        )
+        return 0
+    if args.format == "binary":
+        raise ConfigurationError(
+            f"{args.file} is not a contact trace; telemetry traces "
+            "cannot be converted to the binary contact format"
+        )
     events = iter_events(args.file)
     if args.format == "csv":
         n = write_events_csv(events, args.output)
@@ -861,7 +926,10 @@ def build_parser() -> argparse.ArgumentParser:
         gen.add_argument("--mu", type=float, default=MU)
         gen.add_argument("--duration", type=float, default=2000.0)
         gen.add_argument("--seed", type=int, default=0)
-        gen.add_argument("--output", help="save as CSV to this path")
+        gen.add_argument(
+            "--output",
+            help="save the trace here (.ctb: binary, .jsonl: JSONL, else CSV)",
+        )
         gen.set_defaults(func=_cmd_trace, kind=kind)
 
     trc_summary = trc_sub.add_parser(
@@ -897,12 +965,21 @@ def build_parser() -> argparse.ArgumentParser:
     trc_filter.set_defaults(func=_cmd_trace_filter)
 
     trc_convert = trc_sub.add_parser(
-        "convert", help="convert a JSONL telemetry trace to CSV or JSONL"
+        "convert",
+        help=(
+            "convert a contact trace between csv/jsonl/binary, or a "
+            "JSONL telemetry trace to CSV/JSONL"
+        ),
     )
-    trc_convert.add_argument("file", help="JSONL trace file")
+    trc_convert.add_argument(
+        "file", help="contact trace (any format) or JSONL telemetry trace"
+    )
     trc_convert.add_argument("output", help="destination path")
     trc_convert.add_argument(
-        "--format", choices=("csv", "jsonl"), default="csv"
+        "--format",
+        choices=("csv", "jsonl", "binary"),
+        default="csv",
+        help="binary: memmap-ready column directory (contact traces only)",
     )
     trc_convert.set_defaults(func=_cmd_trace_convert)
 

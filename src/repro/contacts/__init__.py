@@ -1,7 +1,15 @@
 """Contact traces: containers, I/O, statistics, and generators."""
 
+from .binary import (
+    BinaryTraceWriter,
+    is_binary_trace,
+    load_binary,
+    save_binary,
+)
 from .discrete import bernoulli_slot_trace
 from .io import (
+    detect_trace_format,
+    load_contact_trace,
     load_csv,
     load_interval_format,
     load_jsonl,
@@ -35,4 +43,10 @@ __all__ = [
     "load_csv",
     "save_jsonl",
     "load_jsonl",
+    "detect_trace_format",
+    "load_contact_trace",
+    "BinaryTraceWriter",
+    "is_binary_trace",
+    "load_binary",
+    "save_binary",
 ]

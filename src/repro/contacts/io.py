@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import math
 import os
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -25,6 +25,8 @@ from ..errors import TraceFormatError
 from .trace import ContactTrace
 
 __all__ = [
+    "detect_trace_format",
+    "load_contact_trace",
     "save_csv",
     "load_csv",
     "save_jsonl",
@@ -91,6 +93,56 @@ def save_csv(trace: ContactTrace, path: PathLike) -> None:
             handle.write(f"{t!r},{a},{b}\n")
 
 
+class _ColumnBuffers:
+    """Geometrically growing column buffers for streaming loaders.
+
+    Replaces the old per-row tuple list: validated values land directly
+    in NumPy arrays, so loading never materializes one Python object
+    per event beyond the line being parsed.  Line numbers ride along so
+    range checks deferred until ``n_nodes`` is known can still point at
+    the offending row.
+    """
+
+    def __init__(self) -> None:
+        self._capacity = 1024
+        self.count = 0
+        self.times = np.empty(self._capacity, dtype=float)
+        self.node_a = np.empty(self._capacity, dtype=np.int64)
+        self.node_b = np.empty(self._capacity, dtype=np.int64)
+        self.line_numbers = np.empty(self._capacity, dtype=np.int64)
+
+    def append(self, line_number: int, t: float, a: int, b: int) -> None:
+        if self.count == self._capacity:
+            self._capacity *= 2
+            for name in ("times", "node_a", "node_b", "line_numbers"):
+                grown = np.empty(
+                    self._capacity, dtype=getattr(self, name).dtype
+                )
+                grown[: self.count] = getattr(self, name)[: self.count]
+                setattr(self, name, grown)
+        k = self.count
+        self.times[k] = t
+        self.node_a[k] = a
+        self.node_b[k] = b
+        self.line_numbers[k] = line_number
+        self.count = k + 1
+
+    def check_node_range(self, path: PathLike, n_nodes: int) -> None:
+        """Range-check all buffered ids, reporting the first bad line."""
+        a = self.node_a[: self.count]
+        b = self.node_b[: self.count]
+        bad = np.flatnonzero((a >= n_nodes) | (b >= n_nodes))
+        if len(bad):
+            k = int(bad[0])
+            _check_node_range(
+                path,
+                int(self.line_numbers[k]),
+                int(a[k]),
+                int(b[k]),
+                n_nodes,
+            )
+
+
 def load_csv(path: PathLike) -> ContactTrace:
     """Read a trace written by :func:`save_csv`.
 
@@ -99,7 +151,7 @@ def load_csv(path: PathLike) -> ContactTrace:
     offending line number.
     """
     metadata: Dict[str, str] = {}
-    rows: List[Tuple[int, float, int, int]] = []
+    buffers = _ColumnBuffers()
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, raw in enumerate(handle, start=1):
             line = raw.strip()
@@ -118,9 +170,8 @@ def load_csv(path: PathLike) -> ContactTrace:
                 raise TraceFormatError(
                     f"{path}:{line_number}: malformed CSV row: {line!r}"
                 )
-            rows.append(
-                (line_number,)
-                + _parse_event(path, line_number, *fields)
+            buffers.append(
+                line_number, *_parse_event(path, line_number, *fields)
             )
     if "n_nodes" not in metadata or "duration" not in metadata:
         raise TraceFormatError(
@@ -134,12 +185,11 @@ def load_csv(path: PathLike) -> ContactTrace:
             f"{path}: non-numeric n_nodes/duration headers "
             f"({metadata['n_nodes']!r}, {metadata['duration']!r})"
         ) from None
-    for line_number, _, a, b in rows:
-        _check_node_range(path, line_number, a, b, n_nodes)
+    buffers.check_node_range(path, n_nodes)
     return ContactTrace(
-        times=np.asarray([r[1] for r in rows], dtype=float),
-        node_a=np.asarray([r[2] for r in rows], dtype=np.int64),
-        node_b=np.asarray([r[3] for r in rows], dtype=np.int64),
+        times=buffers.times[: buffers.count].copy(),
+        node_a=buffers.node_a[: buffers.count].copy(),
+        node_b=buffers.node_b[: buffers.count].copy(),
         n_nodes=n_nodes,
         duration=duration,
     )
@@ -267,9 +317,7 @@ def load_jsonl(path: PathLike) -> ContactTrace:
             raise TraceFormatError(
                 f"{path}:1: header must carry numeric n_nodes and duration"
             ) from None
-        times: List[float] = []
-        node_a: List[int] = []
-        node_b: List[int] = []
+        buffers = _ColumnBuffers()
         for line_number, raw in enumerate(handle, start=2):
             line = raw.strip()
             if not line:
@@ -287,13 +335,85 @@ def load_jsonl(path: PathLike) -> ContactTrace:
                 )
             t, a, b = _parse_event(path, line_number, *record)
             _check_node_range(path, line_number, a, b, n_nodes)
-            times.append(t)
-            node_a.append(a)
-            node_b.append(b)
+            buffers.append(line_number, t, a, b)
     return ContactTrace(
-        times=np.asarray(times, dtype=float),
-        node_a=np.asarray(node_a, dtype=np.int64),
-        node_b=np.asarray(node_b, dtype=np.int64),
+        times=buffers.times[: buffers.count].copy(),
+        node_a=buffers.node_a[: buffers.count].copy(),
+        node_b=buffers.node_b[: buffers.count].copy(),
         n_nodes=n_nodes,
         duration=duration,
+    )
+
+
+def detect_trace_format(path: PathLike) -> Optional[str]:
+    """Best-effort sniff of a contact-trace container at *path*.
+
+    Returns ``"binary"``, ``"csv"``, ``"jsonl"``, or ``"interval"`` when
+    *path* looks like one of the supported contact-trace formats, and
+    ``None`` when it does not (e.g. a telemetry event log).  A path
+    that does not exist at all raises :class:`TraceFormatError` rather
+    than being reported as merely unrecognized.
+    """
+    from .binary import is_binary_trace
+
+    if is_binary_trace(path):
+        return "binary"
+    if not os.path.exists(path):
+        raise TraceFormatError(f"{path}: no such file or directory")
+    if os.path.isdir(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    if "=" in line:
+                        return "csv"
+                    continue  # interval-format comment: keep sniffing
+                if line.startswith("time,"):
+                    return "csv"
+                if line.startswith("{"):
+                    try:
+                        header = json.loads(line)
+                    except json.JSONDecodeError:
+                        return None
+                    if (
+                        isinstance(header, dict)
+                        and header.get("format") == "repro-contact-trace"
+                    ):
+                        return "jsonl"
+                    return None
+                fields = line.split()
+                if len(fields) >= 4 and "," not in line:
+                    return "interval"
+                return None
+    except (OSError, UnicodeDecodeError):
+        return None
+    return None
+
+
+def load_contact_trace(
+    path: PathLike, *, fmt: Optional[str] = None
+) -> ContactTrace:
+    """Load a contact trace in any supported format.
+
+    *fmt* forces a format (``binary``/``csv``/``jsonl``/``interval``);
+    when omitted it is sniffed with :func:`detect_trace_format`.
+    """
+    from .binary import load_binary
+
+    if fmt is None:
+        fmt = detect_trace_format(path)
+    if fmt == "binary":
+        return load_binary(path)
+    if fmt == "csv":
+        return load_csv(path)
+    if fmt == "jsonl":
+        return load_jsonl(path)
+    if fmt == "interval":
+        return load_interval_format(path)
+    raise TraceFormatError(
+        f"{path}: not a recognized contact-trace format"
     )

@@ -77,6 +77,38 @@ class ContactTrace:
         object.__setattr__(self, "node_b", b.astype(np.int64))
 
     # ------------------------------------------------------------------
+    # trusted construction (zero-copy)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trusted_columns(
+        cls,
+        times: FloatArray,
+        node_a: IntArray,
+        node_b: IntArray,
+        *,
+        n_nodes: int,
+        duration: float,
+    ) -> "ContactTrace":
+        """Wrap already-validated columns without copying or checking.
+
+        The normal constructor validates, canonicalizes, and (for the
+        node columns) copies via ``astype`` — prohibitive for a
+        memory-mapped 10^8-event trace.  Callers must guarantee the
+        invariants themselves: float64/int64 dtypes, equal lengths,
+        sorted times within ``[0, duration]``, canonical
+        ``node_a < node_b`` in ``[0, n_nodes)``.  The binary loader and
+        the chunk/slice views below qualify; arbitrary external data
+        does not.
+        """
+        trace = object.__new__(cls)
+        object.__setattr__(trace, "times", times)
+        object.__setattr__(trace, "node_a", node_a)
+        object.__setattr__(trace, "node_b", node_b)
+        object.__setattr__(trace, "n_nodes", n_nodes)
+        object.__setattr__(trace, "duration", duration)
+        return trace
+
+    # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -100,20 +132,51 @@ class ContactTrace:
         """Average contacts per pair per unit time."""
         return len(self) / (self.n_pairs * self.duration)
 
+    def iter_chunks(self, n_events: int) -> Iterator["ContactTrace"]:
+        """Yield consecutive sub-traces of at most *n_events* contacts.
+
+        Chunks are zero-copy column views (slices share the backing
+        buffers, including a memory map) carrying the full ``duration``
+        and original (un-rebased) times, so a chunk is exactly "the
+        same trace, restricted to a contiguous run of events".
+        """
+        if n_events < 1:
+            raise TraceFormatError(
+                f"chunk size must be >= 1, got {n_events}"
+            )
+        for start in range(0, len(self.times), n_events):
+            stop = start + n_events
+            yield ContactTrace.from_trusted_columns(
+                self.times[start:stop],
+                self.node_a[start:stop],
+                self.node_b[start:stop],
+                n_nodes=self.n_nodes,
+                duration=self.duration,
+            )
+
     # ------------------------------------------------------------------
     # transformations
     # ------------------------------------------------------------------
     def sliced(self, t_start: float, t_end: float) -> "ContactTrace":
-        """Return the sub-trace on ``[t_start, t_end)``, re-based to 0."""
+        """Return the sub-trace on ``[t_start, t_end)``, re-based to 0.
+
+        Times are sorted (a construction invariant), so the window is
+        located with two binary searches and only the selected run is
+        materialized — slicing a memory-mapped trace never scans or
+        copies the full columns.
+        """
         if not 0 <= t_start < t_end <= self.duration:
             raise TraceFormatError(
                 f"invalid slice [{t_start}, {t_end}) of [0, {self.duration}]"
             )
-        mask = (self.times >= t_start) & (self.times < t_end)
-        return ContactTrace(
-            times=self.times[mask] - t_start,
-            node_a=self.node_a[mask],
-            node_b=self.node_b[mask],
+        lo = int(np.searchsorted(self.times, t_start, side="left"))
+        hi = int(np.searchsorted(self.times, t_end, side="left"))
+        # np.asarray drops the np.memmap subclass from the view (no
+        # copy) so the rebased times come out as a plain ndarray.
+        return ContactTrace.from_trusted_columns(
+            np.asarray(self.times[lo:hi]) - t_start,
+            self.node_a[lo:hi],
+            self.node_b[lo:hi],
             n_nodes=self.n_nodes,
             duration=t_end - t_start,
         )
@@ -131,23 +194,44 @@ class ContactTrace:
             raise TraceFormatError("selected ids out of range")
         lookup = -np.ones(self.n_nodes, dtype=np.int64)
         lookup[ids] = np.arange(len(ids))
-        keep = (lookup[self.node_a] >= 0) & (lookup[self.node_b] >= 0)
-        return ContactTrace(
-            times=self.times[keep],
-            node_a=lookup[self.node_a[keep]],
-            node_b=lookup[self.node_b[keep]],
+        # Filter block-wise so temporaries stay bounded on huge
+        # (memory-mapped) traces; only the kept subset is materialized.
+        # The id lookup is monotone, so relabeling preserves the
+        # canonical node_a < node_b order.
+        kept_t, kept_a, kept_b = [], [], []
+        block = 1 << 22
+        for start in range(0, len(self.times), block):
+            stop = start + block
+            la = lookup[self.node_a[start:stop]]
+            lb = lookup[self.node_b[start:stop]]
+            keep = (la >= 0) & (lb >= 0)
+            kept_t.append(np.asarray(self.times[start:stop])[keep])
+            kept_a.append(la[keep])
+            kept_b.append(lb[keep])
+        return ContactTrace.from_trusted_columns(
+            np.concatenate(kept_t) if kept_t else np.empty(0, dtype=float),
+            np.concatenate(kept_a)
+            if kept_a
+            else np.empty(0, dtype=np.int64),
+            np.concatenate(kept_b)
+            if kept_b
+            else np.empty(0, dtype=np.int64),
             n_nodes=len(ids),
             duration=self.duration,
         )
 
     def time_scaled(self, factor: float) -> "ContactTrace":
-        """Return a copy with all times (and duration) multiplied."""
+        """Return a copy with all times (and duration) multiplied.
+
+        The node columns are shared with the source trace (views, not
+        copies) — only the scaled times are materialized.
+        """
         if factor <= 0:
             raise TraceFormatError(f"factor must be > 0, got {factor}")
-        return ContactTrace(
-            times=self.times * factor,
-            node_a=self.node_a,
-            node_b=self.node_b,
+        return ContactTrace.from_trusted_columns(
+            np.asarray(self.times) * factor,
+            self.node_a,
+            self.node_b,
             n_nodes=self.n_nodes,
             duration=self.duration * factor,
         )
@@ -177,12 +261,15 @@ class ContactTrace:
         if any(t.n_nodes != n_nodes for t in traces):
             raise TraceFormatError("all traces must share n_nodes")
         offsets = np.cumsum([0.0] + [t.duration for t in traces[:-1]])
-        return ContactTrace(
-            times=np.concatenate(
-                [t.times + off for t, off in zip(traces, offsets)]
+        # Inputs are already validated and canonical, so the joined
+        # columns go through the trusted constructor — one concatenate
+        # each, no extra astype copies.
+        return ContactTrace.from_trusted_columns(
+            np.concatenate(
+                [np.asarray(t.times) + off for t, off in zip(traces, offsets)]
             ),
-            node_a=np.concatenate([t.node_a for t in traces]),
-            node_b=np.concatenate([t.node_b for t in traces]),
+            np.concatenate([t.node_a for t in traces]),
+            np.concatenate([t.node_b for t in traces]),
             n_nodes=n_nodes,
             duration=float(sum(t.duration for t in traces)),
         )

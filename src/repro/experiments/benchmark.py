@@ -9,6 +9,12 @@ so the perf trajectory is tracked across PRs:
   (:class:`~repro.sim._reference.ReferenceSimulation`), for a hook-free
   static protocol and for QCR.  Both engines must produce bit-identical
   results; the speedup is their wall-clock ratio.
+* **streamed large-scale case** — a sparse many-node trace generated
+  chunk-by-chunk straight to the binary on-disk format, memory-mapped,
+  and simulated through the streamed columnar pipeline; records
+  generation time, events/s, and the run-phase Python-heap peak
+  (tracemalloc), and asserts the streamed run is bit-identical to the
+  same columns processed in RAM.
 * **parallel sweep** — a small :func:`~repro.experiments.run_comparison`
   sweep run serially and with ``n_workers`` processes; the statistics
   must be bit-identical and the speedup is the wall-clock ratio.  On a
@@ -29,7 +35,9 @@ from __future__ import annotations
 import json
 import os
 import platform
+import tempfile
 import time
+import tracemalloc
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
@@ -38,6 +46,7 @@ from ..allocation.submodular import (
     HeterogeneousProblem,
     greedy_heterogeneous,
 )
+from ..contacts import homogeneous_poisson_trace, load_binary
 from ..demand import DemandModel, generate_requests
 from ..sim._reference import ReferenceSimulation
 from ..sim.engine import Simulation
@@ -45,7 +54,12 @@ from ..utility import StepUtility
 from .checkpoint import result_to_dict
 from .reporting import render_table
 from .runner import run_comparison
-from .scenarios import Scenario, homogeneous_scenario, standard_protocols
+from .scenarios import (
+    Scenario,
+    homogeneous_scenario,
+    large_scale_scenario,
+    standard_protocols,
+)
 
 __all__ = [
     "run_speed_benchmark",
@@ -85,6 +99,53 @@ def _time_run(build: Callable[[], Simulation], repeats: int) -> Tuple[float, Any
     return best, result
 
 
+def _time_run_pair(
+    build_ref: Callable[[], Simulation],
+    build_opt: Callable[[], Simulation],
+    repeats: int,
+) -> Tuple[float, float, Any, Any]:
+    """Interleaved best-of-*repeats* timing of two engines.
+
+    Alternating reference/optimized runs within each repeat keeps slow
+    machine-load drift correlated between the two measurements, which
+    stabilizes the reported ratio far better than timing each engine
+    in its own sequential block.
+    """
+    ref_best = float("inf")
+    opt_best = float("inf")
+    ref_result = None
+    opt_result = None
+    for _ in range(repeats):
+        sim = build_ref()
+        start = time.perf_counter()
+        ref_result = sim.run()
+        ref_best = min(ref_best, time.perf_counter() - start)
+        sim = build_opt()
+        start = time.perf_counter()
+        opt_result = sim.run()
+        opt_best = min(opt_best, time.perf_counter() - start)
+    return ref_best, opt_best, ref_result, opt_result
+
+
+def _run_peak_mb(build: Callable[[], Simulation]) -> float:
+    """Peak Python-heap (MB) of one run phase, measured by tracemalloc.
+
+    Setup happens before tracing starts, so the figure isolates what the
+    event pipeline itself allocates — the quantity the columnar layout
+    is supposed to keep flat (and, for streamed runs, bounded by the
+    merge chunk size).  Tracemalloc slows execution, which is why this
+    is a separate run and never shares a process phase with the timers.
+    """
+    sim = build()
+    tracemalloc.start()
+    try:
+        sim.run()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1e6
+
+
 def _bench_engine_case(
     scenario: Scenario,
     protocol_name: str,
@@ -106,10 +167,9 @@ def _bench_engine_case(
             trace, requests, scenario.config, protocol, seed=seed + 2
         )
 
-    ref_seconds, ref_result = _time_run(
-        lambda: build(ReferenceSimulation), repeats
+    ref_seconds, opt_seconds, ref_result, opt_result = _time_run_pair(
+        lambda: build(ReferenceSimulation), lambda: build(Simulation), repeats
     )
-    opt_seconds, opt_result = _time_run(lambda: build(Simulation), repeats)
     return {
         "protocol": protocol_name,
         "n_events": n_events,
@@ -119,6 +179,94 @@ def _bench_engine_case(
         "optimized_events_per_sec": n_events / opt_seconds,
         "speedup": ref_seconds / opt_seconds,
         "bit_identical": _results_identical(ref_result, opt_result),
+        "optimized_run_peak_mb": _run_peak_mb(lambda: build(Simulation)),
+    }
+
+
+def _bench_streamed_case(
+    *,
+    n_nodes: int,
+    target_events: int,
+    duration: float,
+    seed: int,
+    chunk_events: int,
+    protocol_name: str = "UNI",
+) -> Dict[str, Any]:
+    """The large-scale columnar case: binary trace, memmap, streamed run.
+
+    The trace is generated chunk-by-chunk straight to the binary format,
+    reopened as a read-only memory map, and simulated through the
+    streamed event pipeline.  One eager run on the same columns loaded
+    into RAM checks that streaming is bit-identical to the in-memory
+    path, and a tracemalloc run records the streamed run-phase heap peak
+    (which stays bounded by the merge chunk, not the trace size).
+    """
+    scenario = large_scale_scenario(
+        StepUtility(10.0),
+        n_nodes=n_nodes,
+        target_events=target_events,
+        duration=duration,
+    )
+    factories = standard_protocols(scenario, include=(protocol_name,))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        path = os.path.join(tmp, "trace.ctb")
+        start = time.perf_counter()
+        streamed_trace = homogeneous_poisson_trace(
+            n_nodes,
+            scenario.mu_estimate,
+            duration,
+            seed=seed,
+            out=path,
+            chunk_target=chunk_events,
+        )
+        generation_seconds = time.perf_counter() - start
+        requests = generate_requests(
+            scenario.demand,
+            n_nodes,
+            duration,
+            seed=seed + 1,
+            chunk_target=chunk_events,
+        )
+        eager_trace = load_binary(path, mmap=False, validate=False)
+        n_events = len(streamed_trace.times) + len(requests.times)
+
+        def build(trace) -> Simulation:
+            protocol = factories[protocol_name](trace, requests)
+            return Simulation(
+                trace,
+                requests,
+                scenario.config,
+                protocol,
+                seed=seed + 2,
+                chunk_events=chunk_events,
+            )
+
+        def build_eager() -> Simulation:
+            protocol = factories[protocol_name](eager_trace, requests)
+            return Simulation(
+                eager_trace,
+                requests,
+                scenario.config,
+                protocol,
+                seed=seed + 2,
+            )
+
+        sim = build(streamed_trace)
+        start = time.perf_counter()
+        streamed_result = sim.run()
+        streamed_seconds = time.perf_counter() - start
+        eager_result = build_eager().run()
+        peak_mb = _run_peak_mb(lambda: build(streamed_trace))
+    return {
+        "protocol": protocol_name,
+        "n_nodes": n_nodes,
+        "n_events": n_events,
+        "chunk_events": chunk_events,
+        "generation_seconds": generation_seconds,
+        "streamed_seconds": streamed_seconds,
+        "streamed_events_per_sec": n_events / streamed_seconds,
+        "run_peak_mb": peak_mb,
+        "bit_identical": _results_identical(streamed_result, eager_result),
     }
 
 
@@ -218,7 +366,7 @@ def run_speed_benchmark(
     structure of the report is identical at both scales.
     """
     if repeats is None:
-        repeats = 1 if quick else 3
+        repeats = 3 if quick else 7
     duration = 400.0 if quick else 2000.0
     sweep_duration = 200.0 if quick else 600.0
     n_trials = 4 if quick else 8
@@ -233,6 +381,13 @@ def run_speed_benchmark(
         )
         for name in ("OPT", "QCR")
     ]
+    streamed = _bench_streamed_case(
+        n_nodes=10**4 if quick else 10**6,
+        target_events=10**6 if quick else 10**7,
+        duration=duration,
+        seed=29,
+        chunk_events=1 << 18,
+    )
     sweep_scenario = homogeneous_scenario(
         utility, duration=sweep_duration, record_interval=None
     )
@@ -259,6 +414,7 @@ def run_speed_benchmark(
             "cases": cases,
             "min_speedup": min(case["speedup"] for case in cases),
         },
+        "streamed": streamed,
         "parallel": parallel,
         "allocation": allocation,
     }
@@ -279,14 +435,44 @@ def render_speed_report(report: Dict[str, Any]) -> str:
             f"{case['reference_events_per_sec']:,.0f}",
             f"{case['optimized_events_per_sec']:,.0f}",
             f"{case['speedup']:.2f}x",
+            f"{case['optimized_run_peak_mb']:.1f}",
             "yes" if case["bit_identical"] else "NO",
         ]
         for case in report["engine"]["cases"]
     ]
     engine_table = render_table(
-        ["protocol", "ref ev/s", "opt ev/s", "speedup", "bit-identical"],
+        [
+            "protocol",
+            "ref ev/s",
+            "opt ev/s",
+            "speedup",
+            "peak MB",
+            "bit-identical",
+        ],
         engine_rows,
         title=f"engine throughput ({report['scale']} scale)",
+    )
+    streamed = report["streamed"]
+    streamed_table = render_table(
+        ["metric", "value"],
+        [
+            ["nodes", f"{streamed['n_nodes']:,}"],
+            ["events", f"{streamed['n_events']:,}"],
+            ["protocol", streamed["protocol"]],
+            ["generation", f"{streamed['generation_seconds']:.2f}s"],
+            ["streamed run", f"{streamed['streamed_seconds']:.2f}s"],
+            [
+                "throughput",
+                f"{streamed['streamed_events_per_sec']:,.0f} ev/s",
+            ],
+            ["run peak heap", f"{streamed['run_peak_mb']:.1f} MB"],
+            ["chunk", f"{streamed['chunk_events']:,} events"],
+            [
+                "bit-identical",
+                "yes" if streamed["bit_identical"] else "NO",
+            ],
+        ],
+        title="streamed large-scale case (binary trace, memmap)",
     )
     par = report["parallel"]
     parallel_table = render_table(
@@ -324,4 +510,12 @@ def render_speed_report(report: Dict[str, Any]) -> str:
         ],
         title="allocation solver (lazy vs. naive greedy)",
     )
-    return engine_table + "\n\n" + parallel_table + "\n\n" + alloc_table
+    return (
+        engine_table
+        + "\n\n"
+        + streamed_table
+        + "\n\n"
+        + parallel_table
+        + "\n\n"
+        + alloc_table
+    )

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -175,11 +175,21 @@ class QCR(ReplicationProtocol):
         # Without adaptive_mu the hook needs no per-contact bookkeeping,
         # so the engine may skip it entirely on mandate-free contacts.
         self.contact_hook_idle_without_mandates = not config.adaptive_mu
+        # Both hooks only ever touch the mandate tables of the nodes
+        # they are handed (on_fulfill: the requester; after_contact:
+        # the two endpoints — routing moves mandates strictly between
+        # them), so the engine may track mandate presence with a
+        # running per-node count instead of reading the tables on
+        # every contact.
+        self.mandates_touch_only_hook_nodes = True
         #: Final-counter -> capped reaction target.  Valid because without
         #: adaptive_mu the reaction depends only on the counter and on
         #: per-run constants (``mu``, ``n_servers``, the pure correction);
         #: reset at initialize() since those constants are per-run.
-        self._reaction_memo: Dict[int, float] = {}
+        # y -> (floor(target), fractional remainder): the randomized
+        # rounding inputs, precomputed so the on_fulfill hot path skips
+        # a math.floor per fulfillment.
+        self._reaction_memo: Dict[int, Tuple[int, float]] = {}
 
     # ------------------------------------------------------------------
     # protocol hooks
@@ -257,17 +267,22 @@ class QCR(ReplicationProtocol):
             )
             if self._mandate_cap is not None:
                 target = min(target, self._mandate_cap)
+            mandates = self._randomized_round(target, sim.rng)
         else:
             memo = self._reaction_memo
-            cached_target = memo.get(y)
-            if cached_target is None:
+            entry = memo.get(y)
+            if entry is None:
                 target = self.reaction(y, sim)
                 if self._mandate_cap is not None:
                     target = min(target, self._mandate_cap)
-                memo[y] = target
-            else:
-                target = cached_target
-        mandates = self._randomized_round(target, sim.rng)
+                base = math.floor(target)
+                entry = (int(base), target - base)
+                memo[y] = entry
+            # Inlined ``_randomized_round``: identical draw condition,
+            # so the RNG stream is untouched.
+            mandates, fraction = entry
+            if fraction > 0 and sim.rng.random() < fraction:
+                mandates += 1
         if mandates <= 0:
             return
         # New mandates start at the requester — the "node of origin" of

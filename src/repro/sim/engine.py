@@ -22,9 +22,18 @@ machinery and identical randomness.
 from __future__ import annotations
 
 import math
-from typing import AbstractSet, Dict, List, Optional, Tuple
+from typing import (
+    AbstractSet,
+    Collection,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
+import numpy.typing as npt
 
 #: Kind codes of the pre-merged event stream.  The numeric order *is*
 #: the documented same-time tie rule: faults apply first (a node that
@@ -34,6 +43,18 @@ EVENT_FAULT = 0
 EVENT_REQUEST = 1
 EVENT_CONTACT = 2
 
+#: Merge granularity of the streamed event pipeline: contacts are pulled
+#: off the (possibly memory-mapped) trace in runs of about this many
+#: events, so peak heap scales with the chunk, not the trace.
+_DEFAULT_CHUNK_EVENTS = 1 << 18
+#: Sub-chunk granularity of the masked plain loop: the per-node activity
+#: snapshot used to skip no-op contacts is refreshed every block, so
+#: smaller blocks skip more but amortize less vectorized work.
+_MASK_BLOCK_EVENTS = 1 << 15
+#: Below this node count the activity mask cannot stay selective (every
+#: node requests within one block) and the segmented loop is used.
+_MASK_MIN_NODES = 512
+
 #: Version of the engine's observable semantics, keyed into the
 #: content-addressed run cache (:mod:`repro.simcache`).  Bump whenever a
 #: change could alter simulation *results* — cached entries from older
@@ -41,13 +62,6 @@ EVENT_CONTACT = 2
 #: keep bit-identity (the contract enforced against ``sim/_reference``)
 #: do not require a bump.
 ENGINE_CODE_VERSION = "2026.08-array-core-1"
-
-#: One pre-merged event: ``(kind, time, arg_a, arg_b)`` — the layout
-#: consumed by the traced and fault-injected loops.  The plain fast loop
-#: consumes a widened ``(kind, time, arg_a, arg_b, x, y)`` layout whose
-#: trailing payloads carry precomputed server-meeting counts (see
-#: ``_build_event_stream``).
-_Event = Tuple[int, float, int, int]
 
 from ..contacts import ContactTrace
 from ..demand import RequestSchedule
@@ -58,12 +72,39 @@ from ..obs.manifest import RunManifest
 from ..obs.timing import Stopwatch
 from ..obs.tracer import Tracer
 from ..protocols.base import ReplicationProtocol
-from ..types import IntArray, SeedLike, as_rng
+from ..types import FloatArray, IntArray, SeedLike, as_rng
+from ..utility import StepUtility
 from .config import SimulationConfig
 from .metrics import MetricsCollector, SimulationResult
 from .node import NodeState, Request
 
 __all__ = ["Simulation", "simulate"]
+
+#: One pre-cut run of the merged stream, as consumed by the hot loops:
+#: ``(kinds, times, arg_a, arg_b, payload_x, payload_y, request_positions,
+#: snapshot)``.  The payload columns and request-position index exist only
+#: in plain (untraced, fault-free) mode; *snapshot*, when not ``None``, is
+#: the instant to record after the chunk's events.
+_Chunk = Tuple[
+    IntArray,
+    FloatArray,
+    IntArray,
+    IntArray,
+    Optional[IntArray],
+    Optional[IntArray],
+    Optional[List[int]],
+    Optional[float],
+]
+
+
+def _memmap_backed(array: np.ndarray) -> bool:
+    """True when *array* is (a view of) a memory-mapped file."""
+    seen: object = array
+    while isinstance(seen, np.ndarray):
+        if isinstance(seen, np.memmap):
+            return True
+        seen = seen.base
+    return False
 
 
 class Simulation:
@@ -103,6 +144,7 @@ class Simulation:
         "_utility",
         "_h0",
         "_h0_finite",
+        "_step_tau",
         "_timeout",
         "_skip_self",
         "_abandoned_gain",
@@ -114,6 +156,18 @@ class Simulation:
         "_event_a",
         "_event_b",
         "_fault_events",
+        "_fault_times",
+        "_req_times",
+        "_req_items",
+        "_req_nodes",
+        "_is_server_arr",
+        "_requester_arr",
+        "_all_servers",
+        "_n_events",
+        "_chunk_events",
+        "_streamed",
+        "_snap_times",
+        "_payload_needed",
         "_chunks",
         "_outstanding_tbl",
         "_cache_tbl",
@@ -132,7 +186,13 @@ class Simulation:
         faults: Optional[FaultSchedule] = None,
         tracer: Optional[Tracer] = None,
         collect_manifest: bool = False,
+        chunk_events: Optional[int] = None,
     ) -> None:
+        if chunk_events is not None and chunk_events < 1:
+            raise ConfigurationError(
+                f"chunk_events must be >= 1, got {chunk_events}"
+            )
+        self._chunk_events = chunk_events
         if requests.duration > trace.duration + 1e-9:
             raise ConfigurationError(
                 "request schedule extends past the contact trace"
@@ -240,6 +300,12 @@ class Simulation:
         self._utility = utility
         self._h0 = utility.h0
         self._h0_finite = math.isfinite(utility.h0)
+        # Step utilities admit a branch-only gain computation; resolving
+        # tau here lets ``_fulfill_hits`` skip the utility call (and the
+        # finiteness guard — a step gain is always 0 or 1) per fulfill.
+        self._step_tau = (
+            utility.tau if isinstance(utility, StepUtility) else None
+        )
         self._timeout = config.request_timeout
         self._skip_self = config.self_request_policy == "skip"
         gain_never = utility.gain_never
@@ -294,8 +360,16 @@ class Simulation:
         ``np.lexsort`` on ``(time, kind)`` interleaves them while
         preserving the fault -> request -> contact same-time tie rule
         (kind codes are ordered that way) and the original order within
-        each stream.  Built once per simulation so ``run()`` does no
-        per-call array conversion.
+        each stream.  The merged stream stays columnar — flat NumPy
+        arrays the hot loops index directly — and is either
+        materialized once here (eager mode) or produced block by block
+        at ``run()`` time from the possibly memory-mapped trace, so
+        peak heap scales with ``chunk_events`` instead of the trace
+        (streamed mode, selected by an explicit ``chunk_events`` or a
+        memory-mapped trace).  Both modes cut the stream at the same
+        snapshot instants and sort each block with the same stable
+        key, so the concatenation of streamed blocks reproduces the
+        eager order exactly.
         """
         trace = self.trace
         requests = self.requests
@@ -305,10 +379,65 @@ class Simulation:
             if self.faults is not None
             else []
         )
+        self._fault_events = fault_events
+        self._fault_times: FloatArray = np.asarray(
+            [e.time for e in fault_events], dtype=np.float64
+        )
+        # ascontiguousarray passes memory-mapped columns through
+        # untouched (no copy) when the dtype already matches, so the
+        # streamed merge reads request/fault columns lazily too.
+        self._req_times: FloatArray = np.ascontiguousarray(
+            requests.times, dtype=np.float64
+        )
+        self._req_items: IntArray = np.ascontiguousarray(
+            requests.items, dtype=np.int64
+        )
+        self._req_nodes: IntArray = np.ascontiguousarray(
+            requests.nodes, dtype=np.int64
+        )
+        is_server = np.zeros(len(self.nodes), dtype=bool)
+        if len(self.server_ids):
+            is_server[np.asarray(self.server_ids, dtype=np.int64)] = True
+        self._is_server_arr: npt.NDArray[np.bool_] = is_server
+        # Nodes that ever issue a request.  Outstanding requests — the
+        # only consumers of precomputed meeting counts — can exist
+        # nowhere else, so payload slots are computed for these nodes
+        # only (see ``_plain_payloads``).
+        requester = np.zeros(len(self.nodes), dtype=bool)
+        requester[self._req_nodes] = True
+        self._requester_arr: npt.NDArray[np.bool_] = requester
+        self._all_servers = bool(is_server.all())
+        self._payload_needed = self.tracer is None and self.faults is None
+        # Snapshot instants, generated by the same repeated float
+        # accumulation the per-event loop used (not np.arange), so the
+        # recorded instants are bit-identical; ``side='left'`` in
+        # _cut_chunks puts a snapshot at time s before any event at
+        # exactly s, matching the old ``t >= s`` rule.
+        record_interval = self.config.record_interval
+        snap_times: List[float] = []
+        if record_interval is not None:
+            s = 0.0
+            while s <= horizon:
+                snap_times.append(s)
+                s += record_interval
+        self._snap_times = snap_times
         n_f, n_q, n_c = len(fault_events), len(requests.times), len(trace.times)
-        total = n_f + n_q + n_c
+        self._n_events = n_f + n_q + n_c
+        self._streamed = self._chunk_events is not None or _memmap_backed(
+            trace.times
+        )
+        self._event_times: Optional[FloatArray] = None
+        self._event_kinds: Optional[IntArray] = None
+        self._event_a: Optional[IntArray] = None
+        self._event_b: Optional[IntArray] = None
+        self._chunks: Optional[List[_Chunk]] = None
+        if self._streamed:
+            # Nothing is materialized up front: _iter_streamed_chunks
+            # merges block by block while the run loops consume.
+            return
+        total = self._n_events
         times = np.empty(total, dtype=np.float64)
-        times[:n_f] = [e.time for e in fault_events]
+        times[:n_f] = self._fault_times
         times[n_f : n_f + n_q] = requests.times
         times[n_f + n_q :] = trace.times
         kinds = np.empty(total, dtype=np.int64)
@@ -329,132 +458,363 @@ class Simulation:
         sorted_kinds = kinds[order]
         sorted_a = arg_a[order]
         sorted_b = arg_b[order]
-        self._event_times: List[float] = sorted_times.tolist()
-        self._event_kinds: List[int] = sorted_kinds.tolist()
-        self._event_a: List[int] = sorted_a.tolist()
-        self._event_b: List[int] = sorted_b.tolist()
-        self._fault_events = fault_events
-        # The plain (untraced, fault-free) loop consumes a widened event
-        # layout carrying precomputed query-counter state.  A request's
-        # final query counter is the number of direction slots in which
-        # its node met a server between creation and fulfillment — in a
-        # fault-free run that is a pure function of the contact trace,
-        # so per-event payloads replace all per-request counter
-        # bookkeeping: contacts carry each endpoint's inclusive
-        # server-meeting count (-1 when the peer is not a server, i.e.
-        # the direction is a no-op), requests carry the node's count at
-        # creation, and the counter at fulfillment is the difference.
-        # With faults, blocked and dropped contacts must not count, so
-        # the fault loop maintains the same counts dynamically instead.
-        events: List[Tuple[int, ...]]
-        if self.tracer is None and self.faults is None:
-            is_server = np.zeros(len(self.nodes), dtype=bool)
-            is_server[np.asarray(self.server_ids, dtype=np.int64)] = True
-            contact_mask = sorted_kinds == EVENT_CONTACT
-            count_a_valid = contact_mask & is_server[sorted_b]
-            count_b_valid = contact_mask & is_server[sorted_a]
-            event_idx = np.arange(total, dtype=np.int64)
-            inc_nodes = np.concatenate(
-                (sorted_a[count_a_valid], sorted_b[count_b_valid])
+        self._event_times = sorted_times
+        self._event_kinds = sorted_kinds
+        self._event_a = sorted_a
+        self._event_b = sorted_b
+        if self._payload_needed:
+            payload_x, payload_y = self._plain_payloads(
+                sorted_kinds,
+                sorted_a,
+                sorted_b,
+                np.zeros(len(self.nodes), dtype=np.int64),
             )
-            inc_idx = np.concatenate(
-                (event_idx[count_a_valid], event_idx[count_b_valid])
+        else:
+            payload_x = payload_y = None
+        self._chunks, _ = self._cut_chunks(
+            sorted_kinds,
+            sorted_times,
+            sorted_a,
+            sorted_b,
+            payload_x,
+            payload_y,
+            snap_idx=0,
+            last=True,
+        )
+
+    def _plain_payloads(
+        self,
+        kinds: IntArray,
+        arg_a: IntArray,
+        arg_b: IntArray,
+        meet_base: IntArray,
+    ) -> Tuple[IntArray, IntArray]:
+        """Widened payload columns for one sorted event block.
+
+        The plain (untraced, fault-free) loop consumes precomputed
+        query-counter state: a request's final query counter is the
+        number of direction slots in which its node met a server
+        between creation and fulfillment — in a fault-free run that is
+        a pure function of the contact trace, so per-event payloads
+        replace all per-request counter bookkeeping.  Contacts carry
+        each endpoint's inclusive server-meeting count (``-1`` when
+        the peer is not a server, i.e. the direction is a no-op),
+        requests carry the node's count at creation, and the counter
+        at fulfillment is the difference (see ``_fulfill_hits``).
+        With faults, blocked and dropped contacts must not count, so
+        the fault loop maintains the same counts dynamically instead.
+
+        *meet_base* holds each node's meeting count entering the block
+        and is advanced in place for the following block — the streamed
+        pipeline's carry (all zeros and discarded in eager mode).
+        """
+        total = len(kinds)
+        is_server = self._is_server_arr
+        # Meeting counts are only ever read for a node with outstanding
+        # requests (every ``mx``/``my`` read in the run loops sits
+        # behind an ``out``/``out_a``/``out_b`` guard), and outstanding
+        # requests can only exist on nodes that appear in the request
+        # schedule.  Restricting the counted slots to those nodes keeps
+        # every consumed value exact while shrinking the sort from
+        # O(contacts) to O(contacts involving requesters) — at
+        # million-node scale that is the difference between the payload
+        # pass dominating the run and it vanishing.  (In the
+        # non-all-server candidate filter the ``served`` mask weakens
+        # accordingly, which only drops contacts that are provable
+        # no-ops: a non-requester endpoint can never fulfill.)
+        requester = self._requester_arr
+        contact_mask = kinds == EVENT_CONTACT
+        count_a_valid = contact_mask & is_server[arg_b]
+        count_a_valid &= requester[arg_a]
+        count_b_valid = contact_mask & is_server[arg_a]
+        count_b_valid &= requester[arg_b]
+        idx_a = np.flatnonzero(count_a_valid)
+        idx_b = np.flatnonzero(count_b_valid)
+        n_inc = len(idx_a) + len(idx_b)
+        # Pack (node, slot) into one integer per increment slot — slot
+        # is 2*event_index + direction, so within a node the packed
+        # keys follow stream order and an a-slot precedes the same
+        # event's b-slot.  One in-place sort of the unique keys then
+        # groups slots by node in time order, and the slot decodes
+        # straight back out of the key: no lexsort, no argsort
+        # permutation to invert.  (The int64 guard never trips for the
+        # pair-index node range, but eager blocks can be the whole
+        # stream, so it stays.)
+        shift = max(1, int(2 * total - 1).bit_length())
+        assert len(self.nodes) <= (1 << (63 - shift)), (
+            "packed payload key would overflow"
+        )
+        keys = np.concatenate(
+            (
+                (arg_a[idx_a] << shift) | (2 * idx_a),
+                (arg_b[idx_b] << shift) | (2 * idx_b + 1),
             )
-            # Not an event merge: groups the already time-ordered
-            # increment slots by node to rank server meetings per node.
-            grouped = np.lexsort((inc_idx, inc_nodes))  # repro-lint: ignore[RPL004]
-            g_nodes = inc_nodes[grouped]
-            g_idx = inc_idx[grouped]
-            n_inc = len(g_nodes)
+        )
+        keys.sort()
+        g_nodes = keys >> shift
+        g_slot = keys & ((1 << shift) - 1)
+        g_idx = g_slot >> 1
+        payload_x = np.full(total, -1, dtype=np.int64)
+        payload_y = np.full(total, -1, dtype=np.int64)
+        if n_inc:
+            new_group = np.empty(n_inc, dtype=bool)
+            new_group[0] = True
+            np.not_equal(g_nodes[1:], g_nodes[:-1], out=new_group[1:])
+            starts = np.flatnonzero(new_group)
+            sizes = np.diff(np.append(starts, n_inc))
+            # 1-based rank within each node's increment run plus the
+            # carried base: the inclusive meeting count at that slot.
+            counts_g = (
+                np.arange(n_inc, dtype=np.int64)
+                - np.repeat(starts, sizes)
+                + 1
+                + meet_base[g_nodes]
+            )
+            b_side = (g_slot & 1).astype(bool)
+            payload_x[g_idx[~b_side]] = counts_g[~b_side]
+            payload_y[g_idx[b_side]] = counts_g[b_side]
+        else:
+            starts = np.zeros(0, dtype=np.int64)
+            sizes = np.zeros(0, dtype=np.int64)
+        # Request births: the node's meeting count just before the
+        # request's position in the stream.
+        request_mask = kinds == EVENT_REQUEST
+        if request_mask.any():
+            req_positions = np.flatnonzero(request_mask)
+            req_nodes = arg_b[req_positions]
+            births = meet_base[req_nodes]
             if n_inc:
-                new_group = np.empty(n_inc, dtype=bool)
-                new_group[0] = True
-                np.not_equal(g_nodes[1:], g_nodes[:-1], out=new_group[1:])
-                starts = np.flatnonzero(new_group)
-                sizes = np.diff(np.append(starts, n_inc))
-                # 1-based rank within each node's increment run: the
-                # inclusive meeting count at that direction slot.
-                ranks = (
-                    np.arange(n_inc, dtype=np.int64)
-                    - np.repeat(starts, sizes)
-                    + 1
+                # Group the requests by node as well, then rank each
+                # run against its node's increment segment with one
+                # searchsorted per node — no per-node dict and no
+                # O(requests) mask per node, which dominated
+                # million-node streamed blocks.
+                req_order = np.lexsort(  # repro-lint: ignore[RPL004]
+                    (req_positions, req_nodes)
                 )
-                counts_flat = np.empty(n_inc, dtype=np.int64)
-                counts_flat[grouped] = ranks
-            else:
-                starts = np.zeros(0, dtype=np.int64)
-                sizes = np.zeros(0, dtype=np.int64)
-                counts_flat = np.zeros(0, dtype=np.int64)
-            n_a_side = int(np.count_nonzero(count_a_valid))
-            payload_x = np.full(total, -1, dtype=np.int64)
-            payload_y = np.full(total, -1, dtype=np.int64)
-            payload_x[count_a_valid] = counts_flat[:n_a_side]
-            payload_y[count_b_valid] = counts_flat[n_a_side:]
-            # Request births: the node's meeting count just before the
-            # request's position in the stream.
-            request_mask = sorted_kinds == EVENT_REQUEST
-            if request_mask.any():
-                group_of = {
-                    int(node): (int(lo), int(lo + size))
-                    for node, lo, size in zip(g_nodes[starts], starts, sizes)
-                }
-                req_positions = np.flatnonzero(request_mask)
-                births = np.zeros(len(req_positions), dtype=np.int64)
-                req_nodes = sorted_b[req_positions]
-                for node in np.unique(req_nodes):
-                    bounds_ = group_of.get(int(node))
-                    if bounds_ is None:
+                rn = req_nodes[req_order]
+                rp = req_positions[req_order]
+                run_starts = np.flatnonzero(
+                    np.concatenate(([True], rn[1:] != rn[:-1]))
+                )
+                run_ends = np.append(run_starts[1:], len(rn))
+                group_heads = g_nodes[starts]
+                group_idx = np.searchsorted(group_heads, rn[run_starts])
+                for head, lo_r, hi_r in zip(group_idx, run_starts, run_ends):
+                    if (
+                        head >= len(group_heads)
+                        or group_heads[head] != rn[lo_r]
+                    ):
                         continue
-                    lo, hi = bounds_
-                    sel = req_nodes == node
-                    births[sel] = np.searchsorted(
-                        g_idx[lo:hi], req_positions[sel], side="left"
+                    lo = starts[head]
+                    hi = lo + sizes[head]
+                    births[req_order[lo_r:hi_r]] += np.searchsorted(
+                        g_idx[lo:hi], rp[lo_r:hi_r], side="left"
                     )
-                payload_x[req_positions] = births
-            events = list(
-                zip(
-                    self._event_kinds,
-                    self._event_times,
-                    self._event_a,
-                    self._event_b,
-                    payload_x.tolist(),
-                    payload_y.tolist(),
+            payload_x[req_positions] = births
+        if n_inc:
+            # Advance the carry.  ``g_nodes[starts]`` lists each node at
+            # most once, so the fancy-index add never collapses writes.
+            meet_base[g_nodes[starts]] += sizes
+        return payload_x, payload_y
+
+    def _chunk_tuple(
+        self,
+        kinds: IntArray,
+        times: FloatArray,
+        arg_a: IntArray,
+        arg_b: IntArray,
+        payload_x: Optional[IntArray],
+        payload_y: Optional[IntArray],
+        lo: int,
+        hi: int,
+        snap: Optional[float],
+    ) -> _Chunk:
+        kb = kinds[lo:hi]
+        req_pos: Optional[List[int]] = None
+        if self._payload_needed:
+            req_pos = np.flatnonzero(kb == EVENT_REQUEST).tolist()
+        return (
+            kb,
+            times[lo:hi],
+            arg_a[lo:hi],
+            arg_b[lo:hi],
+            payload_x[lo:hi] if payload_x is not None else None,
+            payload_y[lo:hi] if payload_y is not None else None,
+            req_pos,
+            snap,
+        )
+
+    def _cut_chunks(
+        self,
+        kinds: IntArray,
+        times: FloatArray,
+        arg_a: IntArray,
+        arg_b: IntArray,
+        payload_x: Optional[IntArray],
+        payload_y: Optional[IntArray],
+        snap_idx: int,
+        last: bool,
+    ) -> Tuple[List[_Chunk], int]:
+        """Cut one sorted event block at pending snapshot instants.
+
+        Returns the chunks plus the advanced snapshot cursor.  Each
+        chunk is the run of events strictly before one snapshot fires,
+        so the hot loops carry no per-event snapshot comparison.  A
+        snapshot past the block's end is deferred to a later block —
+        unless *last*, in which case every remaining snapshot fires
+        (possibly on empty chunks) so eager and streamed runs record
+        the same instants.
+        """
+        snap_times = self._snap_times
+        n = len(kinds)
+        chunks: List[_Chunk] = []
+        start = 0
+        while snap_idx < len(snap_times):
+            snap = snap_times[snap_idx]
+            pos = int(np.searchsorted(times, snap, side="left"))
+            if pos >= n and not last:
+                break
+            pos = min(pos, n)
+            chunks.append(
+                self._chunk_tuple(
+                    kinds, times, arg_a, arg_b, payload_x, payload_y,
+                    start, pos, snap,
                 )
             )
-        else:
-            events = list(
-                zip(
-                    self._event_kinds,
-                    self._event_times,
-                    self._event_a,
-                    self._event_b,
+            start = pos
+            snap_idx += 1
+        if start < n:
+            chunks.append(
+                self._chunk_tuple(
+                    kinds, times, arg_a, arg_b, payload_x, payload_y,
+                    start, n, None,
                 )
             )
-        # Chunk the stream at the snapshot instants so the hot loops
-        # carry no per-event snapshot comparison: each chunk is the run
-        # of events strictly before one snapshot fires.  Snapshot times
-        # are generated by the same repeated float accumulation the
-        # per-event loop used (not np.arange), so the recorded instants
-        # are bit-identical; ``side='left'`` puts a snapshot at time s
-        # before any event at exactly s, matching the old ``t >= s``
-        # rule.
-        record_interval = self.config.record_interval
-        chunks: List[Tuple[List[Tuple[int, ...]], Optional[float]]] = []
-        if record_interval is not None:
-            snap_times: List[float] = []
-            s = 0.0
-            while s <= horizon:
-                snap_times.append(s)
-                s += record_interval
-            bounds = np.searchsorted(sorted_times, snap_times, side="left")
-            start = 0
-            for snap, bound in zip(snap_times, bounds):
-                chunks.append((events[start : int(bound)], snap))
-                start = int(bound)
-            chunks.append((events[start:], None))
-        else:
-            chunks.append((events, None))
-        self._chunks = chunks
+        return chunks, snap_idx
+
+    def _iter_chunks(self) -> Iterator[_Chunk]:
+        """The pre-cut chunks (eager) or a block-merging generator."""
+        if self._chunks is not None:
+            return iter(self._chunks)
+        return self._iter_streamed_chunks()
+
+    def _iter_streamed_chunks(self) -> Iterator[_Chunk]:
+        """Merge the three event streams block by block.
+
+        Contacts are pulled off the (possibly memory-mapped) trace in
+        runs of about ``chunk_events``, extended to cover the whole
+        same-time run at the cut edge; the requests and faults up to
+        the block's last contact time then merge in with the same
+        stable lexsort the eager path uses.  Because each stream is
+        time-sorted and no same-time contact run is ever split, the
+        concatenation of the per-block sorts equals the global stable
+        sort — streamed runs are bit-identical to eager ones.
+        """
+        trace = self.trace
+        chunk = self._chunk_events or _DEFAULT_CHUNK_EVENTS
+        ct = trace.times
+        ca = trace.node_a
+        cb = trace.node_b
+        n_c = len(ct)
+        req_times = self._req_times
+        req_items = self._req_items
+        req_nodes = self._req_nodes
+        fault_times = self._fault_times
+        n_q = len(req_times)
+        n_f = len(fault_times)
+        payload_needed = self._payload_needed
+        meet_base = (
+            np.zeros(len(self.nodes), dtype=np.int64)
+            if payload_needed
+            else None
+        )
+        c0 = r0 = f0 = 0
+        snap_idx = 0
+        while c0 < n_c:
+            c1 = min(c0 + chunk, n_c)
+            if c1 < n_c:
+                # Never split a same-time contact run across blocks: a
+                # request or fault at that instant must lexsort before
+                # every one of those contacts, which requires them all
+                # in the same block.
+                c1 = int(np.searchsorted(ct, float(ct[c1 - 1]), side="right"))
+            t_hi = float(ct[c1 - 1])
+            last = c1 >= n_c
+            if last:
+                r1, f1 = n_q, n_f
+            else:
+                r1 = int(np.searchsorted(req_times, t_hi, side="right"))
+                f1 = int(np.searchsorted(fault_times, t_hi, side="right"))
+            n_fb, n_qb = f1 - f0, r1 - r0
+            total = n_fb + n_qb + (c1 - c0)
+            times = np.empty(total, dtype=np.float64)
+            times[:n_fb] = fault_times[f0:f1]
+            times[n_fb : n_fb + n_qb] = req_times[r0:r1]
+            times[n_fb + n_qb :] = ct[c0:c1]
+            kinds = np.empty(total, dtype=np.int64)
+            kinds[:n_fb] = EVENT_FAULT
+            kinds[n_fb : n_fb + n_qb] = EVENT_REQUEST
+            kinds[n_fb + n_qb :] = EVENT_CONTACT
+            arg_a = np.empty(total, dtype=np.int64)
+            arg_a[:n_fb] = np.arange(f0, f1)
+            arg_a[n_fb : n_fb + n_qb] = req_items[r0:r1]
+            arg_a[n_fb + n_qb :] = ca[c0:c1]
+            arg_b = np.zeros(total, dtype=np.int64)
+            arg_b[n_fb : n_fb + n_qb] = req_nodes[r0:r1]
+            arg_b[n_fb + n_qb :] = cb[c0:c1]
+            order = np.lexsort((kinds, times))
+            times = times[order]
+            kinds = kinds[order]
+            arg_a = arg_a[order]
+            arg_b = arg_b[order]
+            if payload_needed:
+                assert meet_base is not None
+                payload_x, payload_y = self._plain_payloads(
+                    kinds, arg_a, arg_b, meet_base
+                )
+            else:
+                payload_x = payload_y = None
+            chunks, snap_idx = self._cut_chunks(
+                kinds, times, arg_a, arg_b, payload_x, payload_y,
+                snap_idx, last,
+            )
+            yield from chunks
+            c0, r0, f0 = c1, r1, f1
+        if r0 < n_q or f0 < n_f or snap_idx < len(self._snap_times):
+            # Contact-free tail: requests/faults past the last contact
+            # (or a contact-free trace) plus any still-pending
+            # snapshots flush in one final block.
+            n_fb, n_qb = n_f - f0, n_q - r0
+            total = n_fb + n_qb
+            times = np.empty(total, dtype=np.float64)
+            times[:n_fb] = fault_times[f0:]
+            times[n_fb:] = req_times[r0:]
+            kinds = np.empty(total, dtype=np.int64)
+            kinds[:n_fb] = EVENT_FAULT
+            kinds[n_fb:] = EVENT_REQUEST
+            arg_a = np.empty(total, dtype=np.int64)
+            arg_a[:n_fb] = np.arange(f0, n_f)
+            arg_a[n_fb:] = req_items[r0:]
+            arg_b = np.zeros(total, dtype=np.int64)
+            arg_b[n_fb:] = req_nodes[r0:]
+            order = np.lexsort((kinds, times))
+            times = times[order]
+            kinds = kinds[order]
+            arg_a = arg_a[order]
+            arg_b = arg_b[order]
+            if payload_needed:
+                assert meet_base is not None
+                payload_x, payload_y = self._plain_payloads(
+                    kinds, arg_a, arg_b, meet_base
+                )
+            else:
+                payload_x = payload_y = None
+            chunks, _ = self._cut_chunks(
+                kinds, times, arg_a, arg_b, payload_x, payload_y,
+                snap_idx, True,
+            )
+            yield from chunks
 
     # ------------------------------------------------------------------
     # state manipulation (protocol-facing API)
@@ -610,7 +970,7 @@ class Simulation:
                 protocol=self.protocol.name,
                 wall_s=timer.wall,
                 cpu_s=timer.cpu,
-                n_events=len(self._event_times),
+                n_events=self._n_events,
             ).to_dict()
         result = self.metrics.build_result(
             self.counts, n_unfulfilled, manifest=manifest
@@ -817,12 +1177,45 @@ class Simulation:
     def _run_plain(self) -> None:
         """Untraced, fault-free: every node is permanently online.
 
-        Consumes the widened event layout: contacts carry each
+        Consumes the widened columnar layout: contacts carry each
         endpoint's precomputed inclusive server-meeting count (``-1``
         when that direction's provider is not a server), requests carry
         the node's count at creation (stashed in ``Request.counter``
         and turned into the final query counter by subtraction at
-        fulfillment — see ``_fulfill_hits``).
+        fulfillment — see ``_fulfill_hits``).  Fully hook-free
+        protocols on large node sets take the vectorized masked loop;
+        everything else takes a specialized segmented per-index loop.
+        The segmented loops precompute each chunk's request positions,
+        so the inner contact runs carry no per-event kind test and
+        read the time and payload columns only when a direction can
+        actually matter.  Keep the loop copies in sync: they differ
+        only in hook dispatch.
+        """
+        if self._hook_free_contact:
+            if self._hook_free_fulfill and len(self.nodes) >= _MASK_MIN_NODES:
+                self._run_plain_masked()
+            else:
+                self._run_plain_nohook()
+        elif self._contact_hook_idle and bool(
+            getattr(self.protocol, "mandates_touch_only_hook_nodes", False)
+        ):
+            self._run_plain_counted()
+        else:
+            self._run_plain_generic()
+
+    def _run_plain_counted(self) -> None:
+        """Segmented plain loop with mandate-presence counting.
+
+        For protocols promising both an idle mandate-free contact hook
+        and hook mutations confined to the hook's own nodes
+        (``mandates_touch_only_hook_nodes``, the QCR family), a running
+        count of mandate-holding nodes replaces the per-contact mandate
+        table reads: while the count is zero and neither endpoint has
+        outstanding requests — QCR's common steady state — the contact
+        provably touches no state at all and the loop skips it without
+        further reads.  The count is re-derived from the two endpoint
+        entries around every call that may mutate them, so it stays
+        exact.
         """
         nodes = self.nodes
         outstanding_tbl = self._outstanding_tbl
@@ -832,52 +1225,763 @@ class Simulation:
         record_fulfillment = metrics.record_fulfillment
         fulfill_hits = self._fulfill_hits
         fulfill_direction = self._fulfill_direction
-        hooked = not self._hook_free_contact
+        mand_count = sum(1 for mand in mandates_tbl if mand)
+        after_contact = self.protocol.after_contact
+        skip_self = self._skip_self
+        h0 = self._h0
+        h0_finite = self._h0_finite
+        no_timeout = self._timeout is None
+        x_always = self._all_servers
+        # Single-item step-utility fulfills — the dominant fulfill shape
+        # — are inlined below with ``record_fulfillment``'s exact
+        # statement order; everything else routes through
+        # ``_fulfill_hits``.
+        step_tau = self._step_tau
+        step_fast = step_tau is not None
+        tie_gain = h0 if h0_finite else 0.0
+        delays_append = metrics.delays.append
+        window_gains = metrics.window_gains
+        window_fulfillments = metrics.window_fulfillments
+        window_length = metrics.window_length
+        last_window = len(window_gains) - 1
+        notify = not self._hook_free_fulfill
+        on_fulfill = self.protocol.on_fulfill
+        # sole_tbl[u] is the node's single outstanding item id, or -1
+        # when it has zero or several: one list load replaces the
+        # ``len(out) == 1`` probe plus key-iterator on every
+        # guard-passing contact.  Every outstanding-dict mutation below
+        # keeps it exact (protocol hooks never touch outstanding).
+        sole_tbl = [
+            next(iter(out)) if len(out) == 1 else -1
+            for out in outstanding_tbl
+        ]
+        for kinds_b, times_b, arg_a, arg_b, px, py, req_pos, snap in (
+            self._iter_chunks()
+        ):
+            n = len(kinds_b)
+            assert px is not None and py is not None and req_pos is not None
+            mt = memoryview(times_b)
+            ma = memoryview(arg_a)
+            mb = memoryview(arg_b)
+            mx = memoryview(px)
+            my = memoryview(py)
+            seg = 0
+            for rp in (*req_pos, n):
+                for p in range(seg, rp):
+                    # A contact: skip without further reads unless an
+                    # endpoint has outstanding requests or any node
+                    # holds mandates.
+                    a = ma[p]
+                    b = mb[p]
+                    out_a = outstanding_tbl[a]
+                    out_b = outstanding_tbl[b]
+                    if out_a or out_b or mand_count:
+                        if mand_count:
+                            pre = (1 if mandates_tbl[a] else 0) + (
+                                1 if mandates_tbl[b] else 0
+                            )
+                        else:
+                            pre = 0
+                        hit = False
+                        if out_a and (x_always or mx[p] >= 0):
+                            if not no_timeout:
+                                hit = True
+                                fulfill_direction(mt[p], a, b, mx[p])
+                                if len(out_a) == 1:
+                                    for item in out_a:
+                                        break
+                                    sole_tbl[a] = item
+                                else:
+                                    sole_tbl[a] = -1
+                            else:
+                                item = sole_tbl[a]
+                                if item >= 0:
+                                    if item in cache_tbl[b]:
+                                        hit = True
+                                        sole_tbl[a] = -1
+                                        if step_fast:
+                                            t_ev = mt[p]
+                                            meet = mx[p]
+                                            window = min(
+                                                int(t_ev / window_length),
+                                                last_window,
+                                            )
+                                            for request in out_a.pop(item):
+                                                delay = (
+                                                    t_ev - request.created_at
+                                                )
+                                                if delay > 0:
+                                                    gain = (
+                                                        1.0
+                                                        if delay <= step_tau
+                                                        else 0.0
+                                                    )
+                                                else:
+                                                    gain = tie_gain
+                                                metrics.total_gain += gain
+                                                metrics.n_fulfilled += 1
+                                                delays_append(delay)
+                                                window_gains[window] += gain
+                                                window_fulfillments[
+                                                    window
+                                                ] += 1
+                                                if notify:
+                                                    on_fulfill(
+                                                        self,
+                                                        t_ev,
+                                                        nodes[a],
+                                                        nodes[b],
+                                                        item,
+                                                        meet
+                                                        - request.counter,
+                                                    )
+                                        else:
+                                            fulfill_hits(
+                                                mt[p], a, b, mx[p],
+                                                out_a, (item,),
+                                            )
+                                else:
+                                    hits = out_a.keys() & cache_tbl[b]
+                                    if hits:
+                                        hit = True
+                                        fulfill_hits(
+                                            mt[p], a, b, mx[p], out_a, hits
+                                        )
+                                        if len(out_a) == 1:
+                                            for item in out_a:
+                                                break
+                                            sole_tbl[a] = item
+                        if out_b and (x_always or my[p] >= 0):
+                            if not no_timeout:
+                                hit = True
+                                fulfill_direction(mt[p], b, a, my[p])
+                                if len(out_b) == 1:
+                                    for item in out_b:
+                                        break
+                                    sole_tbl[b] = item
+                                else:
+                                    sole_tbl[b] = -1
+                            else:
+                                item = sole_tbl[b]
+                                if item >= 0:
+                                    if item in cache_tbl[a]:
+                                        hit = True
+                                        sole_tbl[b] = -1
+                                        if step_fast:
+                                            t_ev = mt[p]
+                                            meet = my[p]
+                                            window = min(
+                                                int(t_ev / window_length),
+                                                last_window,
+                                            )
+                                            for request in out_b.pop(item):
+                                                delay = (
+                                                    t_ev - request.created_at
+                                                )
+                                                if delay > 0:
+                                                    gain = (
+                                                        1.0
+                                                        if delay <= step_tau
+                                                        else 0.0
+                                                    )
+                                                else:
+                                                    gain = tie_gain
+                                                metrics.total_gain += gain
+                                                metrics.n_fulfilled += 1
+                                                delays_append(delay)
+                                                window_gains[window] += gain
+                                                window_fulfillments[
+                                                    window
+                                                ] += 1
+                                                if notify:
+                                                    on_fulfill(
+                                                        self,
+                                                        t_ev,
+                                                        nodes[b],
+                                                        nodes[a],
+                                                        item,
+                                                        meet
+                                                        - request.counter,
+                                                    )
+                                        else:
+                                            fulfill_hits(
+                                                mt[p], b, a, my[p],
+                                                out_b, (item,),
+                                            )
+                                else:
+                                    hits = out_b.keys() & cache_tbl[a]
+                                    if hits:
+                                        hit = True
+                                        fulfill_hits(
+                                            mt[p], b, a, my[p], out_b, hits
+                                        )
+                                        if len(out_b) == 1:
+                                            for item in out_b:
+                                                break
+                                            sole_tbl[b] = item
+                        if hit or pre:
+                            if mandates_tbl[a] or mandates_tbl[b]:
+                                after_contact(
+                                    self, mt[p], nodes[a], nodes[b]
+                                )
+                            mand_count += (
+                                (1 if mandates_tbl[a] else 0)
+                                + (1 if mandates_tbl[b] else 0)
+                                - pre
+                            )
+                if rp < n:  # the request splitting this segment
+                    item = ma[rp]
+                    node_id = mb[rp]
+                    metrics.n_generated += 1
+                    if item in cache_tbl[node_id]:
+                        if skip_self:
+                            metrics.n_skipped_self += 1
+                        elif h0_finite:
+                            record_fulfillment(
+                                mt[rp], 0.0, h0, immediate=True
+                            )
+                        else:
+                            self._raise_infinite_h0(item, node_id)
+                    else:
+                        out = outstanding_tbl[node_id]
+                        request_list = out.get(item)
+                        if request_list is None:
+                            out[item] = [
+                                Request(item, node_id, mt[rp], mx[rp])
+                            ]
+                            sole_tbl[node_id] = (
+                                item if len(out) == 1 else -1
+                            )
+                        else:
+                            request_list.append(
+                                Request(item, node_id, mt[rp], mx[rp])
+                            )
+                seg = rp + 1
+            if snap is not None:
+                self._take_snapshot(snap)
+
+    def _run_plain_nohook(self) -> None:
+        """Segmented plain loop, no contact hook (static protocols)."""
+        nodes = self.nodes
+        outstanding_tbl = self._outstanding_tbl
+        cache_tbl = self._cache_tbl
+        metrics = self.metrics
+        record_fulfillment = metrics.record_fulfillment
+        fulfill_hits = self._fulfill_hits
+        fulfill_direction = self._fulfill_direction
+        skip_self = self._skip_self
+        h0 = self._h0
+        h0_finite = self._h0_finite
+        no_timeout = self._timeout is None
+        x_always = self._all_servers
+        # Single-item step-utility fulfills — the dominant fulfill shape
+        # — are inlined below with ``record_fulfillment``'s exact
+        # statement order; everything else routes through
+        # ``_fulfill_hits``.
+        step_tau = self._step_tau
+        step_fast = step_tau is not None
+        tie_gain = h0 if h0_finite else 0.0
+        delays_append = metrics.delays.append
+        window_gains = metrics.window_gains
+        window_fulfillments = metrics.window_fulfillments
+        window_length = metrics.window_length
+        last_window = len(window_gains) - 1
+        notify = not self._hook_free_fulfill
+        on_fulfill = self.protocol.on_fulfill
+        # sole_tbl[u]: the single outstanding item id, or -1 when the
+        # node has zero or several (see _run_plain_counted).
+        sole_tbl = [
+            next(iter(out)) if len(out) == 1 else -1
+            for out in outstanding_tbl
+        ]
+        for kinds_b, times_b, arg_a, arg_b, px, py, req_pos, snap in (
+            self._iter_chunks()
+        ):
+            n = len(kinds_b)
+            assert px is not None and py is not None and req_pos is not None
+            mt = memoryview(times_b)
+            ma = memoryview(arg_a)
+            mb = memoryview(arg_b)
+            mx = memoryview(px)
+            my = memoryview(py)
+            seg = 0
+            for rp in (*req_pos, n):
+                for p in range(seg, rp):
+                    a = ma[p]
+                    b = mb[p]
+                    out = outstanding_tbl[a]
+                    if out and (x_always or mx[p] >= 0):
+                        if not no_timeout:
+                            fulfill_direction(mt[p], a, b, mx[p])
+                            if len(out) == 1:
+                                for item in out:
+                                    break
+                                sole_tbl[a] = item
+                            else:
+                                sole_tbl[a] = -1
+                        else:
+                            item = sole_tbl[a]
+                            if item >= 0:
+                                if item in cache_tbl[b]:
+                                    sole_tbl[a] = -1
+                                    if step_fast:
+                                        t_ev = mt[p]
+                                        meet = mx[p]
+                                        window = min(
+                                            int(t_ev / window_length),
+                                            last_window,
+                                        )
+                                        for request in out.pop(item):
+                                            delay = t_ev - request.created_at
+                                            if delay > 0:
+                                                gain = (
+                                                    1.0
+                                                    if delay <= step_tau
+                                                    else 0.0
+                                                )
+                                            else:
+                                                gain = tie_gain
+                                            metrics.total_gain += gain
+                                            metrics.n_fulfilled += 1
+                                            delays_append(delay)
+                                            window_gains[window] += gain
+                                            window_fulfillments[window] += 1
+                                            if notify:
+                                                on_fulfill(
+                                                    self,
+                                                    t_ev,
+                                                    nodes[a],
+                                                    nodes[b],
+                                                    item,
+                                                    meet - request.counter,
+                                                )
+                                    else:
+                                        fulfill_hits(
+                                            mt[p], a, b, mx[p], out, (item,)
+                                        )
+                            else:
+                                hits = out.keys() & cache_tbl[b]
+                                if hits:
+                                    fulfill_hits(
+                                        mt[p], a, b, mx[p], out, hits
+                                    )
+                                    if len(out) == 1:
+                                        for item in out:
+                                            break
+                                        sole_tbl[a] = item
+                    out = outstanding_tbl[b]
+                    if out and (x_always or my[p] >= 0):
+                        if not no_timeout:
+                            fulfill_direction(mt[p], b, a, my[p])
+                            if len(out) == 1:
+                                for item in out:
+                                    break
+                                sole_tbl[b] = item
+                            else:
+                                sole_tbl[b] = -1
+                        else:
+                            item = sole_tbl[b]
+                            if item >= 0:
+                                if item in cache_tbl[a]:
+                                    sole_tbl[b] = -1
+                                    if step_fast:
+                                        t_ev = mt[p]
+                                        meet = my[p]
+                                        window = min(
+                                            int(t_ev / window_length),
+                                            last_window,
+                                        )
+                                        for request in out.pop(item):
+                                            delay = t_ev - request.created_at
+                                            if delay > 0:
+                                                gain = (
+                                                    1.0
+                                                    if delay <= step_tau
+                                                    else 0.0
+                                                )
+                                            else:
+                                                gain = tie_gain
+                                            metrics.total_gain += gain
+                                            metrics.n_fulfilled += 1
+                                            delays_append(delay)
+                                            window_gains[window] += gain
+                                            window_fulfillments[window] += 1
+                                            if notify:
+                                                on_fulfill(
+                                                    self,
+                                                    t_ev,
+                                                    nodes[b],
+                                                    nodes[a],
+                                                    item,
+                                                    meet - request.counter,
+                                                )
+                                    else:
+                                        fulfill_hits(
+                                            mt[p], b, a, my[p], out, (item,)
+                                        )
+                            else:
+                                hits = out.keys() & cache_tbl[a]
+                                if hits:
+                                    fulfill_hits(
+                                        mt[p], b, a, my[p], out, hits
+                                    )
+                                    if len(out) == 1:
+                                        for item in out:
+                                            break
+                                        sole_tbl[b] = item
+                if rp < n:  # the request splitting this segment
+                    item = ma[rp]
+                    node_id = mb[rp]
+                    metrics.n_generated += 1
+                    if item in cache_tbl[node_id]:
+                        if skip_self:
+                            metrics.n_skipped_self += 1
+                        elif h0_finite:
+                            record_fulfillment(
+                                mt[rp], 0.0, h0, immediate=True
+                            )
+                        else:
+                            self._raise_infinite_h0(item, node_id)
+                    else:
+                        out = outstanding_tbl[node_id]
+                        request_list = out.get(item)
+                        if request_list is None:
+                            out[item] = [
+                                Request(item, node_id, mt[rp], mx[rp])
+                            ]
+                            sole_tbl[node_id] = (
+                                item if len(out) == 1 else -1
+                            )
+                        else:
+                            request_list.append(
+                                Request(item, node_id, mt[rp], mx[rp])
+                            )
+                seg = rp + 1
+            if snap is not None:
+                self._take_snapshot(snap)
+
+    def _run_plain_generic(self) -> None:
+        """Segmented plain loop, generic hook dispatch (fallback)."""
+        nodes = self.nodes
+        outstanding_tbl = self._outstanding_tbl
+        cache_tbl = self._cache_tbl
+        mandates_tbl = self._mandates_tbl
+        metrics = self.metrics
+        record_fulfillment = metrics.record_fulfillment
+        fulfill_hits = self._fulfill_hits
+        fulfill_direction = self._fulfill_direction
         idle_hook = self._contact_hook_idle
         after_contact = self.protocol.after_contact
         skip_self = self._skip_self
         h0 = self._h0
         h0_finite = self._h0_finite
         no_timeout = self._timeout is None
-        for events, snap in self._chunks:
-            for kind, t, a, b, x, y in events:
-                if kind == 2:  # EVENT_CONTACT; x/y = meeting counts
+        x_always = self._all_servers
+        for kinds_b, times_b, arg_a, arg_b, px, py, req_pos, snap in (
+            self._iter_chunks()
+        ):
+            n = len(kinds_b)
+            assert px is not None and py is not None and req_pos is not None
+            mt = memoryview(times_b)
+            ma = memoryview(arg_a)
+            mb = memoryview(arg_b)
+            mx = memoryview(px)
+            my = memoryview(py)
+            seg = 0
+            for rp in (*req_pos, n):
+                for p in range(seg, rp):
+                    a = ma[p]
+                    b = mb[p]
                     out = outstanding_tbl[a]
-                    if out and x >= 0:
-                        if no_timeout:
+                    if out and (x_always or mx[p] >= 0):
+                        if not no_timeout:
+                            fulfill_direction(mt[p], a, b, mx[p])
+                        elif len(out) == 1:
+                            for item in out:
+                                break
+                            if item in cache_tbl[b]:
+                                fulfill_hits(
+                                    mt[p], a, b, mx[p], out, (item,)
+                                )
+                        else:
                             hits = out.keys() & cache_tbl[b]
                             if hits:
-                                fulfill_hits(t, a, b, x, out, hits)
-                        else:
-                            fulfill_direction(t, a, b, x)
+                                fulfill_hits(mt[p], a, b, mx[p], out, hits)
                     out = outstanding_tbl[b]
-                    if out and y >= 0:
-                        if no_timeout:
+                    if out and (x_always or my[p] >= 0):
+                        if not no_timeout:
+                            fulfill_direction(mt[p], b, a, my[p])
+                        elif len(out) == 1:
+                            for item in out:
+                                break
+                            if item in cache_tbl[a]:
+                                fulfill_hits(
+                                    mt[p], b, a, my[p], out, (item,)
+                                )
+                        else:
                             hits = out.keys() & cache_tbl[a]
                             if hits:
-                                fulfill_hits(t, b, a, y, out, hits)
-                        else:
-                            fulfill_direction(t, b, a, y)
-                    if hooked and (
-                        not idle_hook or mandates_tbl[a] or mandates_tbl[b]
-                    ):
-                        after_contact(self, t, nodes[a], nodes[b])
-                else:  # EVENT_REQUEST: a = item, b = node, x = birth
+                                fulfill_hits(mt[p], b, a, my[p], out, hits)
+                    if not idle_hook or mandates_tbl[a] or mandates_tbl[b]:
+                        after_contact(self, mt[p], nodes[a], nodes[b])
+                if rp < n:  # the request splitting this segment
+                    item = ma[rp]
+                    node_id = mb[rp]
                     metrics.n_generated += 1
-                    if a in cache_tbl[b]:
+                    if item in cache_tbl[node_id]:
                         if skip_self:
                             metrics.n_skipped_self += 1
                         elif h0_finite:
-                            record_fulfillment(t, 0.0, h0, immediate=True)
+                            record_fulfillment(
+                                mt[rp], 0.0, h0, immediate=True
+                            )
                         else:
-                            self._raise_infinite_h0(a, b)
+                            self._raise_infinite_h0(item, node_id)
                     else:
-                        out = outstanding_tbl[b]
-                        request_list = out.get(a)
+                        out = outstanding_tbl[node_id]
+                        request_list = out.get(item)
                         if request_list is None:
-                            out[a] = [Request(a, b, t, x)]
+                            out[item] = [
+                                Request(item, node_id, mt[rp], mx[rp])
+                            ]
                         else:
-                            request_list.append(Request(a, b, t, x))
+                            request_list.append(
+                                Request(item, node_id, mt[rp], mx[rp])
+                            )
+                seg = rp + 1
+            if snap is not None:
+                self._take_snapshot(snap)
+
+    def _candidate_positions(
+        self,
+        active: npt.NDArray[np.bool_],
+        first_req: IntArray,
+        offsets: IntArray,
+        kinds_b: IntArray,
+        arg_a: IntArray,
+        arg_b: IntArray,
+        px: IntArray,
+        py: IntArray,
+        pos0: int,
+        pos1: int,
+    ) -> List[int]:
+        """Global positions in ``[pos0, pos1)`` that can touch state.
+
+        A contact is a candidate iff an endpoint was active (had
+        outstanding requests) when the block started, or issued a
+        request *earlier in the same block* — the latter resolved
+        exactly per position via a first-request-position scatter, so
+        a burst of requests does not smear activity across the whole
+        block.  Requests are always candidates.  ``active`` may only
+        err conservative (stale ``True`` after a mid-block
+        fulfillment), so a skipped contact provably matches the dense
+        loop's no-op.  ``first_req`` must arrive holding the sentinel
+        everywhere and is restored before returning.
+        """
+        blk = pos1 - pos0
+        kb = kinds_b[pos0:pos1]
+        bb = arg_b[pos0:pos1]
+        req_sel = kb == EVENT_REQUEST
+        rpos = np.flatnonzero(req_sel)
+        if len(rpos):
+            # arg_a holds item ids on request rows — they may exceed
+            # the node-id range, so blank them before gathering.
+            ab = np.where(req_sel, 0, arg_a[pos0:pos1])
+            req_nodes = bb[rpos]
+            # Reversed scatter: earliest position wins on duplicates.
+            first_req[req_nodes[::-1]] = rpos[::-1]
+            cand = active[ab]
+            cand |= active[bb]
+            offs = offsets[:blk]
+            cand |= first_req[ab] < offs
+            cand |= first_req[bb] < offs
+            first_req[req_nodes] = _MASK_BLOCK_EVENTS
+        else:
+            ab = arg_a[pos0:pos1]
+            cand = active[ab]
+            cand |= active[bb]
+        if not self._all_servers:
+            # Neither endpoint meets a server: provably a no-op
+            # regardless of outstanding state.
+            served = px[pos0:pos1] >= 0
+            served |= py[pos0:pos1] >= 0
+            cand &= served
+        cand |= req_sel
+        positions: List[int] = (np.flatnonzero(cand) + pos0).tolist()
+        return positions
+
+    def _run_plain_masked(self) -> None:
+        """Vectorized plain loop for fully hook-free protocols.
+
+        With default (no-op) contact and fulfill hooks a contact can
+        only matter when an endpoint has outstanding requests and the
+        opposite endpoint is a server — both visible columnarly.  Per
+        sub-block, ``_candidate_positions`` selects exactly those
+        contacts plus all requests; masked-out events are skipped
+        without materializing a single per-event Python object.
+        """
+        outstanding_tbl = self._outstanding_tbl
+        cache_tbl = self._cache_tbl
+        metrics = self.metrics
+        record_fulfillment = metrics.record_fulfillment
+        fulfill_hits = self._fulfill_hits
+        fulfill_direction = self._fulfill_direction
+        candidate_positions = self._candidate_positions
+        skip_self = self._skip_self
+        h0 = self._h0
+        h0_finite = self._h0_finite
+        no_timeout = self._timeout is None
+        x_always = self._all_servers
+        # Hook-free implies no fulfill notification, so the single-item
+        # step-utility fast path inlines ``record_fulfillment`` directly.
+        step_tau = self._step_tau
+        step_fast = step_tau is not None
+        tie_gain = h0 if h0_finite else 0.0
+        delays_append = metrics.delays.append
+        window_gains = metrics.window_gains
+        window_fulfillments = metrics.window_fulfillments
+        window_length = metrics.window_length
+        last_window = len(window_gains) - 1
+        active = np.zeros(len(self.nodes), dtype=bool)
+        for node_id, out in enumerate(outstanding_tbl):
+            if out:
+                active[node_id] = True
+        block = _MASK_BLOCK_EVENTS
+        first_req = np.full(len(self.nodes), block, dtype=np.int64)
+        offsets = np.arange(block, dtype=np.int64)
+        for kinds_b, times_b, arg_a, arg_b, px, py, _req_pos, snap in (
+            self._iter_chunks()
+        ):
+            n = len(kinds_b)
+            assert px is not None and py is not None
+            mk = memoryview(kinds_b)
+            mt = memoryview(times_b)
+            ma = memoryview(arg_a)
+            mb = memoryview(arg_b)
+            mx = memoryview(px)
+            my = memoryview(py)
+            for pos0 in range(0, n, block):
+                pos1 = min(pos0 + block, n)
+                for gp in candidate_positions(
+                    active, first_req, offsets,
+                    kinds_b, arg_a, arg_b, px, py, pos0, pos1,
+                ):
+                    if mk[gp] == 2:  # EVENT_CONTACT
+                        a = ma[gp]
+                        b = mb[gp]
+                        out = outstanding_tbl[a]
+                        if out and (x_always or mx[gp] >= 0):
+                            if not no_timeout:
+                                fulfill_direction(mt[gp], a, b, mx[gp])
+                            elif len(out) == 1:
+                                for item in out:
+                                    break
+                                if item in cache_tbl[b]:
+                                    if step_fast:
+                                        t_ev = mt[gp]
+                                        window = min(
+                                            int(t_ev / window_length),
+                                            last_window,
+                                        )
+                                        for request in out.pop(item):
+                                            delay = (
+                                                t_ev - request.created_at
+                                            )
+                                            if delay > 0:
+                                                gain = (
+                                                    1.0
+                                                    if delay <= step_tau
+                                                    else 0.0
+                                                )
+                                            else:
+                                                gain = tie_gain
+                                            metrics.total_gain += gain
+                                            metrics.n_fulfilled += 1
+                                            delays_append(delay)
+                                            window_gains[window] += gain
+                                            window_fulfillments[window] += 1
+                                    else:
+                                        fulfill_hits(
+                                            mt[gp], a, b, mx[gp], out,
+                                            (item,),
+                                        )
+                            else:
+                                hits = out.keys() & cache_tbl[b]
+                                if hits:
+                                    fulfill_hits(
+                                        mt[gp], a, b, mx[gp], out, hits
+                                    )
+                            if not out:
+                                active[a] = False
+                        out = outstanding_tbl[b]
+                        if out and (x_always or my[gp] >= 0):
+                            if not no_timeout:
+                                fulfill_direction(mt[gp], b, a, my[gp])
+                            elif len(out) == 1:
+                                for item in out:
+                                    break
+                                if item in cache_tbl[a]:
+                                    if step_fast:
+                                        t_ev = mt[gp]
+                                        window = min(
+                                            int(t_ev / window_length),
+                                            last_window,
+                                        )
+                                        for request in out.pop(item):
+                                            delay = (
+                                                t_ev - request.created_at
+                                            )
+                                            if delay > 0:
+                                                gain = (
+                                                    1.0
+                                                    if delay <= step_tau
+                                                    else 0.0
+                                                )
+                                            else:
+                                                gain = tie_gain
+                                            metrics.total_gain += gain
+                                            metrics.n_fulfilled += 1
+                                            delays_append(delay)
+                                            window_gains[window] += gain
+                                            window_fulfillments[window] += 1
+                                    else:
+                                        fulfill_hits(
+                                            mt[gp], b, a, my[gp], out,
+                                            (item,),
+                                        )
+                            else:
+                                hits = out.keys() & cache_tbl[a]
+                                if hits:
+                                    fulfill_hits(
+                                        mt[gp], b, a, my[gp], out, hits
+                                    )
+                            if not out:
+                                active[b] = False
+                    else:  # EVENT_REQUEST
+                        item = ma[gp]
+                        node_id = mb[gp]
+                        metrics.n_generated += 1
+                        if item in cache_tbl[node_id]:
+                            if skip_self:
+                                metrics.n_skipped_self += 1
+                            elif h0_finite:
+                                record_fulfillment(
+                                    mt[gp], 0.0, h0, immediate=True
+                                )
+                            else:
+                                self._raise_infinite_h0(item, node_id)
+                        else:
+                            out = outstanding_tbl[node_id]
+                            request_list = out.get(item)
+                            if request_list is None:
+                                out[item] = [
+                                    Request(item, node_id, mt[gp], mx[gp])
+                                ]
+                            else:
+                                request_list.append(
+                                    Request(item, node_id, mt[gp], mx[gp])
+                                )
+                            active[node_id] = True
             if snap is not None:
                 self._take_snapshot(snap)
 
@@ -906,14 +2010,24 @@ class Simulation:
         fault_rng = self._fault_rng
         fault_events = self._fault_events
         meet_counts = [0] * len(nodes)
-        for events, snap in self._chunks:
-            for kind, t, a, b in events:
+        for kinds_b, times_b, arg_a, arg_b, _px, _py, _rp, snap in (
+            self._iter_chunks()
+        ):
+            mk = memoryview(kinds_b)
+            mt = memoryview(times_b)
+            ma = memoryview(arg_a)
+            mb = memoryview(arg_b)
+            for p in range(len(kinds_b)):
+                kind = mk[p]
                 if kind == 2:  # EVENT_CONTACT
+                    a = ma[p]
+                    b = mb[p]
                     node_a = nodes[a]
                     node_b = nodes[b]
                     if not (node_a.online and node_b.online):
                         metrics.n_contacts_blocked += 1
                         continue
+                    t = mt[p]
                     if drop_prob > 0.0 and fault_rng is not None:
                         if fault_rng.random() < drop_prob:
                             metrics.n_contacts_dropped += 1
@@ -933,29 +2047,34 @@ class Simulation:
                     ):
                         after_contact(self, t, node_a, node_b)
                 elif kind == 1:  # EVENT_REQUEST: a = item, b = node
-                    if not nodes[b].online:
+                    item = ma[p]
+                    node_id = mb[p]
+                    if not nodes[node_id].online:
                         # The device is down; no request is generated.
                         metrics.n_requests_offline += 1
                         continue
+                    t = mt[p]
                     metrics.n_generated += 1
-                    if a in cache_tbl[b]:
+                    if item in cache_tbl[node_id]:
                         if skip_self:
                             metrics.n_skipped_self += 1
                         elif h0_finite:
                             record_fulfillment(t, 0.0, h0, immediate=True)
                         else:
-                            self._raise_infinite_h0(a, b)
+                            self._raise_infinite_h0(item, node_id)
                     else:
-                        out = outstanding_tbl[b]
-                        request_list = out.get(a)
+                        out = outstanding_tbl[node_id]
+                        request_list = out.get(item)
                         if request_list is None:
-                            out[a] = [Request(a, b, t, meet_counts[b])]
+                            out[item] = [
+                                Request(item, node_id, t, meet_counts[node_id])
+                            ]
                         else:
                             request_list.append(
-                                Request(a, b, t, meet_counts[b])
+                                Request(item, node_id, t, meet_counts[node_id])
                             )
-                else:  # EVENT_FAULT: a = fault index
-                    self._apply_fault(t, fault_events[a])
+                else:  # EVENT_FAULT: arg_a = fault index
+                    self._apply_fault(mt[p], fault_events[ma[p]])
             if snap is not None:
                 self._take_snapshot(snap)
 
@@ -965,14 +2084,21 @@ class Simulation:
         handle_contact = self._traced_contact
         handle_request = self._traced_request
         handle_fault = self._traced_fault
-        for events, snap in self._chunks:
-            for kind, t, a, b in events:
+        for kinds_b, times_b, arg_a, arg_b, _px, _py, _rp, snap in (
+            self._iter_chunks()
+        ):
+            mk = memoryview(kinds_b)
+            mt = memoryview(times_b)
+            ma = memoryview(arg_a)
+            mb = memoryview(arg_b)
+            for p in range(len(kinds_b)):
+                kind = mk[p]
                 if kind == EVENT_CONTACT:
-                    handle_contact(t, a, b)
+                    handle_contact(mt[p], ma[p], mb[p])
                 elif kind == EVENT_REQUEST:
-                    handle_request(t, a, b)
+                    handle_request(mt[p], ma[p], mb[p])
                 else:
-                    handle_fault(t, fault_events[a])
+                    handle_fault(mt[p], fault_events[ma[p]])
             if snap is not None:
                 self._take_snapshot(snap)
 
@@ -1012,23 +2138,67 @@ class Simulation:
         provider_id: int,
         meet_count: int,
         outstanding: Dict[int, List[Request]],
-        hits: AbstractSet[int],
+        hits: Collection[int],
     ) -> None:
-        """Fulfill the *hits* items, in the requester's insertion order."""
+        """Fulfill the *hits* items, in the requester's insertion order.
+
+        *hits* is any collection supporting ``len`` and membership —
+        the hot loops pass a one-element tuple when the requester has a
+        single outstanding item, sparing the set intersection.
+        """
         if len(hits) < len(outstanding):
             fulfilled = [item for item in outstanding if item in hits]
         else:
             fulfilled = list(outstanding)
-        utility = self._utility
-        h0 = self._h0
-        isfinite = math.isfinite
-        record_fulfillment = self.metrics.record_fulfillment
+        metrics = self.metrics
         notify = not self._hook_free_fulfill
         on_fulfill = self.protocol.on_fulfill
         requester = self.nodes[requester_id]
         provider = self.nodes[provider_id]
+        pop = outstanding.pop
+        step_tau = self._step_tau
+        if step_tau is not None:
+            # Step utility: the gain is a bare comparison (always 0 or
+            # 1, so provably finite) and the metrics update is inlined
+            # in ``record_fulfillment``'s exact statement order.  The
+            # window index depends only on *t*, so it is computed once.
+            tie_gain = self._h0 if self._h0_finite else 0.0
+            delays_append = metrics.delays.append
+            window_gains = metrics.window_gains
+            window_fulfillments = metrics.window_fulfillments
+            window = min(
+                int(t / metrics.window_length), len(window_gains) - 1
+            )
+            for item in fulfilled:
+                for request in pop(item):
+                    delay = t - request.created_at
+                    if delay > 0:
+                        gain = 1.0 if delay <= step_tau else 0.0
+                    else:
+                        # Measure-zero tie between a request and a
+                        # contact at the same instant.
+                        gain = tie_gain
+                    metrics.total_gain += gain
+                    metrics.n_fulfilled += 1
+                    delays_append(delay)
+                    window_gains[window] += gain
+                    window_fulfillments[window] += 1
+                    if notify:
+                        on_fulfill(
+                            self,
+                            t,
+                            requester,
+                            provider,
+                            item,
+                            meet_count - request.counter,
+                        )
+            return
+        utility = self._utility
+        h0 = self._h0
+        isfinite = math.isfinite
+        record_fulfillment = metrics.record_fulfillment
         for item in fulfilled:
-            for request in outstanding.pop(item):
+            for request in pop(item):
                 delay = t - request.created_at
                 gain = float(utility(delay)) if delay > 0 else h0
                 if not isfinite(gain):
@@ -1201,7 +2371,11 @@ class Simulation:
         truncate = self.config.unfulfilled_policy == "truncate"
         tracer = self.tracer
         n_unfulfilled = 0
-        for node in self.nodes:
+        # Outstanding requests can only live on nodes that issued one,
+        # so settle visits those — not every node, which at million-node
+        # scale costs more than the whole streamed run loop.
+        for node_id in np.unique(self._req_nodes):
+            node = self.nodes[node_id]
             for item, request_list in node.outstanding.items():
                 for request in request_list:
                     n_unfulfilled += 1
@@ -1232,12 +2406,16 @@ def simulate(
     faults: Optional[FaultSchedule] = None,
     tracer: Optional[Tracer] = None,
     manifest: bool = False,
+    chunk_events: Optional[int] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulation` and run it.
 
     *tracer*, when active, records the full request lifecycle (see
     :mod:`repro.obs`); *manifest* forces provenance collection even on
-    untraced runs (traced runs always collect it).
+    untraced runs (traced runs always collect it).  *chunk_events*
+    forces the streamed event pipeline with that merge block size;
+    memory-mapped traces stream automatically (see
+    :class:`Simulation`).
     """
     return Simulation(
         trace,
@@ -1248,4 +2426,5 @@ def simulate(
         faults=faults,
         tracer=tracer,
         collect_manifest=manifest,
+        chunk_events=chunk_events,
     ).run()

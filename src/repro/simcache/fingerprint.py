@@ -50,12 +50,23 @@ class UncacheableRunError(ReproError):
     """
 
 
+#: Elements hashed per block; bounds peak memory on memory-mapped columns.
+_HASH_BLOCK = 1 << 22
+
+
 def _hash_array(array: np.ndarray) -> str:
     digest = hashlib.sha256()
-    contiguous = np.ascontiguousarray(array)
-    digest.update(str(contiguous.dtype).encode("utf-8"))
-    digest.update(str(contiguous.shape).encode("utf-8"))
-    digest.update(contiguous.tobytes())
+    digest.update(str(array.dtype).encode("utf-8"))
+    digest.update(str(array.shape).encode("utf-8"))
+    if array.ndim == 1:
+        # Feed the digest block-wise: sha256 over concatenated updates
+        # equals sha256 over the whole buffer, so the hash is unchanged,
+        # but a memory-mapped column is never materialized at once.
+        for start in range(0, len(array), _HASH_BLOCK):
+            block = np.ascontiguousarray(array[start : start + _HASH_BLOCK])
+            digest.update(block.tobytes())
+    else:
+        digest.update(np.ascontiguousarray(array).tobytes())
     return digest.hexdigest()
 
 

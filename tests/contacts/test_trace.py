@@ -168,3 +168,85 @@ class TestSummaries:
         assert isinstance(t, float)
         assert isinstance(a, int)
         assert isinstance(b, int)
+
+
+class TestMemmapViews:
+    """Trace transformations on memory-mapped columns.
+
+    ``sliced``/``iter_chunks`` must stay zero-copy views into the
+    backing file; relabeling/scaling transforms must materialize only
+    their (small) outputs; and none of them may write through to disk.
+    """
+
+    @pytest.fixture
+    def mapped(self, tmp_path):
+        from repro.contacts import (
+            homogeneous_poisson_trace,
+            load_binary,
+            save_binary,
+        )
+
+        trace = homogeneous_poisson_trace(10, 0.3, 60.0, seed=13)
+        save_binary(trace, tmp_path / "t.ctb")
+        return tmp_path / "t.ctb", load_binary(tmp_path / "t.ctb")
+
+    def test_sliced_views_node_columns(self, mapped):
+        """Only the (re-based) window times are materialized."""
+        _, mm = mapped
+        window = mm.sliced(10.0, 40.0)
+        assert len(window) > 0
+        assert np.shares_memory(window.node_a, mm.node_a)
+        assert np.shares_memory(window.node_b, mm.node_b)
+        # the time column is re-based to 0, so it is a fresh array of
+        # window length, never a copy of the full mapped column
+        assert not np.shares_memory(window.times, mm.times)
+        assert len(window.times) < len(mm.times)
+
+    def test_select_nodes_copies_only_subset(self, mapped):
+        _, mm = mapped
+        sub = mm.select_nodes([0, 1, 2, 3])
+        assert sub.n_nodes == 4
+        assert len(sub) < len(mm)
+        assert not np.shares_memory(sub.times, mm.times)
+
+    def test_transforms_leave_backing_file_untouched(self, mapped):
+        path, mm = mapped
+        before = (path / "times.f8").read_bytes()
+        scaled = mm.time_scaled(2.0)
+        assert scaled.duration == 2.0 * mm.duration
+        mm.sliced(0.0, 30.0)
+        mm.select_nodes([0, 1, 2])
+        from repro.contacts import ContactTrace, load_binary
+
+        ContactTrace.concatenate([mm.sliced(0.0, 30.0)])
+        assert (path / "times.f8").read_bytes() == before
+        reread = load_binary(path)
+        assert np.array_equal(np.asarray(reread.times), np.asarray(mm.times))
+
+    def test_memmap_columns_are_read_only(self, mapped):
+        _, mm = mapped
+        with pytest.raises(ValueError):
+            mm.times[0] = -1.0
+
+    def test_concatenate_materializes_plain_arrays(self, mapped):
+        from repro.contacts import ContactTrace
+
+        _, mm = mapped
+        first = mm.sliced(0.0, 30.0)
+        second = mm.sliced(30.0, 60.0)
+        joined = ContactTrace.concatenate([first, second])
+        assert len(joined) == len(first) + len(second)
+        assert not isinstance(np.asarray(joined.times), np.memmap)
+
+    def test_time_scaled_matches_eager(self, mapped):
+        _, mm = mapped
+        eager = ContactTrace(
+            times=np.asarray(mm.times).copy(),
+            node_a=np.asarray(mm.node_a).copy(),
+            node_b=np.asarray(mm.node_b).copy(),
+            n_nodes=mm.n_nodes,
+            duration=mm.duration,
+        )
+        a = mm.time_scaled(1.5)
+        b = eager.time_scaled(1.5)
+        assert np.array_equal(np.asarray(a.times), np.asarray(b.times))
