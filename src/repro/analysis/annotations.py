@@ -1,0 +1,52 @@
+"""Runtime-no-op decorators that seed the static effect analysis.
+
+The analyzer reads these *syntactically* (it never imports analyzed
+code), so they must stay importable from a dependency-free module —
+this one imports nothing outside the stdlib ``typing``.
+
+``@declared_effects(...)`` replaces a function's inferred effect set
+with the declared one.  It is the structured escape hatch for
+primitives whose correctness argument lives outside the type of
+syntactic analysis we do — e.g. the lease claim's ``os.link`` lockfile
+dance is a *raw* filesystem mutation, but the whole point of the
+pattern is that it is atomic, so it declares ``FS_WRITE_ATOMIC``:
+
+    @declared_effects("FS_WRITE_ATOMIC")
+    def try_claim(self, unit, worker, claim): ...
+
+``@deterministic_surface`` adds a function to the declared-
+deterministic surface checked by RPA001, alongside the built-in
+surface (engine hot loops, protocol hooks, run-key construction,
+allocation solvers — see :mod:`repro.analysis.surfaces`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeVar
+
+__all__ = ["declared_effects", "deterministic_surface"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def declared_effects(*effects: str) -> Callable[[F], F]:
+    """Declare a function's effect set, overriding inference.
+
+    *effects* are effect names from :mod:`repro.analysis.effects`
+    (``"PURE"`` or an empty argument list declares purity).  The
+    decorator does nothing at runtime.
+    """
+
+    def decorate(func: F) -> F:
+        return func
+
+    return decorate
+
+
+def deterministic_surface(func: F) -> F:
+    """Mark a function as a declared-deterministic surface (RPA001 root).
+
+    Does nothing at runtime; the analyzer collects the marker from the
+    AST.
+    """
+    return func

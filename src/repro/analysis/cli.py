@@ -1,0 +1,104 @@
+"""The ``repro analyze`` subcommand."""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .baseline import DEFAULT_BASELINE_PATH, update_baseline
+from .runner import CHECKS, run_analysis
+
+__all__ = ["add_analyze_arguments", "cmd_analyze"]
+
+DEFAULT_ROOT = "src/repro"
+
+
+def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=DEFAULT_ROOT,
+        help="package directory to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (sarif is the CI code-scanning form)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated check codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE_PATH,
+        help=(
+            "ratchet file of accepted finding fingerprints "
+            f"(default: {DEFAULT_BASELINE_PATH}; pass an empty string "
+            "to disable)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline file; it can only shrink (stale "
+            "entries drop out, new findings are never added)"
+        ),
+    )
+    parser.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="print the check catalog and exit",
+    )
+
+
+def _render_catalog() -> str:
+    lines = []
+    for code, (name, text) in sorted(CHECKS.items()):
+        lines.append(f"{code} {name}")
+        lines.append(f"    {text}")
+    return "\n".join(lines)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Entry point wired into :func:`repro.cli.main`.
+
+    Exit codes: 0 clean (or every error baselined), 1 new errors or
+    parse errors.  RPA004 warnings never affect the exit code.
+    """
+    if args.list_checks:
+        print(_render_catalog())
+        return 0
+    select: Optional[Sequence[str]] = None
+    if args.select:
+        select = [
+            code.strip() for code in args.select.split(",") if code.strip()
+        ]
+    baseline_path = Path(args.baseline) if args.baseline else None
+    report = run_analysis(
+        args.root,
+        select=select,
+        baseline_path=baseline_path,
+    )
+    if args.update_baseline:
+        if baseline_path is None:
+            print("--update-baseline requires --baseline")
+            return 2
+        kept = update_baseline(
+            baseline_path, report.findings + report.baselined
+        )
+        print(
+            f"baseline {baseline_path}: {len(kept)} fingerprint(s) kept"
+        )
+        return 0
+    if args.format == "json":
+        print(report.render_json())
+    elif args.format == "sarif":
+        print(report.render_sarif())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1

@@ -1,0 +1,73 @@
+"""Whole-program findings: a lint finding plus a propagation path.
+
+An :class:`AnalysisFinding` extends the per-file
+:class:`repro.lint.findings.Finding` with the inter-procedural
+*trace* — the chain of call sites from the checked root down to the
+leaf operation that introduced the effect.  Rendering prints the chain
+``file:line`` by ``file:line`` so a reader can follow the taint without
+opening the analyzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from ..lint.findings import Finding
+
+__all__ = ["AnalysisFinding", "PathStep"]
+
+
+@dataclass(frozen=True, order=True)
+class PathStep:
+    """One hop of a propagation path."""
+
+    path: str
+    line: int
+    symbol: str
+    note: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.symbol} — {self.note}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "file": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "note": self.note,
+        }
+
+
+@dataclass(frozen=True, order=True)
+class AnalysisFinding(Finding):
+    """One checker violation, with its inter-procedural trace.
+
+    ``trace[0]`` is the declared root (surface / durability root /
+    emission site); the last step is the leaf operation.  Single-step
+    findings (schema drift) carry a one-element trace.
+    """
+
+    trace: Tuple[PathStep, ...] = field(default=())
+
+    def render(self) -> str:
+        text = super().render()
+        if len(self.trace) > 1:
+            lines = [text, "    propagation path:"]
+            lines.extend(f"      {step.render()}" for step in self.trace)
+            text = "\n".join(lines)
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = super().to_dict()
+        payload["trace"] = [step.to_dict() for step in self.trace]
+        return payload
+
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline ratchet.
+
+        Stable across unrelated edits to the same files: built from the
+        rule code, the anchor file, and the message (which names the
+        symbols involved, not their line numbers).
+        """
+        return f"{self.code}::{self.path}::{self.message}"

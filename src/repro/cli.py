@@ -35,6 +35,10 @@ Subcommands:
 ``repro lint``
     Run the repo's custom static-analysis rules (determinism,
     sim-invariants, fork safety — see docs/static_analysis.md).
+``repro analyze``
+    Run the whole-program effect analyzer: inter-procedural
+    determinism-boundary, durability, and trace-schema-drift checks
+    over the full package (see docs/static_analysis.md).
 """
 
 from __future__ import annotations
@@ -65,6 +69,7 @@ from .contacts import homogeneous_poisson_trace
 from .demand import DemandModel, generate_requests
 from .errors import ConfigurationError, ReproError
 from .faults import FaultSchedule
+from .analysis.cli import add_analyze_arguments, cmd_analyze
 from .lint.cli import add_lint_arguments, cmd_lint
 from .obs import Tracer
 from .obs.analysis import (
@@ -1229,6 +1234,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(lint)
     lint.set_defaults(func=cmd_lint)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help=(
+            "run the whole-program effect analyzer (determinism, "
+            "durability, schema drift)"
+        ),
+    )
+    add_analyze_arguments(analyze)
+    analyze.set_defaults(func=cmd_analyze)
 
     alloc = sub.add_parser("allocate", help="print the optimal allocation")
     _add_utility_arguments(alloc)

@@ -611,6 +611,9 @@ class WorkQueueExecutor(SweepExecutor):
             extras = self._collect(queue, records, record, supervisor)
         finally:
             if cleanup:
+                # Deleting the mkdtemp scratch queue of an ad-hoc sweep;
+                # never durable state, so a torn teardown is harmless.
+                # repro-lint: ignore[RPA002]
                 shutil.rmtree(root, ignore_errors=True)
         return extras
 

@@ -7,6 +7,7 @@ and import it below to ship a new rule (see docs/static_analysis.md).
 from . import (  # noqa: F401  (imported for their @register side effect)
     broad_except,
     determinism,
+    event_literals,
     event_order,
     float_compare,
     fork_safety,
@@ -20,6 +21,7 @@ from . import (  # noqa: F401  (imported for their @register side effect)
 __all__ = [
     "broad_except",
     "determinism",
+    "event_literals",
     "event_order",
     "float_compare",
     "fork_safety",

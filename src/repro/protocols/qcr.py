@@ -396,7 +396,10 @@ class QCR(ReplicationProtocol):
         items = set(a.mandates)
         items.update(b.mandates)
         rng = sim.rng
-        for item in items:
+        # Sorted so the per-item RNG draws below happen in a fixed
+        # order; bare set iteration would tie the trajectory to hash
+        # layout (flagged by RPA001).
+        for item in sorted(items):
             count_a = a.mandates.get(item, 0)
             count_b = b.mandates.get(item, 0)
             total = count_a + count_b

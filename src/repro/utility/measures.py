@@ -23,6 +23,8 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from scipy import integrate
 
+from ..analysis.annotations import declared_effects
+
 __all__ = ["Atom", "DifferentialMeasure"]
 
 
@@ -79,6 +81,7 @@ class DifferentialMeasure:
     # ------------------------------------------------------------------
     # integration
     # ------------------------------------------------------------------
+    @declared_effects()  # pure: both callbacks are closed-form math
     def integrate(
         self,
         weight: Callable[[float], float],
@@ -92,6 +95,12 @@ class DifferentialMeasure:
         :func:`scipy.integrate.quad` (splitting at atoms and, when flagged,
         near zero), then atom contributions ``mass * weight(location)`` are
         added for atoms with ``0 < location <= upper``.
+
+        Declared pure for ``repro analyze``: the ``weight`` callback and
+        the measure's ``density`` are delay-utility integrands —
+        closed-form math defined next to the utility families — so the
+        calls through them are deterministic even though the static
+        call graph cannot resolve them.
         """
         total = 0.0
         if self.density is not None:
@@ -101,6 +110,7 @@ class DifferentialMeasure:
                 total += atom.mass * weight(atom.location)
         return total
 
+    @declared_effects()  # pure: see `integrate` — same callbacks
     def _integrate_density(
         self, weight: Callable[[float], float], upper: float, rtol: float
     ) -> float:

@@ -1,0 +1,11 @@
+"""Call-graph fixture package — parsed by the analyzer, never imported.
+
+Exercises the resolution features the builder must get right: import
+re-exports (``tock`` below), recursion cycles, class-hierarchy method
+dispatch, ``functools.partial``, declared-effect overrides, and the
+conservative dynamic-call fallback.
+"""
+
+from .core import tick as tock
+
+__all__ = ["tock"]

@@ -1,0 +1,21 @@
+"""Effect leaves and a two-function recursion cycle."""
+
+import time
+
+
+def read_clock():
+    return time.time()
+
+
+def tick():
+    return read_clock()
+
+
+def ping(n):
+    if n <= 0:
+        return 0
+    return pong(n - 1)
+
+
+def pong(n):
+    return ping(n - 1)

@@ -1,0 +1,5 @@
+"""Calling a parameter cannot be resolved: conservative DYNAMIC top."""
+
+
+def invoke(callback):
+    return callback()

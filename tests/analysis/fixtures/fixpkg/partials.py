@@ -1,0 +1,10 @@
+"""``functools.partial`` resolves to its bound callable."""
+
+import functools
+
+from .core import read_clock
+
+
+def use_partial():
+    bound = functools.partial(read_clock)
+    return bound()

@@ -1,0 +1,13 @@
+"""Calls through the package ``__init__`` re-export resolve fully."""
+
+import fixpkg
+
+from . import tock
+
+
+def call_reexport():
+    return tock()
+
+
+def call_via_module():
+    return fixpkg.tock()

@@ -1,0 +1,25 @@
+"""Method resolution: CHA dispatch over a small hierarchy.
+
+``Base.run`` calls ``self.hook()`` — the analyzer must consider every
+override in the hierarchy, so the unseeded draw in ``Sub.hook`` taints
+``Base.run`` and, through the annotated parameter, ``drive``.
+"""
+
+import random
+
+
+class Base:
+    def hook(self):
+        return 0
+
+    def run(self):
+        return self.hook()
+
+
+class Sub(Base):
+    def hook(self):
+        return random.random()
+
+
+def drive(shape: Base):
+    return shape.run()

@@ -1,0 +1,92 @@
+"""Call-graph builder tests over the ``fixpkg`` fixture package."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.program import Program
+
+FIXPKG = Path(__file__).parent / "fixtures" / "fixpkg"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_call_graph(Program.load(FIXPKG))
+
+
+def targets_of(graph, qname):
+    """Union of resolved targets across all of *qname*'s call sites."""
+    out = set()
+    for site in graph.calls.get(qname, []):
+        out.update(site.targets)
+    return out
+
+
+def test_functions_and_methods_discovered(graph):
+    expected = {
+        "fixpkg.core:read_clock",
+        "fixpkg.core:tick",
+        "fixpkg.core:ping",
+        "fixpkg.core:pong",
+        "fixpkg.shapes:Base.hook",
+        "fixpkg.shapes:Base.run",
+        "fixpkg.shapes:Sub.hook",
+        "fixpkg.shapes:drive",
+        "fixpkg.partials:use_partial",
+        "fixpkg.reexport:call_reexport",
+        "fixpkg.reexport:call_via_module",
+        "fixpkg.dyn:invoke",
+        "fixpkg.declared:trusted_now",
+    }
+    assert expected <= set(graph.functions)
+
+
+def test_recursion_cycle_edges(graph):
+    assert "fixpkg.core:pong" in targets_of(graph, "fixpkg.core:ping")
+    assert "fixpkg.core:ping" in targets_of(graph, "fixpkg.core:pong")
+
+
+def test_self_call_dispatches_over_hierarchy(graph):
+    # Base.run calls self.hook(); CHA must include the Sub override.
+    hooks = targets_of(graph, "fixpkg.shapes:Base.run")
+    assert "fixpkg.shapes:Base.hook" in hooks
+    assert "fixpkg.shapes:Sub.hook" in hooks
+
+
+def test_annotated_parameter_resolves_receiver(graph):
+    assert "fixpkg.shapes:Base.run" in targets_of(
+        graph, "fixpkg.shapes:drive"
+    )
+
+
+def test_partial_resolves_to_bound_callable(graph):
+    assert "fixpkg.core:read_clock" in targets_of(
+        graph, "fixpkg.partials:use_partial"
+    )
+
+
+def test_reexport_through_package_init(graph):
+    # `from . import tock` and `fixpkg.tock` both follow the __init__
+    # alias back to fixpkg.core:tick.
+    assert "fixpkg.core:tick" in targets_of(
+        graph, "fixpkg.reexport:call_reexport"
+    )
+    assert "fixpkg.core:tick" in targets_of(
+        graph, "fixpkg.reexport:call_via_module"
+    )
+
+
+def test_parameter_call_is_dynamic(graph):
+    sites = graph.calls["fixpkg.dyn:invoke"]
+    assert any(site.dynamic for site in sites)
+
+
+def test_declared_effects_parsed_from_decorator(graph):
+    info = graph.functions["fixpkg.declared:trusted_now"]
+    assert info.declared == frozenset()
+
+
+def test_class_hierarchy_navigation(graph):
+    assert graph.ancestors("fixpkg.shapes:Sub") == ["fixpkg.shapes:Base"]
+    assert graph.descendants("fixpkg.shapes:Base") == ["fixpkg.shapes:Sub"]

@@ -1,0 +1,79 @@
+"""Effect inference and witness traces over the ``fixpkg`` fixture."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.effects import DYNAMIC, UNSEEDED_RNG, WALL_CLOCK
+from repro.analysis.inference import infer_effects, witness_trace
+from repro.analysis.program import Program
+
+FIXPKG = Path(__file__).parent / "fixtures" / "fixpkg"
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    graph = build_call_graph(Program.load(FIXPKG))
+    return graph, infer_effects(graph)
+
+
+def effects_of(analyzed, qname):
+    _, summaries = analyzed
+    return summaries[qname].effects
+
+
+def test_leaf_effect(analyzed):
+    assert effects_of(analyzed, "fixpkg.core:read_clock") == {WALL_CLOCK}
+
+
+def test_effect_propagates_through_call(analyzed):
+    assert effects_of(analyzed, "fixpkg.core:tick") == {WALL_CLOCK}
+
+
+def test_cycle_reaches_fixed_point_as_pure(analyzed):
+    # ping/pong only call each other; the fixed point must terminate
+    # with both pure rather than looping or leaking DYNAMIC.
+    assert effects_of(analyzed, "fixpkg.core:ping") == frozenset()
+    assert effects_of(analyzed, "fixpkg.core:pong") == frozenset()
+
+
+def test_cha_dispatch_taints_caller(analyzed):
+    assert UNSEEDED_RNG in effects_of(analyzed, "fixpkg.shapes:Base.run")
+    assert UNSEEDED_RNG in effects_of(analyzed, "fixpkg.shapes:drive")
+
+
+def test_partial_propagates_effect(analyzed):
+    assert effects_of(analyzed, "fixpkg.partials:use_partial") == {
+        WALL_CLOCK
+    }
+
+
+def test_dynamic_call_is_top(analyzed):
+    assert DYNAMIC in effects_of(analyzed, "fixpkg.dyn:invoke")
+
+
+def test_declared_effects_override_inference(analyzed):
+    # trusted_now calls time.time() but declares purity.
+    assert effects_of(analyzed, "fixpkg.declared:trusted_now") == frozenset()
+
+
+def test_witness_trace_follows_dispatch_chain(analyzed):
+    graph, summaries = analyzed
+    trace = witness_trace(
+        graph, summaries, "fixpkg.shapes:drive", UNSEEDED_RNG
+    )
+    symbols = [step.symbol for step in trace]
+    assert symbols[0] == "fixpkg.shapes.drive"
+    assert "fixpkg.shapes.Base.run" in symbols
+    assert "fixpkg.shapes.Sub.hook" in symbols
+    assert len(trace) >= 3
+
+
+def test_witness_trace_crosses_module_boundary(analyzed):
+    graph, summaries = analyzed
+    trace = witness_trace(
+        graph, summaries, "fixpkg.partials:use_partial", WALL_CLOCK
+    )
+    files = {Path(step.path).name for step in trace}
+    assert {"partials.py", "core.py"} <= files

@@ -1,0 +1,11 @@
+"""RPL011 true positives: literal event kinds at emit sites."""
+
+
+def run_step(tracer, queue, t, item, node):
+    tracer.emit("deliver", t, item=item, node=node)  # literal kind
+    tracer.emit("contact_drop", t, a=node, b=node)  # literal kind
+    queue.log_event("unit_claim", unit=item, worker=node)  # literal kind
+
+
+def settle(self, t):
+    self.tracer.emit("settle", t, reason="horizon")  # literal kind

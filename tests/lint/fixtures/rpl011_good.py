@@ -1,0 +1,18 @@
+"""RPL011 clean pass: event kinds come from the schema registry."""
+
+from repro.obs import events as trace_events
+from repro.obs import events as ev
+
+DELIVER = trace_events.DELIVER
+
+
+def run_step(tracer, queue, t, item, node):
+    tracer.emit(trace_events.DELIVER, t, item=item, node=node)
+    tracer.emit(DELIVER, t, item=item, node=node)
+    queue.log_event(ev.UNIT_CLAIM, unit=item, worker=node)
+
+
+def emit_unrelated(channel, payload):
+    # Non-string first arguments are someone else's emit(); not a kind.
+    channel.emit(payload)
+    channel.emit(42, payload)

@@ -32,6 +32,7 @@ RULE_FIXTURES = {
         4,
     ),
     "RPL010": ("rpl010_bad.py", "rpl010_good.py", 3),
+    "RPL011": ("rpl011_bad.py", "rpl011_good.py", 4),
 }
 
 
