@@ -32,6 +32,9 @@ __all__ = ["Surface", "collect_surfaces"]
 
 _ENGINE_METHODS = (
     "_build_event_stream",
+    "_iter_chunks",
+    "_iter_counted_chunks",
+    "_run_dispatch",
     "_run_plain",
     "_run_plain_counted",
     "_run_plain_generic",

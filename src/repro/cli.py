@@ -24,8 +24,14 @@ Subcommands:
     ``start`` creates a queue and supervises local workers to
     completion, ``worker`` joins an existing queue from any host (over
     a shared filesystem), ``status`` inspects progress/leases/
-    quarantine, ``resume`` re-supervises an interrupted sweep (see
-    docs/distributed_sweeps.md).
+    quarantine, ``watch`` renders a live plain-text fleet dashboard
+    (worker liveness, throughput, ETA), ``resume`` re-supervises an
+    interrupted sweep (see docs/distributed_sweeps.md).
+``repro metrics``
+    Dump or convert a metrics snapshot — a ``--metrics-out`` JSONL
+    series, a run/sweep manifest, or a raw registry snapshot — to
+    Prometheus text exposition or pretty JSON (see
+    docs/observability.md).
 ``repro bench``
     Time the simulation engine against its frozen pre-optimization
     baseline and a serial vs. parallel sweep; write ``BENCH_speed.json``.
@@ -688,7 +694,13 @@ def _run_queue_sweep(
     """Create-or-attach the queue and run a supervised sweep to the end."""
     from .dist import WorkQueueExecutor
     from .experiments import run_comparison
+    from .obs import metrics as obs_metrics
 
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        # Asking for a metrics artifact implies wanting collection on;
+        # forked workers inherit the flag.
+        obs_metrics.set_enabled(True)
     scenario, protocols, baseline = _sweep_factories_from_payload(payload)
     executor = WorkQueueExecutor(
         queue_root,
@@ -733,6 +745,16 @@ def _run_queue_sweep(
                 title="work-unit attribution",
             )
         )
+    if metrics_out:
+        from .dist.clock import SystemClock
+
+        obs_metrics.write_snapshot_jsonl(
+            metrics_out,
+            obs_metrics.registry().snapshot(),
+            t=SystemClock().now(),
+            meta={"queue": queue_root},
+        )
+        print(f"metrics snapshot appended to {metrics_out}")
     return 0
 
 
@@ -820,6 +842,63 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
             f"  quarantined {unit}: {info.get('reason', '?')} "
             f"({info.get('claims_used', '?')} claims)"
         )
+    return 0
+
+
+def _cmd_sweep_watch(args: argparse.Namespace) -> int:
+    from .dist import WorkQueue
+    from .dist.watch import watch
+
+    queue = WorkQueue.open(args.queue)
+    watch(
+        queue,
+        once=args.once,
+        interval=args.interval,
+        window_s=args.window,
+    )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import metrics as obs_metrics
+
+    with open(args.source, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    data = None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        # JSONL time series: the last record carrying metrics wins.
+        for line in reversed(text.splitlines()):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                candidate = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(candidate, dict) and "metrics" in candidate:
+                data = candidate
+                break
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"{args.source} holds no metrics snapshot (expected a "
+            "registry snapshot, a manifest, or a metrics JSONL series)"
+        )
+    try:
+        snapshot = obs_metrics.coerce_snapshot(data)
+    except ValueError as error:
+        raise ConfigurationError(f"{args.source}: {error}") from None
+    if args.format == "prometheus":
+        rendered = obs_metrics.render_prometheus(snapshot)
+    else:
+        rendered = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.format} snapshot to {args.output}")
+    else:
+        sys.stdout.write(rendered)
     return 0
 
 
@@ -1124,6 +1203,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_start.add_argument(
         "--progress", action="store_true", help="log each completed run"
     )
+    sweep_start.add_argument(
+        "--metrics-out",
+        default=None,
+        help=(
+            "append the supervisor's final metrics snapshot to this "
+            "JSONL file (implies metrics collection on)"
+        ),
+    )
     _add_cache_arguments(sweep_start)
     sweep_start.set_defaults(func=_cmd_sweep_start)
 
@@ -1151,6 +1238,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_status.add_argument("queue", help="queue directory to inspect")
     sweep_status.set_defaults(func=_cmd_sweep_status)
+
+    sweep_watch = sweep_sub.add_parser(
+        "watch",
+        help=(
+            "live fleet dashboard over a queue directory (workers, "
+            "throughput, ETA) — read-side, attachable from any host"
+        ),
+    )
+    sweep_watch.add_argument("queue", help="queue directory to watch")
+    sweep_watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (CI artifact mode)",
+    )
+    sweep_watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between frames in loop mode (default: 2)",
+    )
+    sweep_watch.add_argument(
+        "--window",
+        type=float,
+        default=120.0,
+        help="throughput/ETA averaging window in seconds (default: 120)",
+    )
+    sweep_watch.set_defaults(func=_cmd_sweep_watch)
 
     sweep_resume = sweep_sub.add_parser(
         "resume",
@@ -1244,6 +1358,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_analyze_arguments(analyze)
     analyze.set_defaults(func=cmd_analyze)
+
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help=(
+            "dump or convert a metrics snapshot (registry JSON, "
+            "manifest, or JSONL series) to Prometheus text or JSON"
+        ),
+    )
+    metrics_cmd.add_argument(
+        "source",
+        help=(
+            "snapshot file: a metrics JSONL series, a run/sweep "
+            "manifest JSON, or a raw registry snapshot JSON"
+        ),
+    )
+    metrics_cmd.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="output format (default: prometheus)",
+    )
+    metrics_cmd.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="write here instead of stdout",
+    )
+    metrics_cmd.set_defaults(func=_cmd_metrics)
 
     alloc = sub.add_parser("allocate", help="print the optimal allocation")
     _add_utility_arguments(alloc)

@@ -17,7 +17,11 @@ exception.  The pieces:
 * :mod:`~repro.dist.supervisor` — crash-absorbing supervision: stale
   leases are reaped and requeued, poison units are quarantined after a
   retry budget, failed worker spawns degrade the sweep to fewer
-  workers (down to inline execution) instead of wedging it.
+  workers (down to inline execution) instead of wedging it;
+* :mod:`~repro.dist.watch` — the read-side fleet dashboard behind
+  ``repro sweep watch``: liveness, throughput, ETA, and per-worker
+  attribution assembled purely from the queue directory's worker
+  metrics frames and event log.
 
 The hard invariant across all executors, crash patterns, and retry
 counts: a sweep's statistics are **bit-identical** to serial execution.
@@ -39,11 +43,13 @@ from .executors import (
 from .leases import Lease, LeaseManager
 from .queue import UnitRecord, WorkQueue
 from .supervisor import QueueWorker, Supervisor, WorkQueueExecutor
+from .watch import FleetSnapshot, WorkerView, fleet_snapshot, render_fleet, watch
 
 __all__ = [
     "Clock",
     "ExecutorLike",
     "FakeClock",
+    "FleetSnapshot",
     "Lease",
     "LeaseManager",
     "ProcessPoolExecutor",
@@ -56,5 +62,9 @@ __all__ = [
     "UnitRecord",
     "WorkQueue",
     "WorkQueueExecutor",
+    "WorkerView",
+    "fleet_snapshot",
+    "render_fleet",
     "resolve_executor",
+    "watch",
 ]

@@ -12,6 +12,8 @@ failure records, quarantine markers, and a lifecycle event log::
       results/<id>.json     published results, atomic + fsync
       failures/<id>.<k>.json one record per failed claim
       quarantine/<id>.json  poison units parked after the claim budget
+      metrics/<worker>.json per-worker progress frames (atomic, advisory;
+                            read by ``repro sweep watch``)
       events.jsonl          claim/publish/fail/expire/requeue/... log
 
 Every state transition is one atomic durable file operation, so any

@@ -33,9 +33,12 @@ import tempfile
 import threading
 from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence
 
+from ..durable import atomic_write_json
 from ..errors import ConfigurationError, SimulationError
 from ..obs import events as ev
+from ..obs import metrics as obs_metrics
 from ..obs.log import get_logger
+from ..obs.manifest import worker_provenance
 from ..obs.timing import Stopwatch
 from .clock import Clock, SystemClock
 from .executors import SweepExecutor, SweepSpec, WorkUnit, make_unit_records
@@ -64,6 +67,7 @@ class _Heartbeat:
         self._lease = lease
         self._interval = max(interval, 0.01)
         self._stopped = threading.Event()
+        self.renewals = 0
         self._thread = threading.Thread(
             target=self._run, name=f"lease-{lease.unit}", daemon=True
         )
@@ -80,6 +84,7 @@ class _Heartbeat:
                 # Reaped: presumed dead.  Keep executing — publishing a
                 # duplicate is benign — but stop touching the lease.
                 break
+            self.renewals += 1
 
     def stop(self) -> None:
         self._stopped.set()
@@ -111,16 +116,25 @@ class QueueWorker:
         )
         self._inputs_by_trial: Dict[int, Any] = {}
         self._logger = get_logger("repro.dist.worker")
+        self.units_done = 0
+        self.units_failed = 0
+        self.claims = 0
+        self.lease_renewals = 0
+        self._metrics_reg = obs_metrics.enabled_registry()
 
     def run(self) -> None:
         """Work until every unit is published or quarantined.
 
         Waiting (rather than exiting) when nothing is claimable is what
         lets this worker pick up units requeued after a *different*
-        worker's crash.
+        worker's crash.  Every loop iteration refreshes the worker's
+        ``metrics/<id>.json`` so watch clients see an idle-but-alive
+        worker's timestamp keep moving.
         """
+        self.publish_metrics()
         while not self.queue.complete():
             if not self.run_one():
+                self.publish_metrics()
                 self.clock.sleep(self.poll_interval)
 
     def run_one(self) -> bool:
@@ -132,12 +146,60 @@ class QueueWorker:
             )
             if lease is None:
                 continue  # lost the O_EXCL race; try the next unit
+            self.claims += 1
             self.queue.log_event(
                 ev.UNIT_CLAIM, unit=unit, worker=self.worker_id, claim=claim_no
             )
             self._execute_unit(self.queue.read_unit(unit), lease, claim_no)
+            self.publish_metrics()
+            self.queue.log_event(
+                ev.METRICS_SNAPSHOT,
+                worker=self.worker_id,
+                units_done=self.units_done,
+                units_failed=self.units_failed,
+            )
             return True
         return False
+
+    def publish_metrics(self) -> None:
+        """Atomically write this worker's ``metrics/<id>.json``.
+
+        The file is the watch dashboard's per-worker ground truth:
+        identity (host + PID), progress counters, and a queue-clock
+        timestamp whose age tells liveness (a worker that stops
+        refreshing past the lease TTL is presumed dead).  ``fsync=False``
+        because the file is advisory observability state, not sweep
+        correctness state — ``os.replace`` atomicity already guarantees
+        readers never see a torn frame.
+        """
+        path = os.path.join(
+            self.queue.root, "metrics", f"{self.worker_id}.json"
+        )
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload: Dict[str, Any] = {
+            **worker_provenance(self.worker_id),
+            "t": self.clock.now(),
+            "units_done": self.units_done,
+            "units_failed": self.units_failed,
+            "claims": self.claims,
+            "lease_renewals": self.lease_renewals,
+        }
+        try:
+            atomic_write_json(path, payload, fsync=False)
+        except OSError as error:  # pragma: no cover - diskless degrade
+            self._logger.warning(
+                "worker metrics write failed", error=str(error)
+            )
+
+    def _count_unit(self, outcome: str) -> None:
+        reg = self._metrics_reg
+        if reg is None:
+            return
+        reg.counter(
+            "repro_dist_worker_units_total",
+            help="work units finished by this worker process, by outcome",
+            labels={"worker": self.worker_id, "outcome": outcome},
+        ).inc()
 
     def _trial_inputs(self, record: UnitRecord) -> Any:
         """Realize (once per trial per process) the shared randomness."""
@@ -199,8 +261,11 @@ class QueueWorker:
                 assert spec.profile_dir is not None
                 runner._dump_profile(profiler, spec.profile_dir, "worker")
             heartbeat.stop()
+            self.lease_renewals += heartbeat.renewals
         timing["setup_wall_s"] = setup_wall
         if result is not None:
+            self.units_done += 1
+            self._count_unit("done")
             self.queue.publish_result(
                 record.unit,
                 result,
@@ -213,6 +278,8 @@ class QueueWorker:
                 ev.UNIT_PUBLISH, unit=record.unit, worker=self.worker_id
             )
         else:
+            self.units_failed += 1
+            self._count_unit("failed")
             error_text = error or "unknown error"
             self.queue.record_failure(
                 record.unit,
@@ -363,6 +430,7 @@ class Supervisor:
         self._next_spawn_at = 0.0
         self._inline_worker: Optional[QueueWorker] = None
         self._logger = get_logger("repro.dist.supervisor")
+        self._metrics_reg = obs_metrics.enabled_registry()
 
     # ------------------------------------------------------------------
     # the supervision loop
@@ -377,14 +445,45 @@ class Supervisor:
                 self.clock.sleep(self.poll_interval)
         finally:
             self._shutdown()
+            # One last gauge refresh so a sweep-end snapshot reflects
+            # the final queue state, not the state one poll earlier.
+            self._publish_queue_gauges(0, 0)
 
     def step(self) -> None:
         """One supervision round (exposed for fake-clock tests)."""
-        self.reap_expired()
-        self.quarantine_exhausted()
+        requeued = self.reap_expired()
+        parked = self.quarantine_exhausted()
         if self.on_error == "raise":
             self._raise_on_failure()
         self._manage_workers()
+        self._publish_queue_gauges(len(requeued), len(parked))
+
+    def _publish_queue_gauges(self, requeued: int, parked: int) -> None:
+        """Mirror queue depth and churn into the process registry."""
+        reg = self._metrics_reg
+        if reg is None:
+            return
+        status = self.queue.status()
+        for state in ("pending", "published", "quarantined"):
+            reg.gauge(
+                "repro_dist_queue_units",
+                help="work units currently in each queue state",
+                labels={"state": state},
+            ).set(float(status[state]))
+        reg.gauge(
+            "repro_dist_live_workers",
+            help="worker handles the supervisor believes are alive",
+        ).set(float(len(self.workers)))
+        if requeued:
+            reg.counter(
+                "repro_dist_requeues_total",
+                help="units requeued after a stale lease was reaped",
+            ).inc(float(requeued))
+        if parked:
+            reg.counter(
+                "repro_dist_quarantines_total",
+                help="poison units parked after their claim budget",
+            ).inc(float(parked))
 
     def reap_expired(self) -> List[str]:
         """Clear stale leases; requeue their units if still pending."""

@@ -1,0 +1,283 @@
+"""Live fleet view over one work-queue directory (``repro sweep watch``).
+
+Everything here is **read-side**: a fleet snapshot is assembled purely
+from the files any queue participant already publishes — the per-worker
+``metrics/<id>.json`` frames, the ``events.jsonl`` lifecycle log, and
+the unit/lease state — so a watch client can run on any host that can
+see the queue directory, attached to a sweep it did not start, without
+perturbing it.  The only thing a watcher writes back is one
+``watch_refresh`` event per rendered frame, which makes dashboard
+activity itself auditable in the queue log.
+
+Rendering is plain text (no curses): one frame is a short fixed-layout
+block suitable for a terminal, a CI artifact (``--once``), or ``tee``.
+Liveness is inferred, never asserted: a worker is presumed alive while
+its metrics frame is younger than the lease TTL *or* it holds a live
+lease (a worker deep inside a long unit refreshes its lease from the
+heartbeat thread even when its metrics frame goes quiet).
+
+Time comes exclusively from the queue's injected
+:class:`~repro.dist.clock.Clock`, so fake-clock tests drive throughput
+windows and liveness ages deterministically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sys
+from typing import IO, Any, Dict, List, Optional
+
+from ..obs import events as ev
+from .queue import WorkQueue
+
+__all__ = [
+    "DEFAULT_WINDOW_S",
+    "FleetSnapshot",
+    "WorkerView",
+    "fleet_snapshot",
+    "read_worker_metrics",
+    "render_fleet",
+    "watch",
+]
+
+#: Publishes within this many seconds feed the throughput estimate.
+DEFAULT_WINDOW_S = 120.0
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerView:
+    """One worker's latest self-reported frame, aged against now."""
+
+    worker: str
+    host: Optional[str]
+    pid: Optional[int]
+    units_done: int
+    units_failed: int
+    claims: int
+    lease_renewals: int
+    last_seen_t: float
+    age_s: float
+    alive: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetSnapshot:
+    """Everything one dashboard frame shows, as plain data."""
+
+    t: float
+    root: str
+    n_units: int
+    published: int
+    quarantined: int
+    pending: int
+    live_leases: List[Dict[str, Any]]
+    workers: List[WorkerView]
+    attribution: Dict[str, int]
+    window_s: float
+    recent_publishes: int
+    throughput_per_min: float
+    eta_s: Optional[float]
+
+    @property
+    def complete(self) -> bool:
+        return self.pending == 0
+
+
+def read_worker_metrics(root: str) -> List[Dict[str, Any]]:
+    """Every readable worker frame under ``<root>/metrics/``.
+
+    Corrupt or mid-rename files are skipped silently — frames are
+    advisory, and the next refresh replaces them anyway.
+    """
+    metrics_dir = os.path.join(root, "metrics")
+    frames: List[Dict[str, Any]] = []
+    try:
+        names = sorted(os.listdir(metrics_dir))
+    except FileNotFoundError:
+        return frames
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(
+                os.path.join(metrics_dir, name), "r", encoding="utf-8"
+            ) as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(data, dict) and "worker" in data:
+            frames.append(data)
+    return frames
+
+
+def _worker_views(
+    frames: List[Dict[str, Any]],
+    now: float,
+    ttl: float,
+    lease_holders: frozenset,
+) -> List[WorkerView]:
+    views = []
+    for frame in frames:
+        worker = str(frame["worker"])
+        last_seen = float(frame.get("t", 0.0))
+        age = max(0.0, now - last_seen)
+        views.append(
+            WorkerView(
+                worker=worker,
+                host=frame.get("host"),
+                pid=frame.get("pid"),
+                units_done=int(frame.get("units_done", 0)),
+                units_failed=int(frame.get("units_failed", 0)),
+                claims=int(frame.get("claims", 0)),
+                lease_renewals=int(frame.get("lease_renewals", 0)),
+                last_seen_t=last_seen,
+                age_s=age,
+                alive=age <= ttl or worker in lease_holders,
+            )
+        )
+    return views
+
+
+def fleet_snapshot(
+    queue: WorkQueue, *, window_s: float = DEFAULT_WINDOW_S
+) -> FleetSnapshot:
+    """Assemble one dashboard frame from the queue directory."""
+    now = queue.clock.now()
+    status = queue.status()
+    publishes = [
+        event
+        for event in queue.read_events()
+        if event.get("kind") == ev.UNIT_PUBLISH
+    ]
+    attribution: Dict[str, int] = {}
+    for event in publishes:
+        worker = str(event.get("worker", "?"))
+        attribution[worker] = attribution.get(worker, 0) + 1
+    recent = sum(
+        1
+        for event in publishes
+        if float(event.get("t", 0.0)) >= now - window_s
+    )
+    throughput_per_min = recent * 60.0 / window_s if window_s > 0 else 0.0
+    pending = int(status["pending"])
+    eta_s: Optional[float] = None
+    if pending and recent:
+        eta_s = pending * window_s / recent
+    live_leases = list(status["live_leases"])
+    lease_holders = frozenset(
+        str(lease.get("worker", "?")) for lease in live_leases
+    )
+    workers = _worker_views(
+        read_worker_metrics(queue.root), now, queue.ttl, lease_holders
+    )
+    return FleetSnapshot(
+        t=now,
+        root=str(status["root"]),
+        n_units=int(status["n_units"]),
+        published=int(status["published"]),
+        quarantined=int(status["quarantined"]),
+        pending=pending,
+        live_leases=live_leases,
+        workers=workers,
+        attribution=attribution,
+        window_s=window_s,
+        recent_publishes=recent,
+        throughput_per_min=throughput_per_min,
+        eta_s=eta_s,
+    )
+
+
+def _fmt_age(seconds: float) -> str:
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    return f"{seconds / 60.0:.1f}m"
+
+
+def render_fleet(snapshot: FleetSnapshot) -> str:
+    """One plain-text dashboard frame (no cursor control, no color)."""
+    lines = [
+        f"queue {snapshot.root}",
+        (
+            f"units  {snapshot.n_units} total | "
+            f"{snapshot.published} published | "
+            f"{snapshot.quarantined} quarantined | "
+            f"{snapshot.pending} pending"
+        ),
+    ]
+    rate = (
+        f"{snapshot.throughput_per_min:.2f} units/min "
+        f"(last {snapshot.window_s:.0f}s: {snapshot.recent_publishes})"
+    )
+    if snapshot.complete:
+        lines.append(f"rate   {rate} | complete")
+    elif snapshot.eta_s is not None:
+        lines.append(f"rate   {rate} | ETA {_fmt_age(snapshot.eta_s)}")
+    else:
+        lines.append(f"rate   {rate} | ETA unknown")
+    lines.append(f"workers ({len(snapshot.workers)})")
+    for view in sorted(snapshot.workers, key=lambda w: w.worker):
+        state = "alive" if view.alive else "dead?"
+        where = f"host={view.host} pid={view.pid}"
+        lines.append(
+            f"  {view.worker:<10} {state:<6} {where:<28} "
+            f"done={view.units_done} failed={view.units_failed} "
+            f"claims={view.claims} renewals={view.lease_renewals} "
+            f"age={_fmt_age(view.age_s)}"
+        )
+    lines.append(f"leases ({len(snapshot.live_leases)})")
+    for lease in snapshot.live_leases:
+        lines.append(
+            f"  {lease.get('unit', '?'):<14} "
+            f"held by {lease.get('worker', '?')} "
+            f"(claim {lease.get('claim', '?')})"
+        )
+    if snapshot.attribution:
+        credit = " ".join(
+            f"{worker}={count}"
+            for worker, count in sorted(snapshot.attribution.items())
+        )
+        lines.append(f"published by worker: {credit}")
+    return "\n".join(lines)
+
+
+def watch(
+    queue: WorkQueue,
+    *,
+    once: bool = False,
+    interval: float = 2.0,
+    window_s: float = DEFAULT_WINDOW_S,
+    stream: Optional[IO[str]] = None,
+    max_frames: Optional[int] = None,
+    watcher: Optional[str] = None,
+) -> int:
+    """Render dashboard frames until the sweep completes; frame count.
+
+    ``once`` renders a single frame (the CI-artifact mode).  In loop
+    mode a frame is rendered every ``interval`` seconds on the queue's
+    clock until every unit is published or quarantined (``max_frames``
+    bounds runaway watching in tests).  Each rendered frame appends one
+    ``watch_refresh`` event to the queue log.
+    """
+    out: IO[str] = stream if stream is not None else sys.stdout
+    name = watcher if watcher is not None else f"watch-{os.getpid()}"
+    frames = 0
+    while True:
+        snapshot = fleet_snapshot(queue, window_s=window_s)
+        if frames:
+            out.write("\n")
+        out.write(render_fleet(snapshot) + "\n")
+        out.flush()
+        queue.log_event(
+            ev.WATCH_REFRESH,
+            watcher=name,
+            published=snapshot.published,
+            pending=snapshot.pending,
+        )
+        frames += 1
+        if once or snapshot.complete:
+            return frames
+        if max_frames is not None and frames >= max_frames:
+            return frames
+        queue.clock.sleep(interval)

@@ -74,6 +74,7 @@ from ..durable import truncate_error_text
 from ..errors import ConfigurationError, SimulationError
 from ..faults import FaultSchedule
 from ..obs.log import get_logger
+from ..obs import metrics as obs_metrics
 from ..obs.manifest import environment_provenance
 from ..obs.timing import Stopwatch
 from ..protocols.base import ReplicationProtocol
@@ -1087,6 +1088,9 @@ def run_comparison(
         "cpu_s": sweep_timer.cpu,
         "environment": environment_provenance(),
     }
+    metrics_reg = obs_metrics.enabled_registry()
+    if metrics_reg is not None:
+        sweep_manifest["metrics"] = metrics_reg.snapshot()
     if cache is not None:
         sweep_manifest["run_cache"] = {
             "root": cache.root,

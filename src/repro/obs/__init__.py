@@ -28,6 +28,7 @@ runs are bit-identical too (manifests, which carry timings, are not).
 """
 
 from . import events
+from . import metrics
 from .analysis import (
     delay_cdf_comparison,
     filter_events,
@@ -40,12 +41,27 @@ from .analysis import (
 )
 from .log import ObsLogger, get_logger, set_log_level, set_log_stream
 from .manifest import RunManifest, environment_provenance
+from .metrics import (
+    MetricsRegistry,
+    enabled_registry,
+    metrics_enabled,
+    parse_prometheus,
+    registry,
+    render_prometheus,
+)
 from .sinks import JsonlSink, MemorySink, NullSink, TraceSink
 from .timing import Stopwatch
 from .tracer import Tracer
 
 __all__ = [
     "events",
+    "metrics",
+    "MetricsRegistry",
+    "registry",
+    "enabled_registry",
+    "metrics_enabled",
+    "render_prometheus",
+    "parse_prometheus",
     "Tracer",
     "TraceSink",
     "JsonlSink",

@@ -29,6 +29,7 @@ from typing import (
 import numpy as np
 
 from . import events as ev
+from .sinks import MemorySink
 
 __all__ = [
     "TraceFileError",
@@ -48,10 +49,22 @@ class TraceFileError(ValueError):
 
 
 def iter_events(
-    source: Union[str, IO[str]], validate: bool = False
+    source: Union[str, IO[str], MemorySink], validate: bool = False
 ) -> Iterable[Dict[str, Any]]:
-    """Yield events from a JSONL trace file or open stream."""
-    if isinstance(source, str):
+    """Yield events from a JSONL trace file, open stream, or MemorySink.
+
+    A :class:`~repro.obs.sinks.MemorySink` source yields
+    :meth:`~repro.obs.sinks.MemorySink.snapshot` copies — downstream
+    consumers (``filter``/``convert`` pipelines) may freely mutate what
+    they receive without corrupting the sink's buffer, exactly as they
+    can with events parsed fresh from a file.
+    """
+    if isinstance(source, MemorySink):
+        for event in source.snapshot():
+            if validate:
+                ev.validate_event(event)
+            yield event
+    elif isinstance(source, str):
         with open(source, "r", encoding="utf-8") as fh:
             yield from _iter_stream(fh, validate)
     else:
@@ -85,7 +98,7 @@ def _iter_stream(
 
 
 def load_events(
-    source: Union[str, IO[str]], validate: bool = False
+    source: Union[str, IO[str], MemorySink], validate: bool = False
 ) -> List[Dict[str, Any]]:
     """All events from a JSONL trace, in file order."""
     return list(iter_events(source, validate=validate))

@@ -71,6 +71,8 @@ __all__ = [
     "UNIT_QUARANTINE",
     "WORKER_SPAWN",
     "WORKER_EXIT",
+    "METRICS_SNAPSHOT",
+    "WATCH_REFRESH",
     "EVENT_FIELDS",
     "LIFECYCLE_KINDS",
     "SWEEP_KINDS",
@@ -110,6 +112,12 @@ UNIT_QUARANTINE = "unit_quarantine"
 WORKER_SPAWN = "worker_spawn"
 WORKER_EXIT = "worker_exit"
 
+#: Metrics plane (see :mod:`repro.obs.metrics` and ``repro sweep
+#: watch``): a worker published its atomic ``metrics.json``, or a watch
+#: client rendered one dashboard frame from the queue directory.
+METRICS_SNAPSHOT = "metrics_snapshot"
+WATCH_REFRESH = "watch_refresh"
+
 #: kind -> required payload fields (beyond ``seq``/``kind``/``t``).
 EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     RUN_START: ("n_nodes", "n_items", "duration", "protocol"),
@@ -137,6 +145,8 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     UNIT_QUARANTINE: ("unit", "reason"),
     WORKER_SPAWN: ("worker",),
     WORKER_EXIT: ("worker", "reason"),
+    METRICS_SNAPSHOT: ("worker", "units_done", "units_failed"),
+    WATCH_REFRESH: ("watcher", "published", "pending"),
 }
 
 #: The distributed-sweep infrastructure kinds (``events.jsonl`` of a
@@ -150,6 +160,8 @@ SWEEP_KINDS: Tuple[str, ...] = (
     UNIT_QUARANTINE,
     WORKER_SPAWN,
     WORKER_EXIT,
+    METRICS_SNAPSHOT,
+    WATCH_REFRESH,
 )
 
 #: The kinds a request passes through (used by summaries and filters).

@@ -92,7 +92,10 @@ class RunManifest:
 
     ``config_fingerprint`` is :meth:`SimulationConfig.fingerprint`;
     ``seed`` is the engine's integer seed; ``wall_s``/``cpu_s`` come
-    from the :class:`~repro.obs.timing.Stopwatch` shim; ``extra`` holds
+    from the :class:`~repro.obs.timing.Stopwatch` shim; ``phases`` is
+    the named-section timing breakdown (merge/run/settle wall seconds
+    from :meth:`Stopwatch.section`); ``metrics`` is the run's embedded
+    counter snapshot (see :mod:`repro.obs.metrics`); ``extra`` holds
     caller context (trial index, protocol name, sweep parameters, ...).
     """
 
@@ -102,6 +105,8 @@ class RunManifest:
     wall_s: Optional[float] = None
     cpu_s: Optional[float] = None
     n_events: Optional[int] = None
+    phases: Dict[str, float] = dataclasses.field(default_factory=dict)
+    metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
     environment: Dict[str, Any] = dataclasses.field(
         default_factory=environment_provenance
     )

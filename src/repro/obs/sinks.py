@@ -53,7 +53,11 @@ class MemorySink(TraceSink):
     """Ring buffer of the most recent *capacity* events (unbounded if None).
 
     The buffer holds the event dicts themselves (no copies); callers
-    should treat retrieved events as read-only.
+    must treat :attr:`events` as read-only — mutating a retrieved dict
+    corrupts the sink's record.  Callers that post-process events
+    (filtering, enrichment, the ``repro trace`` pipelines) use
+    :meth:`snapshot`, which returns per-event copies that are safe to
+    mutate.
     """
 
     def __init__(self, capacity: Optional[int] = None) -> None:
@@ -69,8 +73,19 @@ class MemorySink(TraceSink):
 
     @property
     def events(self) -> List[Dict[str, Any]]:
-        """The retained events, oldest first."""
+        """The retained events, oldest first (aliased — read-only)."""
         return list(self._buf)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Copied events, oldest first — safe to mutate.
+
+        Events are flat dicts of scalars (plus the occasional list in
+        ``alloc``/``run_end`` payloads), so a shallow per-event copy is
+        enough to decouple callers from the buffer; the ``counts`` /
+        ``summary`` payload values are never mutated in place by any
+        repo consumer.
+        """
+        return [dict(event) for event in self._buf]
 
     def clear(self) -> None:
         self._buf.clear()

@@ -15,9 +15,44 @@ tests compare.
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Dict, Optional
 
 __all__ = ["Stopwatch"]
+
+
+class _Section:
+    """One named timing span; accumulates into the owner on exit.
+
+    Sections nest freely (an inner section's time is also part of every
+    enclosing section's), and re-entering the same name accumulates, so
+    ``sw.sections`` is a phase-time breakdown whose *disjoint* entries
+    sum to at most the stopwatch's total wall time.
+    """
+
+    __slots__ = ("_owner", "_name", "_wall0", "_cpu0")
+
+    def __init__(self, owner: "Stopwatch", name: str) -> None:
+        self._owner = owner
+        self._name = name
+        self._wall0: Optional[float] = None
+        self._cpu0: Optional[float] = None
+
+    def __enter__(self) -> "_Section":
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._wall0 is None or self._cpu0 is None:
+            return
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        sections = self._owner.sections
+        sections[self._name] = sections.get(self._name, 0.0) + wall
+        cpu_sections = self._owner.cpu_sections
+        cpu_sections[self._name] = cpu_sections.get(self._name, 0.0) + cpu
+        self._wall0 = None
+        self._cpu0 = None
 
 
 class Stopwatch:
@@ -31,6 +66,18 @@ class Stopwatch:
 
     Until stopped, ``wall``/``cpu`` report the running elapsed time, so
     a long-lived stopwatch can be sampled for live progress.
+
+    Named sections break the total down by phase::
+
+        sw = Stopwatch()
+        with sw.section("merge"):
+            merge()
+        with sw.section("run"):
+            run()
+        sw.sections  # {"merge": ..., "run": ...} — wall seconds
+
+    Section times accumulate per name across re-entries; disjoint
+    sections sum to at most the enclosing stopwatch's wall time.
     """
 
     def __init__(self, autostart: bool = True) -> None:
@@ -38,8 +85,16 @@ class Stopwatch:
         self._cpu_start: Optional[float] = None
         self._wall: Optional[float] = None
         self._cpu: Optional[float] = None
+        #: Accumulated wall seconds per named section.
+        self.sections: Dict[str, float] = {}
+        #: Accumulated process-CPU seconds per named section.
+        self.cpu_sections: Dict[str, float] = {}
         if autostart:
             self.start()
+
+    def section(self, name: str) -> _Section:
+        """A context manager timing one named span (see class docs)."""
+        return _Section(self, name)
 
     def start(self) -> "Stopwatch":
         self._wall = None

@@ -68,6 +68,7 @@ from ..demand import RequestSchedule
 from ..errors import ConfigurationError, SimulationError
 from ..faults import FaultEvent, FaultSchedule
 from ..obs import events as trace_events
+from ..obs import metrics as obs_metrics
 from ..obs.manifest import RunManifest
 from ..obs.timing import Stopwatch
 from ..obs.tracer import Tracer
@@ -137,6 +138,10 @@ class Simulation:
         "sticky_owner",
         "_initialized",
         "tracer",
+        "_metrics_reg",
+        "_m_replica_add",
+        "_m_replica_drop",
+        "_phase_timer",
         "_collect_manifest",
         "_seed_value",
         "_now",
@@ -265,7 +270,36 @@ class Simulation:
         self.tracer: Optional[Tracer] = (
             tracer if tracer is not None and tracer.active else None
         )
+        # Metrics follow the same resolve-once discipline: a disabled
+        # registry is None and every metrics site compiles down to the
+        # bare path (the chunk iterator stays unwrapped, replication
+        # sites skip one is-None test — same cost as the tracer guard).
+        # Per-event hot loops are never instrumented directly; chunk
+        # aggregation happens around them (see _iter_counted_chunks).
+        self._metrics_reg: Optional[obs_metrics.MetricsRegistry] = (
+            obs_metrics.enabled_registry()
+        )
+        if self._metrics_reg is not None:
+            self._m_replica_add: Optional[obs_metrics.Counter] = (
+                self._metrics_reg.counter(
+                    "repro_sim_replica_adds_total",
+                    help="replica insertions (evictions counted as drops)",
+                )
+            )
+            self._m_replica_drop: Optional[obs_metrics.Counter] = (
+                self._metrics_reg.counter(
+                    "repro_sim_replica_drops_total",
+                    help="replica removals (evictions and fault losses)",
+                )
+            )
+        else:
+            self._m_replica_add = None
+            self._m_replica_drop = None
         self._collect_manifest = collect_manifest or self.tracer is not None
+        #: Phase timing breakdown for the manifest (None ⇒ not collected).
+        self._phase_timer: Optional[Stopwatch] = (
+            Stopwatch() if self._collect_manifest else None
+        )
         self._seed_value: Optional[int] = (
             int(seed) if isinstance(seed, (int, np.integer)) else None
         )
@@ -351,7 +385,11 @@ class Simulation:
         self._contact_hook_idle = bool(
             getattr(protocol, "contact_hook_idle_without_mandates", False)
         )
-        self._build_event_stream()
+        if self._phase_timer is not None:
+            with self._phase_timer.section("merge"):
+                self._build_event_stream()
+        else:
+            self._build_event_stream()
 
     def _build_event_stream(self) -> None:
         """Merge contacts, requests, and faults into one sorted stream.
@@ -694,10 +732,51 @@ class Simulation:
         return chunks, snap_idx
 
     def _iter_chunks(self) -> Iterator[_Chunk]:
-        """The pre-cut chunks (eager) or a block-merging generator."""
-        if self._chunks is not None:
-            return iter(self._chunks)
-        return self._iter_streamed_chunks()
+        """The pre-cut chunks (eager) or a block-merging generator.
+
+        With metrics enabled the stream is wrapped in the counting
+        generator; the inner specialized loops are byte-identical in
+        both modes — aggregation happens per *chunk*, never per event.
+        """
+        base: Iterator[_Chunk] = (
+            iter(self._chunks)
+            if self._chunks is not None
+            else self._iter_streamed_chunks()
+        )
+        if self._metrics_reg is None:
+            return base
+        return self._iter_counted_chunks(base)
+
+    def _iter_counted_chunks(self, base: Iterator[_Chunk]) -> Iterator[_Chunk]:
+        """Per-chunk metrics aggregation around the event stream.
+
+        Counts chunks and events and observes the chunk-size histogram
+        *between* chunks — pure arithmetic on registry state, no I/O,
+        no clock, no simulation-state reads — so streamed-chunk
+        progress is visible live (scrape the registry mid-run) without
+        touching the hot loops' bit-identity.
+        """
+        reg = self._metrics_reg
+        assert reg is not None
+        chunks_total = reg.counter(
+            "repro_sim_chunks_total",
+            help="event-stream chunks consumed by the run loops",
+        )
+        events_total = reg.counter(
+            "repro_sim_chunk_events_total",
+            help="merged events delivered to the run loops",
+        )
+        chunk_sizes = reg.histogram(
+            "repro_sim_chunk_events",
+            help="events per consumed chunk",
+            buckets=obs_metrics.exponential_buckets(1.0, 4.0, 12),
+        )
+        for chunk in base:
+            n = len(chunk[0])
+            chunks_total.inc()
+            events_total.inc(n)
+            chunk_sizes.observe(float(n))
+            yield chunk
 
     def _iter_streamed_chunks(self) -> Iterator[_Chunk]:
         """Merge the three event streams block by block.
@@ -905,6 +984,11 @@ class Simulation:
             occupancy_row[victim] = False
         elif len(cache) == before:  # pragma: no cover - defensive
             raise SimulationError("cache bookkeeping out of sync")
+        if self._m_replica_add is not None:
+            self._m_replica_add.inc()
+            if victim is not None:
+                assert self._m_replica_drop is not None
+                self._m_replica_drop.inc()
         if self.tracer is not None:
             self.tracer.emit(
                 trace_events.REPLICA_ADD,
@@ -926,6 +1010,8 @@ class Simulation:
             return False
         self.counts[item] -= 1
         self.occupancy[node.node_id, item] = False
+        if self._m_replica_drop is not None:
+            self._m_replica_drop.inc()
         if self.tracer is not None:
             self.tracer.emit(
                 trace_events.REPLICA_DROP,
@@ -947,6 +1033,7 @@ class Simulation:
     def run(self) -> SimulationResult:
         """Process all events and return the collected metrics."""
         timer = Stopwatch() if self._collect_manifest else None
+        phases = self._phase_timer
         # Loop specialization instead of per-event branching: untraced
         # fault-free runs take the fully inlined plain loop (no tracer,
         # online, or drop-probability tests at all), untraced runs with
@@ -954,16 +1041,18 @@ class Simulation:
         # use the _traced_* handler duplicates.  All three consume the
         # same pre-chunked event stream, so snapshot instants and event
         # order are identical by construction.
-        if self.tracer is not None:
-            self._run_traced()
-        elif self.faults is None:
-            self._run_plain()
+        if phases is None:
+            self._run_dispatch()
+            n_unfulfilled = self._settle_unfulfilled()
         else:
-            self._run_with_faults()
-        n_unfulfilled = self._settle_unfulfilled()
+            with phases.section("run"):
+                self._run_dispatch()
+            with phases.section("settle"):
+                n_unfulfilled = self._settle_unfulfilled()
         manifest = None
         if timer is not None:
             timer.stop()
+            assert phases is not None  # created together in __init__
             manifest = RunManifest(
                 config_fingerprint=self.config.fingerprint(),
                 seed=self._seed_value,
@@ -971,7 +1060,11 @@ class Simulation:
                 wall_s=timer.wall,
                 cpu_s=timer.cpu,
                 n_events=self._n_events,
+                phases=dict(phases.sections),
+                metrics=self._metrics_snapshot(n_unfulfilled),
             ).to_dict()
+        if self._metrics_reg is not None:
+            self._publish_run_metrics(n_unfulfilled, timer)
         result = self.metrics.build_result(
             self.counts, n_unfulfilled, manifest=manifest
         )
@@ -985,6 +1078,101 @@ class Simulation:
             )
             self.tracer.flush()
         return result
+
+    def _run_dispatch(self) -> None:
+        """Select and run the specialized loop for this (tracing, faults)."""
+        if self.tracer is not None:
+            self._run_traced()
+        elif self.faults is None:
+            self._run_plain()
+        else:
+            self._run_with_faults()
+
+    def _metrics_snapshot(self, n_unfulfilled: int) -> Dict[str, object]:
+        """The manifest's embedded metrics snapshot (counters only).
+
+        Always built from the :class:`MetricsCollector` aggregates when
+        a manifest is collected — present whether or not the process
+        registry is enabled, so every manifest answers "how much work
+        did this run do" without a metrics-enabled rerun.
+        """
+        m = self.metrics
+        return {
+            "n_events": self._n_events,
+            "n_generated": m.n_generated,
+            "n_fulfilled": m.n_fulfilled,
+            "n_immediate": m.n_immediate,
+            "n_skipped_self": m.n_skipped_self,
+            "n_expired": m.n_expired,
+            "n_unfulfilled": n_unfulfilled,
+            "total_gain": m.total_gain,
+            "final_replicas": int(self.counts.sum()),
+            "n_crashes": m.n_crashes,
+            "n_recoveries": m.n_recoveries,
+            "n_replicas_lost": m.n_replicas_lost,
+            "n_contacts_blocked": m.n_contacts_blocked,
+            "n_contacts_dropped": m.n_contacts_dropped,
+        }
+
+    def _publish_run_metrics(
+        self, n_unfulfilled: int, timer: Optional[Stopwatch]
+    ) -> None:
+        """Push end-of-run aggregates into the process registry.
+
+        One batch of counter increments per *run* (never per event):
+        the hot loops stay untouched, and a sweep process accumulates
+        fleet-wide totals across all its runs.
+        """
+        reg = self._metrics_reg
+        assert reg is not None
+        m = self.metrics
+        labels = {"protocol": self.protocol.name}
+        reg.counter(
+            "repro_sim_runs_total",
+            help="simulation runs completed",
+            labels=labels,
+        ).inc()
+        reg.counter(
+            "repro_sim_events_total",
+            help="merged events processed",
+            labels=labels,
+        ).inc(float(self._n_events))
+        reg.counter(
+            "repro_sim_requests_total",
+            help="requests generated",
+            labels=labels,
+        ).inc(float(m.n_generated))
+        reg.counter(
+            "repro_sim_fulfillments_total",
+            help="requests fulfilled via a contact",
+            labels=labels,
+        ).inc(float(m.n_fulfilled))
+        reg.counter(
+            "repro_sim_immediate_fulfillments_total",
+            help="requests fulfilled from the requester's own cache",
+            labels=labels,
+        ).inc(float(m.n_immediate))
+        reg.counter(
+            "repro_sim_abandonments_total",
+            help="requests expired by the request timeout",
+            labels=labels,
+        ).inc(float(m.n_expired))
+        reg.counter(
+            "repro_sim_unfulfilled_total",
+            help="requests still outstanding at the horizon",
+            labels=labels,
+        ).inc(float(n_unfulfilled))
+        reg.gauge(
+            "repro_sim_final_replicas",
+            help="total replicas at the end of the latest run",
+            labels=labels,
+        ).set(float(self.counts.sum()))
+        if timer is not None:
+            reg.histogram(
+                "repro_sim_run_wall_seconds",
+                help="wall seconds per simulation run",
+                labels=labels,
+            ).observe(timer.wall)
 
     # ------------------------------------------------------------------
     # traced handlers (selected in run() when tracing is on)

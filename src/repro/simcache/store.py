@@ -19,6 +19,7 @@ import os
 from typing import Any, Dict, Optional, Union
 
 from ..durable import atomic_write_json
+from ..obs import metrics as obs_metrics
 from ..obs.log import get_logger
 from ..sim.metrics import SimulationResult
 
@@ -70,6 +71,21 @@ class SimulationRunCache:
         self.root = os.fspath(root)
         self.stats = RunCacheStats()
         self._logger = get_logger("repro.simcache")
+        # Tracer-style resolve: one is-None test per cache *operation*
+        # (never per event) mirrors the per-instance stats into the
+        # process registry so sweeps expose a live hit rate.
+        self._metrics_reg = obs_metrics.enabled_registry()
+
+    def _count(self, outcome: str) -> None:
+        """Mirror one get/put outcome into the process metrics registry."""
+        reg = self._metrics_reg
+        if reg is None:
+            return
+        reg.counter(
+            "repro_simcache_ops_total",
+            help="simulation run-cache operations by outcome",
+            labels={"outcome": outcome},
+        ).inc()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimulationRunCache(root={self.root!r})"
@@ -98,6 +114,7 @@ class SimulationRunCache:
                 data = json.load(handle)
         except FileNotFoundError:
             self.stats.misses += 1
+            self._count("miss")
             return None
         except (OSError, json.JSONDecodeError, ValueError) as error:
             self._warn_corrupt(path, f"unreadable entry: {error}")
@@ -118,6 +135,7 @@ class SimulationRunCache:
             self._warn_corrupt(path, f"entry does not rebuild: {error}")
             return None
         self.stats.hits += 1
+        self._count("hit")
         return result
 
     def put(
@@ -144,11 +162,13 @@ class SimulationRunCache:
             atomic_write_json(path, payload, fsync=True)
         except OSError as error:
             self.stats.errors += 1
+            self._count("write_error")
             self._logger.warning(
                 "cache write failed", path=path, error=str(error)
             )
             return
         self.stats.stores += 1
+        self._count("store")
 
     # ------------------------------------------------------------------
     # maintenance
@@ -200,6 +220,7 @@ class SimulationRunCache:
     def _warn_corrupt(self, path: str, reason: str) -> None:
         self.stats.errors += 1
         self.stats.misses += 1
+        self._count("corrupt")
         self._logger.warning(
             "skipping corrupted cache entry", path=path, reason=reason
         )

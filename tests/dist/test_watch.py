@@ -1,0 +1,191 @@
+"""Worker metrics frames and the read-side fleet dashboard."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+from repro.dist import FakeClock, QueueWorker, WorkQueue
+from repro.dist.executors import make_unit_records
+from repro.dist.watch import (
+    fleet_snapshot,
+    read_worker_metrics,
+    render_fleet,
+    watch,
+)
+from repro.obs import events as ev
+
+from .conftest import make_spec, make_units
+
+IDENTITY = {"base_seed": 7, "n_trials": 2, "protocols": ["OPT", "UNI"]}
+
+
+def make_queue(root, protocols, *, clock=None, **kwargs):
+    units = make_unit_records(make_units(protocols), list(protocols))
+    return WorkQueue.create(
+        root, units, identity=dict(IDENTITY), clock=clock, **kwargs
+    )
+
+
+def write_frame(queue, worker, t, **counters):
+    """A handmade worker metrics frame, as QueueWorker would publish."""
+    path = os.path.join(queue.root, "metrics", f"{worker}.json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    payload = {
+        "worker": worker,
+        "host": "testhost",
+        "pid": 4242,
+        "t": t,
+        "units_done": counters.get("units_done", 0),
+        "units_failed": counters.get("units_failed", 0),
+        "claims": counters.get("claims", 0),
+        "lease_renewals": counters.get("lease_renewals", 0),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+# ----------------------------------------------------------------------
+# worker-side publication
+# ----------------------------------------------------------------------
+class TestWorkerMetricsPublication:
+    def test_worker_publishes_frames_and_events(
+        self, tmp_path, demand, config, protocols
+    ):
+        queue = make_queue(tmp_path / "q", protocols)
+        spec = make_spec(demand, config, protocols)
+        QueueWorker(queue, spec, "w0").run()
+        frames = read_worker_metrics(queue.root)
+        assert len(frames) == 1
+        frame = frames[0]
+        assert frame["worker"] == "w0"
+        assert frame["pid"] == os.getpid()
+        assert frame["units_done"] == 4
+        assert frame["units_failed"] == 0
+        assert frame["claims"] == 4
+        snapshots = [
+            event
+            for event in queue.read_events()
+            if event["kind"] == ev.METRICS_SNAPSHOT
+        ]
+        assert len(snapshots) == 4
+        assert snapshots[-1]["units_done"] == 4
+        assert snapshots[-1]["worker"] == "w0"
+
+    def test_corrupt_frames_are_skipped(self, tmp_path, protocols):
+        queue = make_queue(tmp_path / "q", protocols)
+        write_frame(queue, "w0", 1.0)
+        bad = os.path.join(queue.root, "metrics", "w1.json")
+        with open(bad, "w", encoding="utf-8") as handle:
+            handle.write("{torn")
+        frames = read_worker_metrics(queue.root)
+        assert [frame["worker"] for frame in frames] == ["w0"]
+
+    def test_no_metrics_dir_is_empty(self, tmp_path, protocols):
+        queue = make_queue(tmp_path / "q", protocols)
+        assert read_worker_metrics(queue.root) == []
+
+
+# ----------------------------------------------------------------------
+# fleet snapshots (fake clock throughout: deterministic ages/windows)
+# ----------------------------------------------------------------------
+class TestFleetSnapshot:
+    def test_counts_liveness_throughput_eta(self, tmp_path, protocols):
+        clock = FakeClock(start=1000.0)
+        queue = make_queue(tmp_path / "q", protocols, clock=clock, ttl=10.0)
+        # Two publishes inside the window, attributed to w0.
+        queue.log_event(ev.UNIT_PUBLISH, unit="t00000-p000", worker="w0")
+        clock.advance(30.0)
+        queue.log_event(ev.UNIT_PUBLISH, unit="t00000-p001", worker="w0")
+        # w0 refreshed recently; w1 went quiet past the TTL.
+        write_frame(queue, "w0", clock.now() - 1.0, units_done=2, claims=2)
+        write_frame(queue, "w1", clock.now() - 50.0, units_done=0)
+        snap = fleet_snapshot(queue, window_s=60.0)
+        assert snap.n_units == 4
+        assert snap.published == 0  # events logged, results not written
+        assert snap.pending == 4
+        assert snap.recent_publishes == 2
+        assert snap.throughput_per_min == 2.0
+        assert snap.eta_s == 4 * 60.0 / 2
+        views = {view.worker: view for view in snap.workers}
+        assert views["w0"].alive is True
+        assert views["w1"].alive is False
+        assert views["w0"].units_done == 2
+        assert snap.attribution == {"w0": 2}
+
+    def test_quiet_worker_with_live_lease_counts_alive(
+        self, tmp_path, protocols
+    ):
+        clock = FakeClock(start=500.0)
+        queue = make_queue(tmp_path / "q", protocols, clock=clock, ttl=10.0)
+        queue.leases.try_claim("t00000-p000", "w9", 1)
+        # Frame far older than the TTL, but the lease is being renewed.
+        write_frame(queue, "w9", clock.now() - 100.0)
+        snap = fleet_snapshot(queue)
+        (view,) = snap.workers
+        assert view.alive is True
+
+    def test_eta_unknown_without_recent_publishes(self, tmp_path, protocols):
+        clock = FakeClock(start=0.0)
+        queue = make_queue(tmp_path / "q", protocols, clock=clock)
+        snap = fleet_snapshot(queue, window_s=60.0)
+        assert snap.eta_s is None
+        assert snap.throughput_per_min == 0.0
+
+
+class TestRender:
+    def test_render_plain_text_frame(self, tmp_path, protocols):
+        clock = FakeClock(start=100.0)
+        queue = make_queue(tmp_path / "q", protocols, clock=clock, ttl=10.0)
+        write_frame(queue, "w0", 99.5, units_done=1, claims=2)
+        text = render_fleet(fleet_snapshot(queue))
+        assert "4 total | 0 published | 0 quarantined | 4 pending" in text
+        assert "w0" in text and "alive" in text
+        assert "done=1" in text and "claims=2" in text
+        # Plain text only: no ANSI escapes, no cursor control.
+        assert "\x1b" not in text
+
+
+class TestWatchLoop:
+    def test_once_renders_one_frame_and_logs_refresh(
+        self, tmp_path, protocols
+    ):
+        clock = FakeClock(start=0.0)
+        queue = make_queue(tmp_path / "q", protocols, clock=clock)
+        out = io.StringIO()
+        frames = watch(queue, once=True, stream=out, watcher="watch-test")
+        assert frames == 1
+        assert "queue " in out.getvalue()
+        refreshes = [
+            event
+            for event in queue.read_events()
+            if event["kind"] == ev.WATCH_REFRESH
+        ]
+        assert len(refreshes) == 1
+        assert refreshes[0]["watcher"] == "watch-test"
+        assert refreshes[0]["pending"] == 4
+
+    def test_loop_stops_at_max_frames_on_fake_clock(
+        self, tmp_path, protocols
+    ):
+        clock = FakeClock(start=0.0)
+        queue = make_queue(tmp_path / "q", protocols, clock=clock)
+        out = io.StringIO()
+        frames = watch(
+            queue, interval=5.0, max_frames=3, stream=out, watcher="w"
+        )
+        assert frames == 3
+        assert clock.sleeps == [5.0, 5.0]
+
+    def test_loop_exits_when_queue_completes(
+        self, tmp_path, demand, config, protocols
+    ):
+        clock = FakeClock(start=0.0)
+        queue = make_queue(tmp_path / "q", protocols, clock=clock)
+        spec = make_spec(demand, config, protocols)
+        QueueWorker(queue, spec, "w0").run()
+        out = io.StringIO()
+        frames = watch(queue, stream=out, max_frames=10, watcher="w")
+        assert frames == 1  # first frame already sees completion
+        assert "complete" in out.getvalue()

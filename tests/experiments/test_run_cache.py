@@ -157,6 +157,54 @@ class TestStore:
         assert cache.stats.errors == 1
         assert "corrupted cache entry" in stream.getvalue()
 
+    def test_metrics_counters_mirror_stats(self, tmp_path):
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.reset_registry()
+        obs_metrics.set_enabled(True)
+        try:
+            demand, trace, requests = workload()
+            result = simulate(
+                trace, requests, config(), prop_protocol(demand, N, RHO),
+                seed=5,
+            )
+            cache = SimulationRunCache(tmp_path / "cache")
+            key = "ab" + "0" * 62
+            cache.get(key)  # miss
+            cache.put(key, result)  # store
+            cache.get(key)  # hit
+            with open(cache._entry_path(key), "w", encoding="utf-8") as fh:
+                fh.write("{ torn")
+            stream = io.StringIO()
+            set_log_stream(stream)
+            try:
+                cache.get(key)  # corrupt
+            finally:
+                set_log_stream(None)
+            snap = obs_metrics.registry().snapshot()
+            by_outcome = {
+                entry["labels"]["outcome"]: entry["value"]
+                for entry in snap["repro_simcache_ops_total"]["series"]
+            }
+            assert by_outcome == {"miss": 1.0, "store": 1.0, "hit": 1.0,
+                                  "corrupt": 1.0}
+        finally:
+            obs_metrics.set_enabled(None)
+            obs_metrics.reset_registry()
+
+    def test_metrics_disabled_registry_untouched(self, tmp_path):
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.reset_registry()
+        obs_metrics.set_enabled(False)
+        try:
+            cache = SimulationRunCache(tmp_path / "cache")
+            assert cache.get("ff" + "0" * 62) is None
+            assert len(obs_metrics.registry()) == 0
+            assert cache.stats.misses == 1  # local stats still count
+        finally:
+            obs_metrics.set_enabled(None)
+
     def test_clear_and_info(self, tmp_path):
         demand, trace, requests = workload()
         result = simulate(

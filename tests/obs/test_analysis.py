@@ -58,6 +58,19 @@ def test_load_events_from_path(tmp_path):
     assert load_events(str(path)) == SAMPLE
 
 
+def test_load_events_from_memory_sink_returns_copies():
+    from repro.obs import MemorySink
+
+    sink = MemorySink()
+    for event in SAMPLE:
+        sink.emit(dict(event))
+    loaded = load_events(sink, validate=True)
+    assert loaded == SAMPLE
+    # Mutating the loaded events must not reach back into the sink.
+    loaded[0]["kind"] = "mutated"
+    assert sink.events[0]["kind"] == "run_start"
+
+
 def test_load_events_reports_bad_line_number():
     stream = io.StringIO('{"seq": 0}\nnot json\n')
     with pytest.raises(TraceFileError, match="line 2"):

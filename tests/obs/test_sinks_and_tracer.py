@@ -49,6 +49,18 @@ def test_memory_sink_rejects_bad_capacity():
         MemorySink(capacity=0)
 
 
+def test_memory_sink_snapshot_copies_events():
+    sink = MemorySink()
+    sink.emit({"seq": 0, "kind": "x"})
+    copies = sink.snapshot()
+    copies[0]["kind"] = "mutated"
+    copies.append({"seq": 1})
+    # The buffer is untouched: snapshot() is the mutation-safe view,
+    # unlike the aliased .events property.
+    assert sink.events[0]["kind"] == "x"
+    assert len(sink) == 1
+
+
 def test_jsonl_sink_writes_compact_lines(tmp_path):
     path = tmp_path / "trace.jsonl"
     with JsonlSink(str(path)) as sink:

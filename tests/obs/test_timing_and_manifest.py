@@ -30,6 +30,43 @@ def test_stopwatch_stop_before_start_raises():
         sw.stop()
 
 
+def test_stopwatch_sections_accumulate_and_bound_total():
+    sw = Stopwatch()
+    with sw.section("load"):
+        sum(range(50000))
+    with sw.section("run"):
+        sum(range(50000))
+    # Re-entering a named section accumulates rather than resets.
+    with sw.section("run"):
+        sum(range(50000))
+    sw.stop()
+    assert set(sw.sections) == {"load", "run"}
+    assert all(value >= 0.0 for value in sw.sections.values())
+    assert set(sw.cpu_sections) == {"load", "run"}
+    # Sections cover disjoint spans of one run: their sum can never
+    # exceed the stopwatch's total wall time.
+    assert sum(sw.sections.values()) <= sw.wall + 1e-9
+
+
+def test_stopwatch_sections_survive_nesting():
+    sw = Stopwatch()
+    with sw.section("outer"):
+        with sw.section("inner"):
+            sum(range(20000))
+    sw.stop()
+    assert sw.sections["outer"] >= sw.sections["inner"] - 1e-9
+    assert sw.sections["inner"] >= 0.0
+    assert sw.sections["outer"] <= sw.wall + 1e-9
+
+
+def test_stopwatch_section_reraises_and_still_records():
+    sw = Stopwatch()
+    with pytest.raises(RuntimeError):
+        with sw.section("broken"):
+            raise RuntimeError("boom")
+    assert sw.sections["broken"] >= 0.0
+
+
 def test_environment_provenance_shape_and_caching():
     env = environment_provenance()
     assert set(env) == {"python", "platform", "git_revision", "packages"}
@@ -57,11 +94,15 @@ def test_run_manifest_round_trip():
         wall_s=1.5,
         cpu_s=1.4,
         n_events=100,
+        phases={"run": 1.2, "settle": 0.1},
+        metrics={"n_fulfilled": 90},
         extra={"trial": 3},
     )
     data = manifest.to_dict()
     assert data["config_fingerprint"] == "ab12"
     assert data["extra"] == {"trial": 3}
+    assert data["phases"] == {"run": 1.2, "settle": 0.1}
+    assert data["metrics"] == {"n_fulfilled": 90}
     assert RunManifest.from_dict(data) == manifest
 
 

@@ -258,3 +258,50 @@ class TestSweepCli:
     def test_resume_of_non_queue_directory_fails(self, capsys, tmp_path):
         assert main(["sweep", "resume", str(tmp_path)]) == 1
         assert "not a sweep queue" in capsys.readouterr().err
+
+    def test_start_with_metrics_out_then_watch_and_convert(
+        self, capsys, tmp_path
+    ):
+        import multiprocessing
+
+        from repro.obs import metrics as obs_metrics
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("workqueue spawner needs fork")
+        queue = str(tmp_path / "queue")
+        series = str(tmp_path / "metrics.jsonl")
+        try:
+            assert main(
+                self.sweep_args(queue) + ["--metrics-out", series]
+            ) == 0
+        finally:
+            obs_metrics.set_enabled(None)
+            obs_metrics.reset_registry()
+        out = capsys.readouterr().out
+        assert "metrics snapshot appended" in out
+
+        assert main(["sweep", "watch", queue, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "2 published" in out
+        assert "workers (" in out
+        assert "published by worker:" in out
+
+        assert main(["metrics", series]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_dist_queue_units gauge" in out
+        assert 'repro_dist_queue_units{state="published"} 2' in out
+
+        converted = str(tmp_path / "snap.prom")
+        assert main(["metrics", series, "-o", converted]) == 0
+        assert "wrote prometheus snapshot" in capsys.readouterr().out
+        with open(converted, encoding="utf-8") as handle:
+            assert "# TYPE" in handle.read()
+        assert main(["metrics", series, "--format", "json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert "repro_dist_queue_units" in parsed
+
+    def test_metrics_on_non_snapshot_fails(self, capsys, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"nested": {"not": "metrics"}}')
+        assert main(["metrics", str(path)]) == 1
+        assert "metrics snapshot" in capsys.readouterr().err
