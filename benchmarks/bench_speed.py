@@ -37,6 +37,10 @@ def test_speed_benchmark(emit):
 
     assert all(case["bit_identical"] for case in report["engine"]["cases"])
     assert report["parallel"]["bit_identical"]
+    assert all(
+        case["bit_identical"]
+        for case in report["sweep_amortization"].values()
+    )
     assert report["allocation"]["identical_allocation"]
     assert (
         report["allocation"]["celf_evaluations"]

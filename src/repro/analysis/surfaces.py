@@ -13,6 +13,11 @@ reference-equivalence tests and the simcache rest on:
   inside the loop;
 * the simcache run-key construction (a nondeterministic key silently
   poisons the content-addressed cache);
+* the trial-scoped amortization layer — the ``repro.sim.events``
+  stream builders and the ``TrialArtifacts`` memoized
+  fingerprint/stream accessors, whose outputs substitute for the
+  engine's and cache's own computations across every protocol in a
+  trial;
 * public module-level functions of ``repro.allocation`` (the solvers
   the paper's optimization results depend on);
 * anything marked ``@deterministic_surface``.
@@ -32,6 +37,8 @@ __all__ = ["Surface", "collect_surfaces"]
 
 _ENGINE_METHODS = (
     "_build_event_stream",
+    "_check_prebuilt",
+    "_install_side_state",
     "_iter_chunks",
     "_iter_counted_chunks",
     "_run_dispatch",
@@ -95,6 +102,27 @@ def collect_surfaces(graph: CallGraph) -> List[Surface]:
         f"{pkg}.simcache.fingerprint:run_key",
         "simcache run key — nondeterminism poisons the cache",
     )
+    for name in (
+        "build_event_stream",
+        "compute_plain_payloads",
+        "cut_chunks",
+        "stream_side_state",
+    ):
+        add(
+            f"{pkg}.sim.events:{name}",
+            "trial-scoped event-stream builder — shared across protocols",
+        )
+    artifacts_cls = f"{pkg}.experiments.artifacts:TrialArtifacts"
+    for method in (
+        "event_stream",
+        "trace_fingerprint",
+        "requests_fingerprint",
+        "faults_fingerprint",
+    ):
+        add(
+            f"{artifacts_cls}.{method}",
+            "trial artifact memo — substitutes bit-identically per protocol",
+        )
     allocation_prefix = f"{pkg}.allocation"
     for info in graph.iter_functions():
         if (

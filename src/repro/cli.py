@@ -229,9 +229,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ]
         if not report["streamed"]["bit_identical"]:
             unfaithful.append("streamed")
+        amort = report["sweep_amortization"]
+        unfaithful.extend(
+            f"sweep_amortization.{name}"
+            for name, case in sorted(amort.items())
+            if not case["bit_identical"]
+        )
         if unfaithful:
             print(
                 "FAIL: non-bit-identical cases: " + ", ".join(unfaithful),
+                file=sys.stderr,
+            )
+            failed = True
+        amort_speedup = float(amort["sweep"]["speedup"])
+        if amort_speedup < 1.0:
+            print(
+                f"FAIL: merge-once sweep is not faster than "
+                f"merge-per-protocol ({amort_speedup:.3f}x < 1.0x)",
                 file=sys.stderr,
             )
             failed = True
@@ -241,7 +255,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(
             f"perf gate passed: engine min_speedup {observed:.3f}x >= "
             f"{args.min_speedup:.3f}x, all cases bit-identical, "
-            f"streamed {streamed_rate / 1e6:.2f}M events/s"
+            f"streamed {streamed_rate / 1e6:.2f}M events/s, "
+            f"sweep amortization {amort_speedup:.2f}x"
         )
     return 0
 
@@ -721,6 +736,8 @@ def _run_queue_sweep(
         progress=args.progress or None,
         run_cache=_cache_setting(args),
         executor=executor,
+        share_event_streams=not getattr(args, "no_share_streams", False),
+        trial_spill_dir=getattr(args, "spill_dir", None),
     )
     print(result.render(title=f"distributed sweep ({queue_root})"))
     dist_info = (result.manifest or {}).get("dist", {})
@@ -1209,6 +1226,24 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "append the supervisor's final metrics snapshot to this "
             "JSONL file (implies metrics collection on)"
+        ),
+    )
+    sweep_start.add_argument(
+        "--spill-dir",
+        default=None,
+        help=(
+            "spill each realized trial trace to a .ctb file under this "
+            "directory so workers memory-map it instead of regenerating "
+            "(zero-copy trial handoff; results are bit-identical)"
+        ),
+    )
+    sweep_start.add_argument(
+        "--no-share-streams",
+        action="store_true",
+        help=(
+            "disable per-trial event-stream sharing (merge the event "
+            "stream once per protocol instead of once per trial; "
+            "debugging aid — results are bit-identical either way)"
         ),
     )
     _add_cache_arguments(sweep_start)

@@ -1,6 +1,7 @@
 """Contact traces: containers, I/O, statistics, and generators."""
 
 from .binary import (
+    binary_trace_metadata,
     BinaryTraceWriter,
     is_binary_trace,
     load_binary,
@@ -46,6 +47,7 @@ __all__ = [
     "detect_trace_format",
     "load_contact_trace",
     "BinaryTraceWriter",
+    "binary_trace_metadata",
     "is_binary_trace",
     "load_binary",
     "save_binary",

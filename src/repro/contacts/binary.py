@@ -36,6 +36,7 @@ from .trace import ContactTrace
 __all__ = [
     "BINARY_FORMAT_NAME",
     "BinaryTraceWriter",
+    "binary_trace_metadata",
     "is_binary_trace",
     "load_binary",
     "save_binary",
@@ -78,6 +79,7 @@ class BinaryTraceWriter:
         *,
         n_nodes: int,
         duration: float,
+        metadata: Optional[Dict[str, str]] = None,
     ) -> None:
         if n_nodes < 2:
             raise TraceFormatError(f"need >= 2 nodes, got {n_nodes}")
@@ -85,7 +87,13 @@ class BinaryTraceWriter:
             raise TraceFormatError(
                 f"duration must be > 0, got {duration}"
             )
+        if metadata is not None and not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in metadata.items()
+        ):
+            raise TraceFormatError("metadata must map str to str")
         self.path = os.fspath(path)
+        self.metadata: Dict[str, str] = dict(metadata or {})
         self.n_nodes = int(n_nodes)
         self.duration = float(duration)
         self.n_events = 0
@@ -159,6 +167,11 @@ class BinaryTraceWriter:
                 for column, (filename, dtype) in _COLUMN_FILES.items()
             },
         }
+        if self.metadata:
+            # Side-channel annotations (e.g. a precomputed simcache
+            # fingerprint travelling with a spilled sweep trial); never
+            # consulted when loading the columns themselves.
+            header["metadata"] = dict(sorted(self.metadata.items()))
         header_path = os.path.join(self.path, _HEADER_FILE)
         with open(header_path, "w", encoding="utf-8") as handle:
             json.dump(header, handle, indent=2)
@@ -192,13 +205,30 @@ def save_binary(
     path: PathLike,
     *,
     chunk_events: int = 1 << 22,
+    metadata: Optional[Dict[str, str]] = None,
 ) -> None:
-    """Write *trace* to a binary trace directory at *path*."""
+    """Write *trace* to a binary trace directory at *path*.
+
+    *metadata* string pairs land verbatim in the header's
+    ``"metadata"`` object (read back with
+    :func:`binary_trace_metadata`); the column bytes are unaffected,
+    so the trace's content fingerprint is too.
+    """
     with BinaryTraceWriter(
-        path, n_nodes=trace.n_nodes, duration=trace.duration
+        path, n_nodes=trace.n_nodes, duration=trace.duration,
+        metadata=metadata,
     ) as writer:
         for chunk in trace.iter_chunks(chunk_events):
             writer.append(chunk.times, chunk.node_a, chunk.node_b)
+
+
+def binary_trace_metadata(path: PathLike) -> Dict[str, str]:
+    """The header's metadata annotations (empty when none were written)."""
+    header = _load_header(os.fspath(path))
+    metadata = header.get("metadata", {})
+    if not isinstance(metadata, dict):
+        raise TraceFormatError(f"{path}: header metadata must be an object")
+    return {str(k): str(v) for k, v in metadata.items()}
 
 
 def _load_header(path: str) -> dict:

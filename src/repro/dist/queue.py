@@ -134,6 +134,7 @@ class WorkQueue:
         max_claims: int = 3,
         ttl: float = 30.0,
         scenario: Optional[Dict[str, Any]] = None,
+        handoff: Optional[Dict[str, Any]] = None,
         clock: Optional[Clock] = None,
     ) -> "WorkQueue":
         """Create a queue at *root*, or attach to a matching existing one.
@@ -142,6 +143,14 @@ class WorkQueue:
         the stored identity to match exactly — a queue directory is
         never silently reused for a different sweep.  Already-published
         results survive; that is the whole point.
+
+        *handoff*, when given, is persisted in the manifest for workers
+        joining from any process: the sweep-amortization record naming
+        the parent's spilled ``.ctb`` trial traces (``"trial_spills"``,
+        unit-trial -> path) and whether per-trial event-stream sharing
+        is on (``"share_event_streams"``).  Purely an optimization
+        channel — a worker that ignores it regenerates inputs from the
+        unit seeds and produces bit-identical results.
         """
         if max_claims < 1:
             raise ConfigurationError(
@@ -175,6 +184,8 @@ class WorkQueue:
         }
         if scenario is not None:
             manifest["scenario"] = scenario
+        if handoff is not None:
+            manifest["handoff"] = handoff
         # The manifest lands last (durably), so a half-created queue
         # directory is simply not a queue yet and create() retries are
         # idempotent.

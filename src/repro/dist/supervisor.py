@@ -201,19 +201,35 @@ class QueueWorker:
             labels={"worker": self.worker_id, "outcome": outcome},
         ).inc()
 
-    def _trial_inputs(self, record: UnitRecord) -> Any:
-        """Realize (once per trial per process) the shared randomness."""
+    def _trial_inputs(
+        self, record: UnitRecord, trial_faults: Any
+    ) -> Any:
+        """Realize (once per trial per process) the shared randomness.
+
+        The queue manifest's ``handoff`` record (written by the
+        parent's sweep when trial spilling is on) redirects the trace
+        to the parent's memory-mapped ``.ctb`` copy with its
+        travelling fingerprint — workers joining from any host skip
+        both the regeneration and the re-hash, bit-identically.
+        """
         from ..experiments import runner
 
         inputs = self._inputs_by_trial.get(record.trial)
         if inputs is not None:
             return inputs, 0.0
+        handoff = self.queue.manifest.get("handoff") or {}
+        spills = handoff.get("trial_spills") or {}
         timer = Stopwatch()
         inputs = runner._build_trial_inputs(
             self.spec.trace_factory,
             self.spec.demand,
             self.spec.n_clients,
             record.seeds,
+            faults=trial_faults,
+            spill_path=spills.get(str(record.trial)),
+            share_event_stream=bool(
+                handoff.get("share_event_streams", True)
+            ),
         )
         timer.stop()
         # Workers live across many units; keep only the latest trial's
@@ -227,12 +243,12 @@ class QueueWorker:
         from ..experiments import runner
 
         spec = self.spec
-        inputs, setup_wall = self._trial_inputs(record)
         trial_faults = (
             spec.faults(record.trial)
             if callable(spec.faults)
             else spec.faults
         )
+        inputs, setup_wall = self._trial_inputs(record, trial_faults)
         # Failures must never unwind a worker: under on_error="raise"
         # the worker records the failure and the supervisor raises.
         worker_on_error = (
@@ -678,6 +694,21 @@ class WorkQueueExecutor(SweepExecutor):
         records: List[UnitRecord] = make_unit_records(
             units, list(spec.protocols)
         )
+        # The sweep-amortization handoff crosses the executor seam via
+        # the durable manifest (JSON keys are strings), so external
+        # `repro sweep worker` processes see it too.
+        handoff: Optional[Dict[str, Any]] = None
+        if spec.extra:
+            handoff = {
+                "share_event_streams": bool(
+                    spec.extra.get("share_event_streams", True)
+                ),
+            }
+            spills = spec.extra.get("trial_spills")
+            if spills:
+                handoff["trial_spills"] = {
+                    str(trial): path for trial, path in spills.items()
+                }
         queue = WorkQueue.create(
             root,
             records,
@@ -685,6 +716,7 @@ class WorkQueueExecutor(SweepExecutor):
             max_claims=self.max_claims,
             ttl=self.ttl,
             scenario=self.scenario,
+            handoff=handoff,
             clock=self.clock,
         )
         supervisor = Supervisor(

@@ -17,6 +17,7 @@ from .figures import (
     figure6,
     recommended_timeout,
 )
+from .artifacts import TrialArtifacts, load_spilled_trace, spill_trial_trace
 from .benchmark import BENCH_FILENAME, render_speed_report, run_speed_benchmark
 from .checkpoint import ComparisonCheckpoint, result_from_dict, result_to_dict
 from .profiles import EffortProfile, current_profile
@@ -58,6 +59,9 @@ __all__ = [
     "AlgorithmStats",
     "TrialFailure",
     "TrialInputs",
+    "TrialArtifacts",
+    "load_spilled_trace",
+    "spill_trial_trace",
     "percentile_interval",
     "figure1",
     "figure2",

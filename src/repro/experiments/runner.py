@@ -69,6 +69,7 @@ from typing import (
 import numpy as np
 
 from ..contacts import ContactTrace
+from ..contacts.binary import is_binary_trace
 from ..demand import DemandModel, RequestSchedule, generate_requests
 from ..durable import truncate_error_text
 from ..errors import ConfigurationError, SimulationError
@@ -82,10 +83,12 @@ from ..sim import SimulationConfig, SimulationResult, simulate
 from ..simcache import (
     SimulationRunCache,
     UncacheableRunError,
+    fingerprint_trace,
     resolve_run_cache,
     run_key,
 )
 from ..types import FloatArray
+from .artifacts import TrialArtifacts, load_spilled_trace, spill_trial_trace
 from .checkpoint import ComparisonCheckpoint, PathLike
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only (dist imports us lazily)
@@ -373,20 +376,59 @@ def _build_trial_inputs(
     demand: DemandModel,
     n_clients: Optional[int],
     seeds: Tuple[int, int, int],
-) -> TrialInputs:
-    """Realize one trial's shared trace and request schedule."""
+    *,
+    faults: Optional[FaultSchedule] = None,
+    spill_path: Optional[str] = None,
+    share_event_stream: bool = True,
+) -> TrialArtifacts:
+    """Realize one trial's shared trace and request schedule.
+
+    With *spill_path* the trace is memory-mapped from the parent's
+    ``.ctb`` spill instead of regenerated from the trial seed — the
+    zero-copy worker handoff — and the fingerprint memo is pre-seeded
+    from the spill header when the parent recorded one.  *faults* is
+    the trial's already-resolved fault schedule; it rides along so the
+    shared event stream is built from the very objects the runs use.
+    """
     trace_seed, request_seed, sim_seed = seeds
-    trace = trace_factory(trace_seed)
+    trace_fingerprint: Optional[str] = None
+    if spill_path is not None and is_binary_trace(spill_path):
+        trace, trace_fingerprint = load_spilled_trace(spill_path)
+    else:
+        # No spill for this trial (or a stale path from a resumed
+        # queue manifest): regenerate from the trial seed as always.
+        trace = trace_factory(trace_seed)
     clients = n_clients or trace.n_nodes
     requests = generate_requests(
         demand, clients, trace.duration, seed=request_seed
     )
-    return TrialInputs(trace, requests, sim_seed)
+    return TrialArtifacts(
+        trace,
+        requests,
+        sim_seed,
+        faults=faults,
+        trace_fingerprint=trace_fingerprint,
+        share_event_stream=share_event_stream,
+    )
+
+
+def _memo_fingerprint(inputs: object, method: str) -> Optional[str]:
+    """A memoized fingerprint off *inputs*, or ``None`` to hash inline.
+
+    ``None`` (plain :class:`TrialInputs`, external callers) makes
+    :func:`~repro.simcache.run_key` fall back to the full hash pass —
+    the memo is an amortization, never a requirement.
+    """
+    getter = getattr(inputs, method, None)
+    if callable(getter):
+        value = getter()
+        return value if isinstance(value, str) else None
+    return None
 
 
 def _execute_run(
     factory: ProtocolFactory,
-    inputs: TrialInputs,
+    inputs: TrialArtifacts,
     config: SimulationConfig,
     trial_faults: Optional[FaultSchedule],
     *,
@@ -418,32 +460,57 @@ def _execute_run(
     zero attempts — no simulation happens; a completed miss is stored
     for next time.  Runs whose inputs cannot be fingerprinted execute
     uncached.
+
+    Two trial-scoped amortizations apply when *inputs* is a
+    :class:`~repro.experiments.artifacts.TrialArtifacts` (the runner
+    always passes one): the cache key reuses the trial's memoized
+    content fingerprints instead of re-hashing the arrays per
+    protocol, and the simulation reuses the trial's prebuilt event
+    stream instead of re-merging — both substitutions are
+    byte-identical.  The protocol instance built to fingerprint the
+    cache key is reused for the first simulation attempt rather than
+    discarded and rebuilt (it is factory-fresh either way; retries
+    still rebuild).
     """
     cache_key: Optional[str] = None
     cache_marker: Optional[float] = None
+    probe: Optional[ReplicationProtocol] = None
     if cache is not None:
         try:
             probe = factory(inputs.trace, inputs.requests)
-            cache_key = run_key(
-                config,
-                probe,
-                inputs.sim_seed,
-                inputs.trace,
-                inputs.requests,
-                trial_faults,
-            )
-            cache_marker = _CACHE_MISS
-        except UncacheableRunError as error:
-            cache_marker = _CACHE_UNCACHEABLE
-            get_logger("repro.simcache").debug(
-                "run not cacheable", error=str(error)
-            )
         # repro-lint: ignore[RPL007]
         except Exception:
             # A failing factory is the attempt loop's business (retry
             # policy, error accounting) — never the cache's: the same
             # error re-raises from the attempt loop below.
-            cache_marker = None
+            probe = None
+        if probe is not None:
+            try:
+                cache_key = run_key(
+                    config,
+                    probe,
+                    inputs.sim_seed,
+                    inputs.trace,
+                    inputs.requests,
+                    trial_faults,
+                    trace_fingerprint=_memo_fingerprint(
+                        inputs, "trace_fingerprint"
+                    ),
+                    requests_fingerprint=_memo_fingerprint(
+                        inputs, "requests_fingerprint"
+                    ),
+                    faults_fingerprint=(
+                        _memo_fingerprint(inputs, "faults_fingerprint")
+                        if getattr(inputs, "faults", None) is trial_faults
+                        else None
+                    ),
+                )
+                cache_marker = _CACHE_MISS
+            except UncacheableRunError as error:
+                cache_marker = _CACHE_UNCACHEABLE
+                get_logger("repro.simcache").debug(
+                    "run not cacheable", error=str(error)
+                )
         if cache_key is not None:
             cached = cache.get(cache_key)
             if cached is not None:
@@ -459,6 +526,14 @@ def _execute_run(
     wall_s = 0.0
     cpu_s = 0.0
     attempts_made = 0
+    # The trial's shared premerged stream, when inputs carry one built
+    # from this very fault schedule (None otherwise — the engine then
+    # merges inline, exactly as before).
+    stream_getter = getattr(inputs, "event_stream", None)
+    use_stream = (
+        callable(stream_getter)
+        and getattr(inputs, "faults", None) is trial_faults
+    )
     for attempt in range(attempts_per_run):
         if attempt:
             delay = min(retry_backoff * (2.0 ** (attempt - 1)), max_backoff)
@@ -467,7 +542,15 @@ def _execute_run(
         attempts_made = attempt + 1
         timer = Stopwatch()
         try:
-            protocol = factory(inputs.trace, inputs.requests)
+            # The cache probe is a factory-fresh, never-run protocol —
+            # reuse it for the first attempt instead of building an
+            # identical twin.  Retries rebuild: a failed attempt may
+            # have mutated protocol state.
+            if attempt == 0 and probe is not None:
+                protocol = probe
+            else:
+                protocol = factory(inputs.trace, inputs.requests)
+            prebuilt = stream_getter(config) if use_stream else None
             result = simulate(
                 inputs.trace,
                 inputs.requests,
@@ -475,6 +558,7 @@ def _execute_run(
                 protocol,
                 seed=inputs.sim_seed,
                 faults=trial_faults,
+                prebuilt_events=prebuilt,
             )
             timer.stop()
             wall_s += timer.wall
@@ -580,24 +664,35 @@ def _pool_run(
             "fork start method by run_comparison"
         )
     trial, name, trace_seed, request_seed, sim_seed = unit
-    inputs_by_trial: Dict[int, TrialInputs] = context["inputs_by_trial"]
+    inputs_by_trial: Dict[int, TrialArtifacts] = context["inputs_by_trial"]
+    faults = context["faults"]
+    trial_faults = faults(trial) if callable(faults) else faults
     setup_wall = 0.0
     inputs = inputs_by_trial.get(trial)
     if inputs is None:
         # First unit of this trial in this worker: realize the shared
         # randomness once and reuse it for the trial's other protocols.
+        # A spilled trial memory-maps the parent's .ctb copy (with its
+        # travelling fingerprint) instead of regenerating the trace.
         setup_timer = Stopwatch()
+        spills: Dict[int, str] = context.get("trial_spills") or {}
         inputs = _build_trial_inputs(
             context["trace_factory"],
             context["demand"],
             context["n_clients"],
             (trace_seed, request_seed, sim_seed),
+            faults=trial_faults,
+            spill_path=spills.get(trial),
+            share_event_stream=context.get("share_event_streams", True),
         )
         setup_timer.stop()
         setup_wall = setup_timer.wall
+        # Keep every trial's (possibly memmapped) inputs for reuse but
+        # only the newest trial's materialized event stream — the
+        # stream is the big per-trial allocation.
+        for other in inputs_by_trial.values():
+            other.drop_event_stream()
         inputs_by_trial[trial] = inputs
-    faults = context["faults"]
-    trial_faults = faults(trial) if callable(faults) else faults
     profile_dir = context["profile_dir"]
     profiler = _process_profiler(profile_dir)
     if profiler is not None:
@@ -703,26 +798,34 @@ def _run_units_serial(
     """The historical in-order walk, reported through *record*.
 
     Trial inputs are realized once per trial and reused across the
-    trial's protocols (units arrive trial-major).
+    trial's protocols (units arrive trial-major) — including the
+    trial's memoized fingerprints and premerged event stream, so every
+    protocol after the first skips the hash and merge passes too.
     """
-    inputs: Optional[TrialInputs] = None
+    inputs: Optional[TrialArtifacts] = None
     current_trial = -1
+    share_streams = bool(spec.extra.get("share_event_streams", True))
     profiler = _process_profiler(spec.profile_dir)
     for unit in units:
         trial, name = unit[0], unit[1]
         setup_wall = 0.0
+        trial_faults = (
+            spec.faults(trial) if callable(spec.faults) else spec.faults
+        )
         if trial != current_trial:
             setup_timer = Stopwatch()
             inputs = _build_trial_inputs(
-                spec.trace_factory, spec.demand, spec.n_clients, unit[2:]
+                spec.trace_factory,
+                spec.demand,
+                spec.n_clients,
+                unit[2:],
+                faults=trial_faults,
+                share_event_stream=share_streams,
             )
             setup_timer.stop()
             setup_wall = setup_timer.wall
             current_trial = trial
         assert inputs is not None
-        trial_faults = (
-            spec.faults(trial) if callable(spec.faults) else spec.faults
-        )
         if profiler is not None:
             profiler.enable()
         try:
@@ -776,6 +879,8 @@ def _run_units_parallel(
         "max_backoff": spec.max_backoff,
         "profile_dir": spec.profile_dir,
         "cache": spec.cache,
+        "trial_spills": spec.extra.get("trial_spills"),
+        "share_event_streams": spec.extra.get("share_event_streams", True),
         "inputs_by_trial": {},
     }
     mp_context = multiprocessing.get_context("fork")
@@ -825,6 +930,8 @@ def run_comparison(
     profile_dir: Optional[PathLike] = None,
     run_cache: RunCacheLike = None,
     executor: "ExecutorLike" = None,
+    share_event_streams: bool = True,
+    trial_spill_dir: Optional[PathLike] = None,
 ) -> ComparisonResult:
     """Run every protocol on *n_trials* shared trace/request realizations.
 
@@ -898,6 +1005,26 @@ def run_comparison(
         Under ``on_error="raise"`` the work-queue backend raises
         :class:`~repro.errors.SimulationError` (the original exception
         type does not cross the process boundary).
+    share_event_streams:
+        Per-trial event-stream sharing (default on): the merged
+        fault/request/contact stream is built once per trial and
+        reused by every protocol via ``Simulation(prebuilt_events=)``
+        — bit-identical to the per-protocol merge it replaces.
+        ``False`` restores merge-per-protocol (the benchmark baseline;
+        results are identical either way).  Sharing is skipped
+        automatically for memory-mapped traces, which stream instead.
+    trial_spill_dir:
+        Zero-copy trial handoff for parallel and distributed sweeps:
+        the parent realizes each pending trial's trace once, spills it
+        to ``<dir>/trial-<k>.ctb``, and workers memory-map that copy
+        (sharing the page cache) instead of each regenerating it from
+        the trial seed.  With a run cache the trace fingerprint is
+        computed once at spill time and travels in the spill header,
+        so workers never re-hash.  Spilled traces take the engine's
+        streamed mode — bit-identical to eager.  The directory is
+        created if needed; files are left behind for inspection and
+        reuse.  Ignored by the plain serial path, which realizes each
+        trial exactly once anyway.
     """
     if n_trials <= 0:
         raise ConfigurationError(f"n_trials must be > 0, got {n_trials}")
@@ -1019,8 +1146,47 @@ def run_comparison(
         else:
             executor_obj = dist_executors.SerialExecutor()
 
+    # Zero-copy trial handoff: realize each pending trial's trace once
+    # in the parent, spill it to .ctb, and let every worker memory-map
+    # that copy.  The serial walk realizes each trial exactly once
+    # anyway, so it skips the spill (and keeps the faster eager mode).
+    trial_spills: Optional[Dict[int, str]] = None
+    if (
+        trial_spill_dir is not None
+        and pending_units
+        and not isinstance(executor_obj, dist_executors.SerialExecutor)
+    ):
+        spill_root = os.fspath(trial_spill_dir)
+        os.makedirs(spill_root, exist_ok=True)
+        spill_timer = Stopwatch()
+        trial_spills = {}
+        for trial in sorted({unit[0] for unit in pending_units}):
+            spill_trace = trace_factory(trial_seeds[trial][0])
+            trial_spills[trial] = spill_trial_trace(
+                spill_trace,
+                os.path.join(spill_root, f"trial-{trial}.ctb"),
+                trace_fingerprint=(
+                    fingerprint_trace(spill_trace)
+                    if cache is not None
+                    else None
+                ),
+            )
+            del spill_trace
+        spill_timer.stop()
+        get_logger("repro.experiments.sweep").info(
+            "spilled trial traces",
+            trials=len(trial_spills),
+            dir=spill_root,
+            wall_s=f"{spill_timer.wall:.2f}",
+        )
+
     executor_extras: Optional[Dict[str, Any]] = None
     if pending_units:
+        spec_extra: Dict[str, Any] = {
+            "share_event_streams": share_event_streams,
+        }
+        if trial_spills:
+            spec_extra["trial_spills"] = trial_spills
         spec = dist_executors.SweepSpec(
             trace_factory=trace_factory,
             demand=demand,
@@ -1036,6 +1202,7 @@ def run_comparison(
             cache=cache,
             base_seed=base_seed,
             n_trials=n_trials,
+            extra=spec_extra,
         )
         executor_extras = executor_obj.execute(
             pending_units, spec, accounting.record
@@ -1082,6 +1249,8 @@ def run_comparison(
         "protocols": sorted(protocols),
         "executor": executor_obj.name or type(executor_obj).__name__,
         "n_workers": getattr(executor_obj, "n_workers", 1),
+        "share_event_streams": share_event_streams,
+        "n_spilled_trials": len(trial_spills) if trial_spills else 0,
         "n_runs_executed": len(pending_units),
         "n_failures": len(failures),
         "wall_s": sweep_timer.wall,

@@ -3,6 +3,7 @@
 from .cache import Cache
 from .config import SimulationConfig
 from .engine import Simulation, simulate
+from .events import EventStream, build_event_stream
 from .metrics import MetricsCollector, SimulationResult
 from .node import NodeState, Request
 from .seeding import assign_sticky, seed_allocation
@@ -12,6 +13,8 @@ __all__ = [
     "SimulationConfig",
     "Simulation",
     "simulate",
+    "EventStream",
+    "build_event_stream",
     "MetricsCollector",
     "SimulationResult",
     "NodeState",

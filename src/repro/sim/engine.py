@@ -35,14 +35,6 @@ from typing import (
 import numpy as np
 import numpy.typing as npt
 
-#: Kind codes of the pre-merged event stream.  The numeric order *is*
-#: the documented same-time tie rule: faults apply first (a node that
-#: crashes at t is already offline for a contact at t), then requests,
-#: then contacts.
-EVENT_FAULT = 0
-EVENT_REQUEST = 1
-EVENT_CONTACT = 2
-
 #: Merge granularity of the streamed event pipeline: contacts are pulled
 #: off the (possibly memory-mapped) trace in runs of about this many
 #: events, so peak heap scales with the chunk, not the trace.
@@ -76,36 +68,22 @@ from ..protocols.base import ReplicationProtocol
 from ..types import FloatArray, IntArray, SeedLike, as_rng
 from ..utility import StepUtility
 from .config import SimulationConfig
+from .events import (
+    EVENT_CONTACT,
+    EVENT_FAULT,
+    EVENT_REQUEST,
+    Chunk as _Chunk,
+    EventStream,
+    build_event_stream,
+    compute_plain_payloads,
+    cut_chunks,
+    memmap_backed as _memmap_backed,
+    stream_side_state,
+)
 from .metrics import MetricsCollector, SimulationResult
 from .node import NodeState, Request
 
 __all__ = ["Simulation", "simulate"]
-
-#: One pre-cut run of the merged stream, as consumed by the hot loops:
-#: ``(kinds, times, arg_a, arg_b, payload_x, payload_y, request_positions,
-#: snapshot)``.  The payload columns and request-position index exist only
-#: in plain (untraced, fault-free) mode; *snapshot*, when not ``None``, is
-#: the instant to record after the chunk's events.
-_Chunk = Tuple[
-    IntArray,
-    FloatArray,
-    IntArray,
-    IntArray,
-    Optional[IntArray],
-    Optional[IntArray],
-    Optional[List[int]],
-    Optional[float],
-]
-
-
-def _memmap_backed(array: np.ndarray) -> bool:
-    """True when *array* is (a view of) a memory-mapped file."""
-    seen: object = array
-    while isinstance(seen, np.ndarray):
-        if isinstance(seen, np.memmap):
-            return True
-        seen = seen.base
-    return False
 
 
 class Simulation:
@@ -170,6 +148,7 @@ class Simulation:
         "_all_servers",
         "_n_events",
         "_chunk_events",
+        "_prebuilt_events",
         "_streamed",
         "_snap_times",
         "_payload_needed",
@@ -192,12 +171,19 @@ class Simulation:
         tracer: Optional[Tracer] = None,
         collect_manifest: bool = False,
         chunk_events: Optional[int] = None,
+        prebuilt_events: Optional[EventStream] = None,
     ) -> None:
         if chunk_events is not None and chunk_events < 1:
             raise ConfigurationError(
                 f"chunk_events must be >= 1, got {chunk_events}"
             )
+        if prebuilt_events is not None and chunk_events is not None:
+            raise ConfigurationError(
+                "prebuilt_events is incompatible with chunk_events: "
+                "prebuilt streams are eager by construction"
+            )
         self._chunk_events = chunk_events
+        self._prebuilt_events = prebuilt_events
         if requests.duration > trace.duration + 1e-9:
             raise ConfigurationError(
                 "request schedule extends past the contact trace"
@@ -392,344 +378,162 @@ class Simulation:
             self._build_event_stream()
 
     def _build_event_stream(self) -> None:
-        """Merge contacts, requests, and faults into one sorted stream.
+        """Install this run's merged event stream.
 
-        Each stream arrives individually time-sorted; a single stable
-        ``np.lexsort`` on ``(time, kind)`` interleaves them while
-        preserving the fault -> request -> contact same-time tie rule
-        (kind codes are ordered that way) and the original order within
-        each stream.  The merged stream stays columnar — flat NumPy
-        arrays the hot loops index directly — and is either
-        materialized once here (eager mode) or produced block by block
-        at ``run()`` time from the possibly memory-mapped trace, so
-        peak heap scales with ``chunk_events`` instead of the trace
-        (streamed mode, selected by an explicit ``chunk_events`` or a
-        memory-mapped trace).  Both modes cut the stream at the same
-        snapshot instants and sort each block with the same stable
-        key, so the concatenation of streamed blocks reproduces the
-        eager order exactly.
+        The stream — contacts, requests, and faults interleaved by one
+        stable ``np.lexsort`` on ``(time, kind)``, preserving the
+        fault -> request -> contact same-time tie rule — is a pure
+        function of ``(trace, requests, faults, config)`` and lives in
+        :mod:`repro.sim.events`.  Three sources install it here:
+
+        * a *prebuilt* stream (``prebuilt_events=``), validated by
+          :meth:`_check_prebuilt` to belong to this very run's objects
+          before being trusted — this is how a sweep merges once per
+          trial instead of once per protocol;
+        * streamed mode (an explicit ``chunk_events`` or a
+          memory-mapped trace): nothing is materialized up front and
+          ``_iter_streamed_chunks`` merges block by block while the
+          run loops consume, so peak heap scales with the chunk, not
+          the trace;
+        * otherwise the eager builder materializes the stream now.
+
+        Both modes cut the stream at the same snapshot instants and
+        sort each block with the same stable key, so the concatenation
+        of streamed blocks reproduces the eager order exactly — and a
+        prebuilt stream is byte-for-byte the eager builder's output.
         """
-        trace = self.trace
-        requests = self.requests
-        horizon = trace.duration
-        fault_events: List[FaultEvent] = (
-            [e for e in self.faults.events if e.time <= horizon]
-            if self.faults is not None
-            else []
-        )
-        self._fault_events = fault_events
-        self._fault_times: FloatArray = np.asarray(
-            [e.time for e in fault_events], dtype=np.float64
-        )
-        # ascontiguousarray passes memory-mapped columns through
-        # untouched (no copy) when the dtype already matches, so the
-        # streamed merge reads request/fault columns lazily too.
-        self._req_times: FloatArray = np.ascontiguousarray(
-            requests.times, dtype=np.float64
-        )
-        self._req_items: IntArray = np.ascontiguousarray(
-            requests.items, dtype=np.int64
-        )
-        self._req_nodes: IntArray = np.ascontiguousarray(
-            requests.nodes, dtype=np.int64
-        )
-        is_server = np.zeros(len(self.nodes), dtype=bool)
-        if len(self.server_ids):
-            is_server[np.asarray(self.server_ids, dtype=np.int64)] = True
-        self._is_server_arr: npt.NDArray[np.bool_] = is_server
-        # Nodes that ever issue a request.  Outstanding requests — the
-        # only consumers of precomputed meeting counts — can exist
-        # nowhere else, so payload slots are computed for these nodes
-        # only (see ``_plain_payloads``).
-        requester = np.zeros(len(self.nodes), dtype=bool)
-        requester[self._req_nodes] = True
-        self._requester_arr: npt.NDArray[np.bool_] = requester
-        self._all_servers = bool(is_server.all())
         self._payload_needed = self.tracer is None and self.faults is None
-        # Snapshot instants, generated by the same repeated float
-        # accumulation the per-event loop used (not np.arange), so the
-        # recorded instants are bit-identical; ``side='left'`` in
-        # _cut_chunks puts a snapshot at time s before any event at
-        # exactly s, matching the old ``t >= s`` rule.
-        record_interval = self.config.record_interval
-        snap_times: List[float] = []
-        if record_interval is not None:
-            s = 0.0
-            while s <= horizon:
-                snap_times.append(s)
-                s += record_interval
-        self._snap_times = snap_times
-        n_f, n_q, n_c = len(fault_events), len(requests.times), len(trace.times)
-        self._n_events = n_f + n_q + n_c
-        self._streamed = self._chunk_events is not None or _memmap_backed(
-            trace.times
-        )
         self._event_times: Optional[FloatArray] = None
         self._event_kinds: Optional[IntArray] = None
         self._event_a: Optional[IntArray] = None
         self._event_b: Optional[IntArray] = None
         self._chunks: Optional[List[_Chunk]] = None
+        prebuilt = self._prebuilt_events
+        if prebuilt is not None:
+            self._check_prebuilt(prebuilt)
+            self._streamed = False
+            self._install_side_state(
+                prebuilt.fault_events,
+                prebuilt.fault_times,
+                prebuilt.req_times,
+                prebuilt.req_items,
+                prebuilt.req_nodes,
+                prebuilt.is_server,
+                prebuilt.requester,
+                prebuilt.all_servers,
+                prebuilt.snap_times,
+            )
+            self._n_events = prebuilt.n_events
+            self._event_times = prebuilt.event_times
+            self._event_kinds = prebuilt.event_kinds
+            self._event_a = prebuilt.event_a
+            self._event_b = prebuilt.event_b
+            self._chunks = prebuilt.chunks
+            return
+        trace = self.trace
+        requests = self.requests
+        self._streamed = self._chunk_events is not None or _memmap_backed(
+            trace.times
+        )
         if self._streamed:
             # Nothing is materialized up front: _iter_streamed_chunks
             # merges block by block while the run loops consume.
+            side = stream_side_state(
+                trace, requests, self.config, self.faults
+            )
+            self._install_side_state(
+                side.fault_events,
+                side.fault_times,
+                side.req_times,
+                side.req_items,
+                side.req_nodes,
+                side.is_server,
+                side.requester,
+                side.all_servers,
+                side.snap_times,
+            )
+            self._n_events = (
+                len(side.fault_events) + len(requests.times) + len(trace.times)
+            )
             return
-        total = self._n_events
-        times = np.empty(total, dtype=np.float64)
-        times[:n_f] = self._fault_times
-        times[n_f : n_f + n_q] = requests.times
-        times[n_f + n_q :] = trace.times
-        kinds = np.empty(total, dtype=np.int64)
-        kinds[:n_f] = EVENT_FAULT
-        kinds[n_f : n_f + n_q] = EVENT_REQUEST
-        kinds[n_f + n_q :] = EVENT_CONTACT
-        # First/second payload slot per kind: fault index / unused,
-        # request item / requesting node, contact endpoints a / b.
-        arg_a = np.zeros(total, dtype=np.int64)
-        arg_a[:n_f] = np.arange(n_f)
-        arg_a[n_f : n_f + n_q] = requests.items
-        arg_a[n_f + n_q :] = trace.node_a
-        arg_b = np.zeros(total, dtype=np.int64)
-        arg_b[n_f : n_f + n_q] = requests.nodes
-        arg_b[n_f + n_q :] = trace.node_b
-        order = np.lexsort((kinds, times))
-        sorted_times = times[order]
-        sorted_kinds = kinds[order]
-        sorted_a = arg_a[order]
-        sorted_b = arg_b[order]
-        self._event_times = sorted_times
-        self._event_kinds = sorted_kinds
-        self._event_a = sorted_a
-        self._event_b = sorted_b
-        if self._payload_needed:
-            payload_x, payload_y = self._plain_payloads(
-                sorted_kinds,
-                sorted_a,
-                sorted_b,
-                np.zeros(len(self.nodes), dtype=np.int64),
-            )
-        else:
-            payload_x = payload_y = None
-        self._chunks, _ = self._cut_chunks(
-            sorted_kinds,
-            sorted_times,
-            sorted_a,
-            sorted_b,
-            payload_x,
-            payload_y,
-            snap_idx=0,
-            last=True,
+        stream = build_event_stream(
+            trace,
+            requests,
+            self.config,
+            self.faults,
+            payloads=self._payload_needed,
         )
+        self._install_side_state(
+            stream.fault_events,
+            stream.fault_times,
+            stream.req_times,
+            stream.req_items,
+            stream.req_nodes,
+            stream.is_server,
+            stream.requester,
+            stream.all_servers,
+            stream.snap_times,
+        )
+        self._n_events = stream.n_events
+        self._event_times = stream.event_times
+        self._event_kinds = stream.event_kinds
+        self._event_a = stream.event_a
+        self._event_b = stream.event_b
+        self._chunks = stream.chunks
 
-    def _plain_payloads(
+    def _install_side_state(
         self,
-        kinds: IntArray,
-        arg_a: IntArray,
-        arg_b: IntArray,
-        meet_base: IntArray,
-    ) -> Tuple[IntArray, IntArray]:
-        """Widened payload columns for one sorted event block.
+        fault_events: List[FaultEvent],
+        fault_times: FloatArray,
+        req_times: FloatArray,
+        req_items: IntArray,
+        req_nodes: IntArray,
+        is_server: npt.NDArray[np.bool_],
+        requester: npt.NDArray[np.bool_],
+        all_servers: bool,
+        snap_times: List[float],
+    ) -> None:
+        self._fault_events = fault_events
+        self._fault_times = fault_times
+        self._req_times = req_times
+        self._req_items = req_items
+        self._req_nodes = req_nodes
+        self._is_server_arr = is_server
+        self._requester_arr = requester
+        self._all_servers = all_servers
+        self._snap_times = snap_times
 
-        The plain (untraced, fault-free) loop consumes precomputed
-        query-counter state: a request's final query counter is the
-        number of direction slots in which its node met a server
-        between creation and fulfillment — in a fault-free run that is
-        a pure function of the contact trace, so per-event payloads
-        replace all per-request counter bookkeeping.  Contacts carry
-        each endpoint's inclusive server-meeting count (``-1`` when
-        the peer is not a server, i.e. the direction is a no-op),
-        requests carry the node's count at creation, and the counter
-        at fulfillment is the difference (see ``_fulfill_hits``).
-        With faults, blocked and dropped contacts must not count, so
-        the fault loop maintains the same counts dynamically instead.
+    def _check_prebuilt(self, stream: EventStream) -> None:
+        """A prebuilt stream is only trusted for this very run.
 
-        *meet_base* holds each node's meeting count entering the block
-        and is advanced in place for the following block — the streamed
-        pipeline's carry (all zeros and discarded in eager mode).
+        Identity — not equality — is required for the trace, request,
+        and fault objects: the stream's arrays index directly into
+        them, and identity is exactly what the sweep runner's
+        trial-scoped sharing provides.  The config check goes through
+        the fingerprint so distinct-but-equivalent config objects (the
+        common case across a sweep's protocol factories) are accepted.
         """
-        total = len(kinds)
-        is_server = self._is_server_arr
-        # Meeting counts are only ever read for a node with outstanding
-        # requests (every ``mx``/``my`` read in the run loops sits
-        # behind an ``out``/``out_a``/``out_b`` guard), and outstanding
-        # requests can only exist on nodes that appear in the request
-        # schedule.  Restricting the counted slots to those nodes keeps
-        # every consumed value exact while shrinking the sort from
-        # O(contacts) to O(contacts involving requesters) — at
-        # million-node scale that is the difference between the payload
-        # pass dominating the run and it vanishing.  (In the
-        # non-all-server candidate filter the ``served`` mask weakens
-        # accordingly, which only drops contacts that are provable
-        # no-ops: a non-requester endpoint can never fulfill.)
-        requester = self._requester_arr
-        contact_mask = kinds == EVENT_CONTACT
-        count_a_valid = contact_mask & is_server[arg_b]
-        count_a_valid &= requester[arg_a]
-        count_b_valid = contact_mask & is_server[arg_a]
-        count_b_valid &= requester[arg_b]
-        idx_a = np.flatnonzero(count_a_valid)
-        idx_b = np.flatnonzero(count_b_valid)
-        n_inc = len(idx_a) + len(idx_b)
-        # Pack (node, slot) into one integer per increment slot — slot
-        # is 2*event_index + direction, so within a node the packed
-        # keys follow stream order and an a-slot precedes the same
-        # event's b-slot.  One in-place sort of the unique keys then
-        # groups slots by node in time order, and the slot decodes
-        # straight back out of the key: no lexsort, no argsort
-        # permutation to invert.  (The int64 guard never trips for the
-        # pair-index node range, but eager blocks can be the whole
-        # stream, so it stays.)
-        shift = max(1, int(2 * total - 1).bit_length())
-        assert len(self.nodes) <= (1 << (63 - shift)), (
-            "packed payload key would overflow"
-        )
-        keys = np.concatenate(
-            (
-                (arg_a[idx_a] << shift) | (2 * idx_a),
-                (arg_b[idx_b] << shift) | (2 * idx_b + 1),
+        if stream.trace is not self.trace:
+            raise ConfigurationError(
+                "prebuilt_events was built from a different contact trace"
             )
-        )
-        keys.sort()
-        g_nodes = keys >> shift
-        g_slot = keys & ((1 << shift) - 1)
-        g_idx = g_slot >> 1
-        payload_x = np.full(total, -1, dtype=np.int64)
-        payload_y = np.full(total, -1, dtype=np.int64)
-        if n_inc:
-            new_group = np.empty(n_inc, dtype=bool)
-            new_group[0] = True
-            np.not_equal(g_nodes[1:], g_nodes[:-1], out=new_group[1:])
-            starts = np.flatnonzero(new_group)
-            sizes = np.diff(np.append(starts, n_inc))
-            # 1-based rank within each node's increment run plus the
-            # carried base: the inclusive meeting count at that slot.
-            counts_g = (
-                np.arange(n_inc, dtype=np.int64)
-                - np.repeat(starts, sizes)
-                + 1
-                + meet_base[g_nodes]
+        if stream.requests is not self.requests:
+            raise ConfigurationError(
+                "prebuilt_events was built from a different request schedule"
             )
-            b_side = (g_slot & 1).astype(bool)
-            payload_x[g_idx[~b_side]] = counts_g[~b_side]
-            payload_y[g_idx[b_side]] = counts_g[b_side]
-        else:
-            starts = np.zeros(0, dtype=np.int64)
-            sizes = np.zeros(0, dtype=np.int64)
-        # Request births: the node's meeting count just before the
-        # request's position in the stream.
-        request_mask = kinds == EVENT_REQUEST
-        if request_mask.any():
-            req_positions = np.flatnonzero(request_mask)
-            req_nodes = arg_b[req_positions]
-            births = meet_base[req_nodes]
-            if n_inc:
-                # Group the requests by node as well, then rank each
-                # run against its node's increment segment with one
-                # searchsorted per node — no per-node dict and no
-                # O(requests) mask per node, which dominated
-                # million-node streamed blocks.
-                req_order = np.lexsort(  # repro-lint: ignore[RPL004]
-                    (req_positions, req_nodes)
-                )
-                rn = req_nodes[req_order]
-                rp = req_positions[req_order]
-                run_starts = np.flatnonzero(
-                    np.concatenate(([True], rn[1:] != rn[:-1]))
-                )
-                run_ends = np.append(run_starts[1:], len(rn))
-                group_heads = g_nodes[starts]
-                group_idx = np.searchsorted(group_heads, rn[run_starts])
-                for head, lo_r, hi_r in zip(group_idx, run_starts, run_ends):
-                    if (
-                        head >= len(group_heads)
-                        or group_heads[head] != rn[lo_r]
-                    ):
-                        continue
-                    lo = starts[head]
-                    hi = lo + sizes[head]
-                    births[req_order[lo_r:hi_r]] += np.searchsorted(
-                        g_idx[lo:hi], rp[lo_r:hi_r], side="left"
-                    )
-            payload_x[req_positions] = births
-        if n_inc:
-            # Advance the carry.  ``g_nodes[starts]`` lists each node at
-            # most once, so the fancy-index add never collapses writes.
-            meet_base[g_nodes[starts]] += sizes
-        return payload_x, payload_y
-
-    def _chunk_tuple(
-        self,
-        kinds: IntArray,
-        times: FloatArray,
-        arg_a: IntArray,
-        arg_b: IntArray,
-        payload_x: Optional[IntArray],
-        payload_y: Optional[IntArray],
-        lo: int,
-        hi: int,
-        snap: Optional[float],
-    ) -> _Chunk:
-        kb = kinds[lo:hi]
-        req_pos: Optional[List[int]] = None
-        if self._payload_needed:
-            req_pos = np.flatnonzero(kb == EVENT_REQUEST).tolist()
-        return (
-            kb,
-            times[lo:hi],
-            arg_a[lo:hi],
-            arg_b[lo:hi],
-            payload_x[lo:hi] if payload_x is not None else None,
-            payload_y[lo:hi] if payload_y is not None else None,
-            req_pos,
-            snap,
-        )
-
-    def _cut_chunks(
-        self,
-        kinds: IntArray,
-        times: FloatArray,
-        arg_a: IntArray,
-        arg_b: IntArray,
-        payload_x: Optional[IntArray],
-        payload_y: Optional[IntArray],
-        snap_idx: int,
-        last: bool,
-    ) -> Tuple[List[_Chunk], int]:
-        """Cut one sorted event block at pending snapshot instants.
-
-        Returns the chunks plus the advanced snapshot cursor.  Each
-        chunk is the run of events strictly before one snapshot fires,
-        so the hot loops carry no per-event snapshot comparison.  A
-        snapshot past the block's end is deferred to a later block —
-        unless *last*, in which case every remaining snapshot fires
-        (possibly on empty chunks) so eager and streamed runs record
-        the same instants.
-        """
-        snap_times = self._snap_times
-        n = len(kinds)
-        chunks: List[_Chunk] = []
-        start = 0
-        while snap_idx < len(snap_times):
-            snap = snap_times[snap_idx]
-            pos = int(np.searchsorted(times, snap, side="left"))
-            if pos >= n and not last:
-                break
-            pos = min(pos, n)
-            chunks.append(
-                self._chunk_tuple(
-                    kinds, times, arg_a, arg_b, payload_x, payload_y,
-                    start, pos, snap,
-                )
+        if stream.faults is not self.faults:
+            raise ConfigurationError(
+                "prebuilt_events was built from a different fault schedule"
             )
-            start = pos
-            snap_idx += 1
-        if start < n:
-            chunks.append(
-                self._chunk_tuple(
-                    kinds, times, arg_a, arg_b, payload_x, payload_y,
-                    start, n, None,
-                )
+        if stream.config_fingerprint != self.config.fingerprint():
+            raise ConfigurationError(
+                "prebuilt_events was built under a different configuration"
             )
-        return chunks, snap_idx
+        if self._payload_needed and not stream.payload_mode:
+            raise ConfigurationError(
+                "prebuilt_events lacks the plain-mode payload columns "
+                "this untraced fault-free run consumes"
+            )
 
     def _iter_chunks(self) -> Iterator[_Chunk]:
         """The pre-cut chunks (eager) or a block-merging generator.
@@ -849,14 +653,17 @@ class Simulation:
             arg_b = arg_b[order]
             if payload_needed:
                 assert meet_base is not None
-                payload_x, payload_y = self._plain_payloads(
-                    kinds, arg_a, arg_b, meet_base
+                payload_x, payload_y = compute_plain_payloads(
+                    kinds, arg_a, arg_b, meet_base,
+                    is_server=self._is_server_arr,
+                    requester=self._requester_arr,
                 )
             else:
                 payload_x = payload_y = None
-            chunks, snap_idx = self._cut_chunks(
+            chunks, snap_idx = cut_chunks(
                 kinds, times, arg_a, arg_b, payload_x, payload_y,
-                snap_idx, last,
+                snap_times=self._snap_times, snap_idx=snap_idx,
+                last=last, payload_mode=payload_needed,
             )
             yield from chunks
             c0, r0, f0 = c1, r1, f1
@@ -884,14 +691,17 @@ class Simulation:
             arg_b = arg_b[order]
             if payload_needed:
                 assert meet_base is not None
-                payload_x, payload_y = self._plain_payloads(
-                    kinds, arg_a, arg_b, meet_base
+                payload_x, payload_y = compute_plain_payloads(
+                    kinds, arg_a, arg_b, meet_base,
+                    is_server=self._is_server_arr,
+                    requester=self._requester_arr,
                 )
             else:
                 payload_x = payload_y = None
-            chunks, _ = self._cut_chunks(
+            chunks, _ = cut_chunks(
                 kinds, times, arg_a, arg_b, payload_x, payload_y,
-                snap_idx, True,
+                snap_times=self._snap_times, snap_idx=snap_idx,
+                last=True, payload_mode=payload_needed,
             )
             yield from chunks
 
@@ -2595,6 +2405,7 @@ def simulate(
     tracer: Optional[Tracer] = None,
     manifest: bool = False,
     chunk_events: Optional[int] = None,
+    prebuilt_events: Optional[EventStream] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulation` and run it.
 
@@ -2603,7 +2414,11 @@ def simulate(
     untraced runs (traced runs always collect it).  *chunk_events*
     forces the streamed event pipeline with that merge block size;
     memory-mapped traces stream automatically (see
-    :class:`Simulation`).
+    :class:`Simulation`).  *prebuilt_events*, when given, reuses a
+    trial-scoped merged stream built once by
+    :func:`repro.sim.events.build_event_stream` over the very same
+    trace/requests/faults — validated on receipt, bit-identical to an
+    inline merge.
     """
     return Simulation(
         trace,
@@ -2615,4 +2430,5 @@ def simulate(
         tracer=tracer,
         collect_manifest=manifest,
         chunk_events=chunk_events,
+        prebuilt_events=prebuilt_events,
     ).run()

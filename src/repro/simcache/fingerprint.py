@@ -221,21 +221,48 @@ def run_key(
     trace: ContactTrace,
     requests: RequestSchedule,
     faults: Optional[FaultSchedule] = None,
+    *,
+    trace_fingerprint: Optional[str] = None,
+    requests_fingerprint: Optional[str] = None,
+    faults_fingerprint: Optional[str] = None,
 ) -> str:
     """The content key of one simulation run.
 
     Any change to the configuration, the realized inputs, the protocol's
     parameterization, the seed, the faults, or the engine code version
     yields a different key.
+
+    The ``*_fingerprint`` keywords accept memoized values of
+    :func:`fingerprint_trace` / :func:`fingerprint_requests` /
+    :func:`fingerprint_faults` over the *same* inputs, substituting
+    byte-identically for the inline hash passes.  A sweep computes each
+    trial's content hashes once and probes the cache for every protocol
+    with them — the trace hash (by far the dominant cost) would
+    otherwise be repeated per protocol.  Callers are responsible for
+    the memo matching the passed objects; the sweep runner's
+    trial-scoped :class:`~repro.experiments.artifacts.TrialArtifacts`
+    guarantees it by construction.
     """
     payload = json.dumps(
         {
             "engine_version": _engine_code_version(),
             "config": config.fingerprint(),
             "sim_seed": int(sim_seed),
-            "trace": fingerprint_trace(trace),
-            "requests": fingerprint_requests(requests),
-            "faults": fingerprint_faults(faults),
+            "trace": (
+                trace_fingerprint
+                if trace_fingerprint is not None
+                else fingerprint_trace(trace)
+            ),
+            "requests": (
+                requests_fingerprint
+                if requests_fingerprint is not None
+                else fingerprint_requests(requests)
+            ),
+            "faults": (
+                faults_fingerprint
+                if faults_fingerprint is not None
+                else fingerprint_faults(faults)
+            ),
             "protocol": fingerprint_protocol(protocol),
         },
         sort_keys=True,

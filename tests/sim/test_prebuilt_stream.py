@@ -1,0 +1,311 @@
+"""Prebuilt (trial-shared) event streams: bit-identity and validation.
+
+The sweep amortization layer merges each trial's contact/request/fault
+events once and hands the read-only stream to every protocol's run.
+The engine treats a prebuilt stream as untrusted input — it validates
+object identity and config equivalence before using it — and the
+results must be bit-identical to an inline merge in every mode: plain,
+faulted, traced (JSONL), metrics-enabled, and against the streamed
+chunked pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.contacts import homogeneous_poisson_trace, load_binary, save_binary
+from repro.demand import DemandModel, generate_requests
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    homogeneous_scenario,
+    result_to_dict,
+    standard_protocols,
+)
+from repro.faults import FaultSchedule
+from repro.obs import metrics as obs_metrics
+from repro.obs.sinks import JsonlSink, MemorySink
+from repro.obs.tracer import Tracer
+from repro.sim import SimulationConfig, build_event_stream, simulate
+from repro.sim.engine import Simulation
+from repro.utility import StepUtility
+
+PROTOCOL_NAMES = ("OPT", "QCR", "SQRT", "PROP", "UNI")
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return homogeneous_scenario(
+        StepUtility(8.0), duration=120.0, record_interval=30.0
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(scenario):
+    trace = scenario.trace_factory(5)
+    requests = generate_requests(
+        scenario.demand, trace.n_nodes, trace.duration, seed=6
+    )
+    return trace, requests
+
+
+@pytest.fixture(scope="module")
+def faults(workload):
+    trace, _ = workload
+    return FaultSchedule.node_churn(
+        trace.n_nodes,
+        crash_rate=0.01,
+        mean_downtime=15.0,
+        duration=trace.duration,
+        seed=9,
+    )
+
+
+def run_pair(scenario, trace, requests, name, *, faults=None, tracer=None):
+    """One protocol run with a prebuilt stream and one without."""
+    factory = standard_protocols(scenario, include=(name,))[name]
+    stream = build_event_stream(trace, requests, scenario.config, faults)
+
+    def once(prebuilt, trc):
+        return simulate(
+            trace,
+            requests,
+            scenario.config,
+            factory(trace, requests),
+            seed=7,
+            faults=faults,
+            tracer=trc,
+            prebuilt_events=prebuilt,
+        )
+
+    return once(None, tracer[0] if tracer else None), once(
+        stream, tracer[1] if tracer else None
+    )
+
+
+def assert_results_identical(a, b):
+    da, db = result_to_dict(a), result_to_dict(b)
+    da.pop("manifest", None)
+    db.pop("manifest", None)
+    assert da == db
+
+
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+def test_prebuilt_plain_bit_identical(scenario, workload, name):
+    fresh, prebuilt = run_pair(scenario, *workload, name)
+    assert_results_identical(fresh, prebuilt)
+
+
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+def test_prebuilt_faulted_bit_identical(scenario, workload, faults, name):
+    fresh, prebuilt = run_pair(scenario, *workload, name, faults=faults)
+    assert_results_identical(fresh, prebuilt)
+
+
+def test_prebuilt_traced_jsonl_with_metrics(
+    scenario, workload, faults, tmp_path
+):
+    """The gnarliest mode: faults + JSONL tracing + metrics collection.
+
+    Both the results and the emitted JSONL event sequences must match
+    byte for byte (modulo nothing — the tracer's view of the event
+    order is exactly what the prebuilt merge must reproduce).
+    """
+    obs_metrics.reset_registry()
+    obs_metrics.set_enabled(True)
+    try:
+        fresh_path = tmp_path / "fresh.jsonl"
+        pre_path = tmp_path / "prebuilt.jsonl"
+        with open(fresh_path, "w") as fh, open(pre_path, "w") as ph:
+            fresh, prebuilt = run_pair(
+                scenario,
+                *workload,
+                "QCR",
+                faults=faults,
+                tracer=(Tracer(JsonlSink(fh)), Tracer(JsonlSink(ph))),
+            )
+        assert_results_identical(fresh, prebuilt)
+        fresh_events = [
+            json.loads(line) for line in fresh_path.read_text().splitlines()
+        ]
+        pre_events = [
+            json.loads(line) for line in pre_path.read_text().splitlines()
+        ]
+        assert fresh_events == pre_events
+        assert fresh_events  # the tracer actually saw the run
+    finally:
+        obs_metrics.reset_registry()
+        obs_metrics.set_enabled(None)
+
+
+def test_prebuilt_matches_streamed_chunked_path(scenario, workload):
+    """An eager prebuilt run equals the chunked streamed pipeline."""
+    trace, requests = workload
+    factory = standard_protocols(scenario, include=("UNI",))["UNI"]
+    stream = build_event_stream(trace, requests, scenario.config)
+    prebuilt = simulate(
+        trace,
+        requests,
+        scenario.config,
+        factory(trace, requests),
+        seed=7,
+        prebuilt_events=stream,
+    )
+    streamed = simulate(
+        trace,
+        requests,
+        scenario.config,
+        factory(trace, requests),
+        seed=7,
+        chunk_events=256,
+    )
+    assert_results_identical(prebuilt, streamed)
+
+
+def test_prebuilt_stream_is_reusable_and_read_only(scenario, workload):
+    """One stream serves many runs; event columns are not mutated."""
+    trace, requests = workload
+    stream = build_event_stream(trace, requests, scenario.config)
+    before = stream.event_times.copy()
+    results = []
+    for name in ("OPT", "UNI"):
+        factory = standard_protocols(scenario, include=(name,))[name]
+        for _ in range(2):
+            results.append(
+                simulate(
+                    trace,
+                    requests,
+                    scenario.config,
+                    factory(trace, requests),
+                    seed=7,
+                    prebuilt_events=stream,
+                )
+            )
+    assert np.array_equal(stream.event_times, before)
+    assert_results_identical(results[0], results[1])
+    assert_results_identical(results[2], results[3])
+
+
+# ----------------------------------------------------------------------
+# validation: the engine trusts nothing about a prebuilt stream
+# ----------------------------------------------------------------------
+def make_sim(scenario, trace, requests, stream, **kwargs):
+    factory = standard_protocols(scenario, include=("UNI",))["UNI"]
+    return Simulation(
+        trace,
+        requests,
+        scenario.config,
+        factory(trace, requests),
+        seed=7,
+        prebuilt_events=stream,
+        **kwargs,
+    )
+
+
+def test_prebuilt_rejects_foreign_trace(scenario, workload):
+    trace, requests = workload
+    other_trace = scenario.trace_factory(99)
+    stream = build_event_stream(other_trace, requests, scenario.config)
+    with pytest.raises(ConfigurationError, match="trace"):
+        make_sim(scenario, trace, requests, stream)
+
+
+def test_prebuilt_rejects_foreign_requests(scenario, workload):
+    trace, requests = workload
+    other_requests = generate_requests(
+        scenario.demand, trace.n_nodes, trace.duration, seed=99
+    )
+    stream = build_event_stream(trace, other_requests, scenario.config)
+    with pytest.raises(ConfigurationError, match="request"):
+        make_sim(scenario, trace, requests, stream)
+
+
+def test_prebuilt_rejects_foreign_faults(scenario, workload, faults):
+    trace, requests = workload
+    stream = build_event_stream(trace, requests, scenario.config, faults)
+    factory = standard_protocols(scenario, include=("UNI",))["UNI"]
+    with pytest.raises(ConfigurationError, match="fault"):
+        Simulation(
+            trace,
+            requests,
+            scenario.config,
+            factory(trace, requests),
+            seed=7,
+            faults=None,
+            prebuilt_events=stream,
+        )
+
+
+def test_prebuilt_rejects_config_mismatch(scenario, workload):
+    trace, requests = workload
+    other_config = SimulationConfig(
+        n_items=scenario.config.n_items,
+        rho=scenario.config.rho,
+        utility=StepUtility(99.0),
+    )
+    stream = build_event_stream(trace, requests, other_config)
+    with pytest.raises(ConfigurationError, match="config"):
+        make_sim(scenario, trace, requests, stream)
+
+
+def test_prebuilt_rejects_missing_payloads_for_plain_run(scenario, workload):
+    trace, requests = workload
+    stream = build_event_stream(
+        trace, requests, scenario.config, payloads=False
+    )
+    with pytest.raises(ConfigurationError, match="payload"):
+        make_sim(scenario, trace, requests, stream)
+
+
+def test_payloadless_stream_fine_for_traced_run(scenario, workload):
+    """Traced runs never consume payload columns, so a payload-free
+    stream is sufficient — and payload-bearing streams are a superset
+    accepted everywhere."""
+    trace, requests = workload
+    stream = build_event_stream(
+        trace, requests, scenario.config, payloads=False
+    )
+    sink = MemorySink()
+    sim = make_sim(scenario, trace, requests, stream, tracer=Tracer(sink))
+    sim.run()
+    assert sink.n_emitted > 0
+
+
+def test_prebuilt_with_chunk_events_is_an_error(scenario, workload):
+    trace, requests = workload
+    stream = build_event_stream(trace, requests, scenario.config)
+    with pytest.raises(ConfigurationError, match="chunk_events"):
+        make_sim(scenario, trace, requests, stream, chunk_events=256)
+
+
+def test_payload_stream_with_faults_is_an_error(scenario, workload, faults):
+    trace, requests = workload
+    with pytest.raises(ConfigurationError, match="payload"):
+        build_event_stream(
+            trace, requests, scenario.config, faults, payloads=True
+        )
+
+
+def test_memmap_trace_runs_streamed_with_prebuilt_rejected(
+    scenario, workload, tmp_path
+):
+    """A memory-mapped trace selects the streamed pipeline, which has
+    no eager prebuilt form — combining them must fail loudly rather
+    than silently materialize the merge."""
+    trace, requests = workload
+    path = tmp_path / "trace.ctb"
+    save_binary(trace, path)
+    mapped = load_binary(path, mmap=True)
+    stream = build_event_stream(trace, requests, scenario.config)
+    factory = standard_protocols(scenario, include=("UNI",))["UNI"]
+    with pytest.raises(ConfigurationError):
+        Simulation(
+            mapped,
+            requests,
+            scenario.config,
+            factory(mapped, requests),
+            seed=7,
+            prebuilt_events=stream,
+        )
